@@ -1,0 +1,129 @@
+// Ablations for the design choices DESIGN.md calls out:
+//
+//  A. Pipelining (chained mode) on/off — demonstrates WHY the figure
+//     benches run the one-instance-at-a-time mode: with full chaining both
+//     protocols' block rates converge at saturation, hiding the phase-count
+//     advantage the paper measures; without it the 2-vs-3-phase difference
+//     shows directly.
+//  B. Shadow blocks on/off — wire bytes of the view-change PRE-PREPARE
+//     (Cases V1/V3 propose two blocks; sharing the op batch nearly halves
+//     the payload, §IV-D).
+//  C. Happy-path view change on/off — Marlin's 2-phase vs 3-phase view
+//     change latency (the mechanism behind Fig. 10i).
+//  D. Batch size — throughput/latency trade-off at a fixed load.
+#include "bench_common.h"
+
+#include "types/messages.h"
+
+namespace {
+
+using namespace marlin;
+using namespace marlin::bench;
+
+void ablation_pipelining() {
+  print_header("Ablation A — pipelining (chained mode) vs one-at-a-time");
+  std::printf("%-10s %-14s %-12s %-12s\n", "protocol", "mode", "tput ktx/s",
+              "mean ms");
+  double tput[2][2] = {};
+  int pi = 0;
+  for (bool pipelined : {false, true}) {
+    int qi = 0;
+    for (ProtocolKind protocol :
+         {ProtocolKind::kMarlin, ProtocolKind::kHotStuff}) {
+      ClusterConfig cfg = paper_config(1, protocol);
+      cfg.pipelined = pipelined;
+      cfg.client_window = 32000 / cfg.num_clients;
+      auto res = runtime::run_throughput_experiment(cfg, Duration::seconds(3),
+                                                    Duration::seconds(5));
+      tput[pi][qi] = res.throughput_ops / 1000.0;
+      std::printf("%-10s %-14s %-12.2f %-12.1f\n", protocol_name(protocol),
+                  pipelined ? "chained" : "one-at-a-time",
+                  res.throughput_ops / 1000.0, res.mean_latency_ms);
+      std::fflush(stdout);
+      ++qi;
+    }
+    ++pi;
+  }
+  std::printf("-- marlin advantage: one-at-a-time %+.1f%%, chained %+.1f%%\n",
+              (tput[0][0] / tput[0][1] - 1) * 100,
+              (tput[1][0] / tput[1][1] - 1) * 100);
+}
+
+void ablation_shadow_blocks() {
+  print_header("Ablation B — shadow blocks (shared op batch on the wire)");
+  std::printf("%-12s %-16s %-16s %-10s\n", "batch ops", "shared (bytes)",
+              "duplicated", "saving");
+  for (std::size_t batch : {100u, 1000u, 8000u, 32000u}) {
+    std::vector<types::Operation> ops;
+    ops.reserve(batch);
+    Rng rng(1);
+    for (std::size_t i = 0; i < batch; ++i) {
+      ops.push_back(types::Operation{1, i + 1, rng.next_bytes(150)});
+    }
+    types::Block b1;
+    b1.view = 2;
+    b1.height = 5;
+    b1.ops = ops;
+    types::Block b2 = b1;
+    b2.height = 6;
+    b2.virtual_block = true;
+    b2.parent_link = types::Hash256{};
+
+    types::ProposalMsg shared;
+    shared.phase = types::Phase::kPrePrepare;
+    shared.view = 2;
+    shared.entries = {{b1, {}}, {b2, {}}};
+    const std::size_t shared_size = shared.wire_size();
+
+    // Without the optimisation the second block would carry its own copy.
+    types::ProposalMsg single;
+    single.phase = types::Phase::kPrePrepare;
+    single.view = 2;
+    single.entries = {{b1, {}}};
+    const std::size_t dup_size =
+        single.wire_size() * 2;  // two independent payload-bearing entries
+
+    std::printf("%-12zu %-16zu %-16zu %.1f%%\n", batch, shared_size, dup_size,
+                (1.0 - static_cast<double>(shared_size) / dup_size) * 100.0);
+  }
+}
+
+void ablation_happy_path() {
+  print_header("Ablation C — happy-path view change on/off (f = 1)");
+  std::printf("%-24s %-14s\n", "view-change mode", "latency (ms)");
+  for (bool force_unhappy : {false, true}) {
+    ClusterConfig cfg = paper_config(1, ProtocolKind::kMarlin);
+    cfg.num_clients = 8;
+    cfg.client_window = 16;
+    cfg.max_batch_ops = 2000;
+    auto res = runtime::run_view_change_experiment(cfg, force_unhappy);
+    std::printf("%-24s %-14.1f %s\n",
+                force_unhappy ? "pre-prepare (3-phase)" : "combined (2-phase)",
+                res.mean_latency_ms, res.resolved ? "" : "(!! unresolved)");
+  }
+}
+
+void ablation_batch_size() {
+  print_header("Ablation D — batch size at fixed load (Marlin, f = 1)");
+  std::printf("%-12s %-12s %-12s\n", "max batch", "tput ktx/s", "mean ms");
+  for (std::size_t batch : {1000u, 4000u, 16000u, 32000u, 64000u}) {
+    ClusterConfig cfg = paper_config(1, ProtocolKind::kMarlin);
+    cfg.max_batch_ops = batch;
+    cfg.client_window = 32000 / cfg.num_clients;
+    auto res = runtime::run_throughput_experiment(cfg, Duration::seconds(3),
+                                                  Duration::seconds(5));
+    std::printf("%-12zu %-12.2f %-12.1f\n", batch, res.throughput_ops / 1000.0,
+                res.mean_latency_ms);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ablation_pipelining();
+  ablation_shadow_blocks();
+  ablation_happy_path();
+  ablation_batch_size();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 10a–10f: throughput vs latency for f ∈ {1, 2, 5, 10, 20, 30},
+// 150-byte requests/replies, closed-loop load sweep. Each row is one point
+// of the paper's curves; the sweep stops around the latency range the
+// paper plots (≤ ~1 s).
+//
+// Paper reference (peak throughput along these curves): Marlin 4.47 %–34.4 %
+// above HotStuff at every f; at f = 1 Marlin peaks at 101 ktx/s vs
+// HotStuff 79.6 ktx/s. Expected reproduction: same ordering and relative
+// gap; absolute throughput within a small constant factor (see
+// EXPERIMENTS.md).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace marlin::bench;
+  // Optional: pass a subset of f values (e.g. "1 2" for a quick run).
+  std::vector<std::uint32_t> fs = {1, 2, 5, 10, 20, 30};
+  if (argc > 1) {
+    fs.clear();
+    for (int i = 1; i < argc; ++i) {
+      fs.push_back(static_cast<std::uint32_t>(std::atoi(argv[i])));
+    }
+  }
+
+  const char* fig = "abcdef";
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const std::uint32_t f = fs[i];
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Figure 10%c — Throughput vs latency (f = %u, n = %u)",
+                  i < 6 ? fig[i] : '?', f, 3 * f + 1);
+    print_header(title);
+    auto marlin = run_sweep(f, ProtocolKind::kMarlin);
+    auto hotstuff = run_sweep(f, ProtocolKind::kHotStuff);
+    const double m = peak_ktx(marlin);
+    const double h = peak_ktx(hotstuff);
+    std::printf("-- f=%u sweep peaks: marlin=%.2f ktx/s, hotstuff=%.2f ktx/s "
+                "(marlin %+.1f%%)\n",
+                f, m, h, (m / h - 1.0) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Micro-benchmarks for the storage engine (google-benchmark): the write
+// path (WAL + memtable), reads across SSTables, flush, and the checkpoint
+// compaction that the consensus runtime charges every 5000 blocks.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "storage/kvstore.h"
+
+namespace {
+
+using namespace marlin;
+using namespace marlin::storage;
+
+std::string key_of(std::uint64_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "key%012llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_KVPut(benchmark::State& state) {
+  auto env = make_mem_env();
+  auto store = KVStore::open(*env);
+  Rng rng(1);
+  const Bytes value = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.value()->put(key_of(i++), value));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_KVPut)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_KVGetMemtable(benchmark::State& state) {
+  auto env = make_mem_env();
+  auto store = KVStore::open(*env);
+  Rng rng(2);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    (void)store.value()->put(key_of(i), rng.next_bytes(128));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.value()->get(key_of(i++ % 1000)));
+  }
+}
+BENCHMARK(BM_KVGetMemtable);
+
+void BM_KVGetAcrossSSTables(benchmark::State& state) {
+  auto env = make_mem_env();
+  auto store = KVStore::open(*env);
+  Rng rng(3);
+  const auto tables = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t t = 0; t < tables; ++t) {
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      (void)store.value()->put(key_of(t * 500 + i), rng.next_bytes(128));
+    }
+    (void)store.value()->flush();
+  }
+  std::uint64_t i = 0;
+  const std::uint64_t total = tables * 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.value()->get(key_of(i++ % total)));
+  }
+}
+BENCHMARK(BM_KVGetAcrossSSTables)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_KVFlush(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto env = make_mem_env();
+    auto store = KVStore::open(*env);
+    Rng rng(4);
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+      (void)store.value()->put(key_of(i), rng.next_bytes(128));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.value()->flush());
+  }
+}
+BENCHMARK(BM_KVFlush)->Unit(benchmark::kMicrosecond);
+
+void BM_KVCheckpoint(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto env = make_mem_env();
+    auto store = KVStore::open(*env);
+    Rng rng(5);
+    for (int t = 0; t < 5; ++t) {
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        (void)store.value()->put(key_of(rng.next_below(3000)),
+                                 rng.next_bytes(128));
+      }
+      (void)store.value()->flush();
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.value()->checkpoint());
+  }
+}
+BENCHMARK(BM_KVCheckpoint)->Unit(benchmark::kMillisecond);
+
+void BM_WalAppend(benchmark::State& state) {
+  auto env = make_mem_env();
+  auto wal = WalWriter::create(*env, "bench.log");
+  Rng rng(6);
+  const Bytes record = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.value().append(record));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WalAppend)->Arg(128)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Quickstart: spin up a 4-replica Marlin cluster on the simulated network,
+// submit a handful of client operations, and watch them commit.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// This is the smallest end-to-end use of the public API: Simulator +
+// Cluster from marlin::runtime drive everything (replicas, clients,
+// pacemakers, the storage engine, and the cost-model instrumentation).
+#include <cstdio>
+
+#include "runtime/cluster.h"
+
+int main() {
+  using namespace marlin;
+  using namespace marlin::runtime;
+
+  // 1. A deterministic simulation: same seed → same run, always.
+  sim::Simulator sim(/*seed=*/42);
+
+  // 2. Describe the deployment: f = 1 → n = 4 replicas, Marlin protocol,
+  //    four closed-loop clients issuing 150-byte requests.
+  ClusterConfig config;
+  config.f = 1;
+  config.protocol = ProtocolKind::kMarlin;
+  config.num_clients = 4;
+  config.client_window = 4;       // 4 outstanding requests per client
+  config.payload_size = 150;
+  config.client_max_requests = 25;  // each client stops after 25 ops
+
+  Cluster cluster(sim, config);
+  cluster.start();
+
+  // 3. Run ten simulated seconds.
+  sim.run_for(Duration::seconds(10));
+
+  // 4. Inspect the outcome.
+  std::printf("Marlin quickstart (f=%u, n=%u)\n", cluster.f(), cluster.n());
+  for (ReplicaId r = 0; r < cluster.n(); ++r) {
+    const auto& p = cluster.replica(r).protocol();
+    std::printf("  replica %u: view=%llu, committed height=%llu "
+                "(%llu blocks)\n",
+                r, static_cast<unsigned long long>(p.current_view()),
+                static_cast<unsigned long long>(p.committed_height()),
+                static_cast<unsigned long long>(p.committed_blocks()));
+  }
+  std::uint64_t completed = 0;
+  double worst_ms = 0;
+  for (ClientId c = 0; c < config.num_clients; ++c) {
+    completed += cluster.client(c).latency().count();
+    worst_ms = std::max(worst_ms,
+                        cluster.client(c).latency().max().as_millis_f());
+  }
+  std::printf("  clients: %llu operations completed (f+1 matching replies), "
+              "worst latency %.1f ms\n",
+              static_cast<unsigned long long>(completed), worst_ms);
+  std::printf("  safety: %s, committed chains consistent: %s\n",
+              cluster.any_safety_violation() ? "VIOLATED" : "ok",
+              cluster.committed_heights_consistent() ? "yes" : "NO");
+  return cluster.any_safety_violation() ? 1 : 0;
+}

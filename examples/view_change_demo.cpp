@@ -1,0 +1,96 @@
+// View-change walkthrough on the simulated testbed: commit traffic in
+// view 1, crash the leader, and narrate the recovery — once through
+// Marlin's 2-phase happy path and once with the happy path disabled so the
+// full PRE-PREPARE machinery (paper §V-C) runs.
+//
+//   ./build/examples/view_change_demo
+#include <cstdio>
+
+#include "runtime/cluster.h"
+
+using namespace marlin;
+using namespace marlin::runtime;
+
+namespace {
+
+void run_once(bool force_unhappy) {
+  std::printf("---- %s path "
+              "-------------------------------------------------\n",
+              force_unhappy ? "forced UNHAPPY (3-phase VC)"
+                            : "HAPPY (2-phase VC)");
+
+  sim::Simulator sim(7);
+  ClusterConfig cfg;
+  cfg.f = 1;
+  cfg.protocol = ProtocolKind::kMarlin;
+  cfg.disable_happy_path = force_unhappy;
+  cfg.num_clients = 4;
+  cfg.client_window = 8;
+  cfg.pacemaker.base_timeout = Duration::millis(600);
+  Cluster cluster(sim, cfg);
+  cluster.start();
+
+  sim.run_for(Duration::seconds(3));
+  const ReplicaId old_leader = cluster.current_leader();
+  const Height before = cluster.replica(0).protocol().committed_height();
+  std::printf("t=3.0s   view %llu, leader is replica %u, committed height "
+              "%llu\n",
+              static_cast<unsigned long long>(cluster.max_view()), old_leader,
+              static_cast<unsigned long long>(before));
+
+  cluster.crash_replica(old_leader);
+  std::printf("t=3.0s   CRASH replica %u (the leader)\n", old_leader);
+
+  // Watch until every correct replica commits in the new view.
+  for (int tick = 0; tick < 200; ++tick) {
+    sim.run_for(Duration::millis(100));
+    bool done = true;
+    for (ReplicaId r = 0; r < cluster.n(); ++r) {
+      if (r == old_leader) continue;
+      if (cluster.replica(r).protocol().current_view() == 1 ||
+          !cluster.replica(r).committed_in_current_view()) {
+        done = false;
+      }
+    }
+    if (done) break;
+  }
+
+  const ReplicaId new_leader = cluster.current_leader();
+  auto& lp = cluster.replica(new_leader);
+  std::printf("t=%.1fs   view %llu established, new leader replica %u\n",
+              sim.now().as_seconds_f(),
+              static_cast<unsigned long long>(cluster.max_view()), new_leader);
+  if (auto* m = lp.marlin()) {
+    std::printf("         new leader resolved the view change via the %s "
+                "path\n",
+                m->unhappy_view_changes() > 0 ? "pre-prepare (unhappy)"
+                                              : "combined-prepareQC (happy)");
+  }
+  const double vc_ms =
+      (lp.first_commit_in_view() - lp.last_view_entry()).as_millis_f();
+  std::printf("         view-change latency at the leader: %.1f ms\n", vc_ms);
+
+  sim.run_for(Duration::seconds(3));
+  for (ReplicaId r = 0; r < cluster.n(); ++r) {
+    if (r == old_leader) continue;
+    std::printf("         replica %u: committed height %llu\n", r,
+                static_cast<unsigned long long>(
+                    cluster.replica(r).protocol().committed_height()));
+  }
+  std::printf("         safety: %s, chains consistent: %s\n\n",
+              cluster.any_safety_violation() ? "VIOLATED" : "ok",
+              cluster.committed_heights_consistent() ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Marlin view-change demo: leader crash and recovery\n\n");
+  run_once(/*force_unhappy=*/false);
+  run_once(/*force_unhappy=*/true);
+  std::printf("Note: the happy path combines the VIEW-CHANGE partial\n"
+              "signatures straight into a prepareQC (2 phases); the unhappy\n"
+              "path runs the PRE-PREPARE phase first (3 phases), which is\n"
+              "what HotStuff-level view-change latency looks like.\n");
+  return 0;
+}

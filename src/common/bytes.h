@@ -1,0 +1,34 @@
+// Byte-buffer utilities shared by every subsystem: the canonical `Bytes`
+// type, hex encoding/decoding, and constant-time comparison for secrets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace marlin {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hexadecimal ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string (case-insensitive, no 0x prefix). Returns
+/// std::nullopt on odd length or non-hex characters.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Converts an ASCII string to bytes (no encoding transformation).
+Bytes to_bytes(std::string_view s);
+
+/// Constant-time equality; use for MAC/signature comparison so timing does
+/// not leak match prefixes. Returns false on length mismatch.
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+}  // namespace marlin

@@ -1,0 +1,42 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace marlin {
+
+namespace {
+constexpr std::uint32_t kPoly = 0x82f63b78;  // reflected CRC-32C polynomial
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = build_table();
+  return t;
+}
+}  // namespace
+
+std::uint32_t crc32c(BytesView data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  const auto& t = table();
+  for (std::uint8_t b : data) {
+    crc = (crc >> 8) ^ t[(crc ^ b) & 0xff];
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c_masked(BytesView data) {
+  const std::uint32_t crc = crc32c(data);
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+}  // namespace marlin

@@ -1,0 +1,17 @@
+// CRC-32C (Castagnoli), software table implementation. Guards every WAL
+// record and SSTable footer in the storage engine.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace marlin {
+
+std::uint32_t crc32c(BytesView data, std::uint32_t seed = 0);
+
+/// Masked CRC (LevelDB-style) so a CRC stored inside CRC'd content does not
+/// degenerate.
+std::uint32_t crc32c_masked(BytesView data);
+
+}  // namespace marlin

@@ -1,0 +1,100 @@
+// Metrology helpers: latency histograms with percentiles and windowed
+// throughput counters. Value semantics, no locking (the simulator is
+// single-threaded).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace marlin {
+
+/// Collects duration samples; percentile queries sort lazily.
+class LatencyHistogram {
+ public:
+  void record(Duration d) {
+    samples_.push_back(d);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  Duration percentile(double p) {
+    if (samples_.empty()) return Duration::zero();
+    ensure_sorted();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const std::size_t idx = static_cast<std::size_t>(rank);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  Duration median() { return percentile(50); }
+  Duration min() { return percentile(0); }
+  Duration max() { return percentile(100); }
+
+  Duration mean() const {
+    if (samples_.empty()) return Duration::zero();
+    std::int64_t total = 0;
+    for (Duration d : samples_) total += d.as_nanos();
+    return Duration::nanos(total / static_cast<std::int64_t>(samples_.size()));
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = true;
+  }
+
+  /// Raw samples (unsorted order not guaranteed) — for merging histograms.
+  const std::vector<Duration>& samples() const { return samples_; }
+
+  void merge_from(const LatencyHistogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<Duration> samples_;
+  bool sorted_ = true;
+};
+
+/// Counts events inside a measurement window (e.g. committed operations),
+/// excluding warm-up.
+class WindowedCounter {
+ public:
+  void set_window(TimePoint start, TimePoint end) {
+    start_ = start;
+    end_ = end;
+  }
+
+  void record(TimePoint when, std::uint64_t amount = 1) {
+    total_ += amount;
+    if (when >= start_ && when < end_) in_window_ += amount;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t in_window() const { return in_window_; }
+
+  /// Events per second inside the window.
+  double rate_per_second() const {
+    const double span = (end_ - start_).as_seconds_f();
+    if (span <= 0) return 0;
+    return static_cast<double>(in_window_) / span;
+  }
+
+ private:
+  TimePoint start_;
+  TimePoint end_;
+  std::uint64_t total_ = 0;
+  std::uint64_t in_window_ = 0;
+};
+
+}  // namespace marlin

@@ -1,0 +1,42 @@
+// Identifier types shared across the consensus stack. Plain integral
+// aliases (not strong types) because they cross wire formats constantly;
+// naming keeps call sites honest.
+#pragma once
+
+#include <cstdint>
+
+namespace marlin {
+
+/// Index of a replica in [0, n).
+using ReplicaId = std::uint32_t;
+
+/// Monotonically increasing view number; views start at 1, 0 means "none".
+using ViewNumber = std::uint64_t;
+
+/// Height of a block in the tree; genesis has height 0.
+using Height = std::uint64_t;
+
+/// Client process identifier.
+using ClientId = std::uint32_t;
+
+/// Per-client monotonically increasing request sequence number.
+using RequestId = std::uint64_t;
+
+inline constexpr ReplicaId kNoReplica = ~0u;
+
+/// Quorum sizes for n = 3f + 1 deployments.
+struct QuorumParams {
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+
+  static constexpr QuorumParams for_f(std::uint32_t f) {
+    return QuorumParams{3 * f + 1, f};
+  }
+  /// n - f: votes needed for a quorum certificate.
+  constexpr std::uint32_t quorum() const { return n - f; }
+  /// f + 1: matching client replies needed to accept a response.
+  constexpr std::uint32_t reply_quorum() const { return f + 1; }
+  constexpr bool valid() const { return n >= 3 * f + 1 && n > 0; }
+};
+
+}  // namespace marlin

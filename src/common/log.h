@@ -1,0 +1,33 @@
+// Minimal leveled logger. Consensus modules log through this so tests can
+// silence output and experiments can dial verbosity per run. Formatting is
+// printf-style to avoid iostream state bugs across threads.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace marlin {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Core sink; prefer the MLOG_* macros.
+void log_message(LogLevel level, const char* file, int line, const char* fmt,
+                 ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace marlin
+
+#define MLOG_AT(level, ...)                                              \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::marlin::log_level())) \
+      ::marlin::log_message(level, __FILE__, __LINE__, __VA_ARGS__);     \
+  } while (0)
+
+#define MLOG_TRACE(...) MLOG_AT(::marlin::LogLevel::kTrace, __VA_ARGS__)
+#define MLOG_DEBUG(...) MLOG_AT(::marlin::LogLevel::kDebug, __VA_ARGS__)
+#define MLOG_INFO(...) MLOG_AT(::marlin::LogLevel::kInfo, __VA_ARGS__)
+#define MLOG_WARN(...) MLOG_AT(::marlin::LogLevel::kWarn, __VA_ARGS__)
+#define MLOG_ERROR(...) MLOG_AT(::marlin::LogLevel::kError, __VA_ARGS__)

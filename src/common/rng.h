@@ -1,0 +1,44 @@
+// Deterministic PRNG (xoshiro256**). Every simulation component draws from
+// a seeded Rng so whole experiments replay bit-identically; never use
+// std::random_device or wall-clock inside the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace marlin {
+
+class Rng {
+ public:
+  /// Seeds via splitmix64 so that nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Fills `n` random bytes.
+  Bytes next_bytes(std::size_t n);
+
+  /// Derives an independent child stream (e.g. one per replica).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace marlin

@@ -1,0 +1,28 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace marlin {
+
+std::string Duration::to_string() const {
+  char buf[48];
+  const double abs_ns = ns_ < 0 ? -static_cast<double>(ns_) : static_cast<double>(ns_);
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%ldns", static_cast<long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns_) / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns_) / 1e9);
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", as_seconds_f());
+  return buf;
+}
+
+}  // namespace marlin

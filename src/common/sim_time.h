@@ -1,0 +1,69 @@
+// Virtual time for the discrete-event simulator. Nanosecond resolution,
+// 64-bit signed (≈292 years of simulated time). Strong types keep durations
+// and instants from being mixed up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace marlin {
+
+/// A span of virtual time in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration micros(std::int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1000000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1000000000); }
+  static constexpr Duration from_seconds_f(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+
+  constexpr std::int64_t as_nanos() const { return ns_; }
+  constexpr double as_micros_f() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double as_millis_f() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double as_seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string to_string() const;  // "12.345ms"
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant on the simulator's virtual clock (ns since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_nanos(std::int64_t n) { return TimePoint(n); }
+  static constexpr TimePoint origin() { return TimePoint(0); }
+
+  constexpr std::int64_t as_nanos() const { return ns_; }
+  constexpr double as_seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(ns_ + d.as_nanos());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::nanos(ns_ - o.ns_);
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string to_string() const;  // "t=1.234567s"
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace marlin

@@ -1,0 +1,32 @@
+#include "common/status.h"
+
+namespace marlin {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kCorruption: return "Corruption";
+    case ErrorCode::kVerifyFailed: return "VerifyFailed";
+    case ErrorCode::kStaleView: return "StaleView";
+    case ErrorCode::kUnsafe: return "Unsafe";
+    case ErrorCode::kDuplicate: return "Duplicate";
+    case ErrorCode::kIoError: return "IoError";
+    case ErrorCode::kUnavailable: return "Unavailable";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "Ok";
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace marlin

@@ -1,0 +1,96 @@
+// Lightweight error handling: Status for fallible void operations and
+// Result<T> for fallible value-returning operations. Consensus code paths
+// never throw; exceptions are reserved for programmer errors (contract
+// violations), which assert in debug builds.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace marlin {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,
+  kVerifyFailed,
+  kStaleView,
+  kUnsafe,        // proposal rejected by the safety rules
+  kDuplicate,
+  kIoError,
+  kUnavailable,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("VerifyFailed", ...).
+const char* error_code_name(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::ok() for success");
+  }
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "VerifyFailed: bad partial signature".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+/// A value or a Status error. `value()` asserts on error; check `is_ok()`
+/// (or use `value_or`) first on fallible paths.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}        // NOLINT(implicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(implicit)
+    assert(!std::get<Status>(repr_).is_ok() &&
+           "cannot construct Result<T> from an OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(repr_);
+  }
+  T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(repr_));
+  }
+  T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(repr_);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace marlin

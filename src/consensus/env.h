@@ -1,0 +1,50 @@
+// Boundary between a protocol state machine (Marlin / HotStuff) and the
+// world it runs in. The protocol is a pure, deterministic event handler:
+// messages and timeouts come in through method calls, and every externally
+// visible effect goes out through this interface. The simulation runtime
+// implements it over simnet (charging virtual CPU for the crypto the
+// protocol reports); unit tests implement it with plain vectors.
+#pragma once
+
+#include "common/ids.h"
+#include "types/messages.h"
+
+namespace marlin::consensus {
+
+class ProtocolEnv {
+ public:
+  virtual ~ProtocolEnv() = default;
+
+  /// Point-to-point send to another replica (authenticated channel).
+  virtual void send(ReplicaId to, const types::Envelope& env) = 0;
+  /// Send to every replica except self.
+  virtual void broadcast(const types::Envelope& env) = 0;
+
+  /// A block is committed. Called in chain order, exactly once per block.
+  /// `executable` holds the block's operations that have NOT been executed
+  /// before (exactly-once SMR semantics: a request that slipped into two
+  /// blocks — e.g. re-proposed after a view change or a client retransmit —
+  /// executes only the first time). The runtime executes them, persists,
+  /// and replies to clients.
+  virtual void deliver(const types::Block& block,
+                       const std::vector<types::Operation>& executable) = 0;
+
+  /// The replica moved to view `v` (timeout, or view sync). The pacemaker
+  /// restarts its view timer.
+  virtual void entered_view(ViewNumber v) = 0;
+
+  /// Consensus progress was made in the current view (a block committed);
+  /// the pacemaker resets its timeout backoff.
+  virtual void progressed() = 0;
+
+  // -- cost accounting hooks (no-ops outside the simulation) --------------
+  virtual void charge_signs(std::uint32_t count) { (void)count; }
+  virtual void charge_verifies(std::uint32_t count) { (void)count; }
+  virtual void charge_hash_bytes(std::size_t bytes) { (void)bytes; }
+  // Threshold-signature instantiation costs (pairing-based schemes).
+  virtual void charge_pairings(std::uint32_t count) { (void)count; }
+  virtual void charge_threshold_signs(std::uint32_t count) { (void)count; }
+  virtual void charge_combine_shares(std::uint32_t count) { (void)count; }
+};
+
+}  // namespace marlin::consensus

@@ -1,0 +1,305 @@
+#include "consensus/replica_base.h"
+
+namespace marlin::consensus {
+
+std::optional<crypto::SigGroup> VoteCollector::add(
+    Phase phase, const Hash256& block, const crypto::PartialSig& sig) {
+  Slot& slot = slots_[Key{static_cast<std::uint8_t>(phase), block}];
+  if (slot.formed) return std::nullopt;
+  if (!slot.signers.insert(sig.signer).second) return std::nullopt;
+  slot.sigs.push_back(sig);
+  if (slot.sigs.size() < threshold_) return std::nullopt;
+  slot.formed = true;
+  return crypto::SigGroup::combine(slot.sigs, threshold_);
+}
+
+std::uint32_t VoteCollector::count(Phase phase, const Hash256& block) const {
+  auto it = slots_.find(Key{static_cast<std::uint8_t>(phase), block});
+  return it == slots_.end()
+             ? 0
+             : static_cast<std::uint32_t>(it->second.signers.size());
+}
+
+ReplicaBase::ReplicaBase(ReplicaConfig config,
+                         const crypto::SignatureSuite& suite,
+                         ProtocolEnv& env, std::string domain)
+    : config_(config),
+      env_(env),
+      domain_(std::move(domain)),
+      suite_(suite),
+      signer_(suite.signer(config.id)),
+      verifier_(suite.verifier()) {
+  committed_hash_ = store_.genesis_hash();
+}
+
+void ReplicaBase::start() {
+  cview_ = 1;
+  env_.entered_view(1);
+}
+
+void ReplicaBase::handle_message(ReplicaId from, const Envelope& envelope) {
+  switch (envelope.kind) {
+    case MsgKind::kClientRequest: {
+      auto msg = types::open_envelope<types::ClientRequestMsg>(envelope);
+      if (msg.is_ok()) {
+        for (types::Operation& op : msg.value().ops) pool_.add(std::move(op));
+        maybe_propose();
+      }
+      return;
+    }
+    case MsgKind::kProposal: {
+      auto msg = types::open_envelope<types::ProposalMsg>(envelope);
+      if (msg.is_ok()) on_proposal(from, std::move(msg).take());
+      return;
+    }
+    case MsgKind::kVote: {
+      auto msg = types::open_envelope<types::VoteMsg>(envelope);
+      if (msg.is_ok()) on_vote(from, std::move(msg).take());
+      return;
+    }
+    case MsgKind::kQcNotice: {
+      auto msg = types::open_envelope<types::QcNoticeMsg>(envelope);
+      if (msg.is_ok()) on_qc_notice(from, std::move(msg).take());
+      return;
+    }
+    case MsgKind::kViewChange: {
+      auto msg = types::open_envelope<types::ViewChangeMsg>(envelope);
+      if (msg.is_ok()) on_view_change(from, std::move(msg).take());
+      return;
+    }
+    case MsgKind::kFetchRequest: {
+      auto msg = types::open_envelope<types::FetchRequestMsg>(envelope);
+      if (msg.is_ok()) on_fetch_request(from, msg.value());
+      return;
+    }
+    case MsgKind::kFetchResponse: {
+      auto msg = types::open_envelope<types::FetchResponseMsg>(envelope);
+      if (msg.is_ok()) on_fetch_response(from, std::move(msg).take());
+      return;
+    }
+    case MsgKind::kClientReply:
+      return;  // replicas never receive replies
+  }
+}
+
+void ReplicaBase::submit(types::Operation op) {
+  pool_.add(std::move(op));
+  maybe_propose();
+}
+
+bool ReplicaBase::verify_qc(const QuorumCert& qc) {
+  if (qc.is_genesis()) {
+    // Valid by convention iff it names the actual genesis block.
+    return qc.block_hash == store_.genesis_hash() && qc.sigs.parts.empty() &&
+           !qc.is_threshold_form();
+  }
+  const Hash256 digest = qc.signed_digest(domain_);
+  if (verified_qc_digests_.count(digest) > 0) return true;
+  bool ok;
+  if (qc.is_threshold_form()) {
+    // BLS-class verification: two pairings, size-independent.
+    env_.charge_pairings(2);
+    ok = suite_.threshold_verify(digest.view(), qc.threshold_sig);
+  } else {
+    env_.charge_verifies(static_cast<std::uint32_t>(qc.sigs.parts.size()));
+    ok = qc.sigs.verify(verifier_, digest.view(), quorum());
+  }
+  if (!ok) {
+    MLOG_WARN("replica %u: invalid QC %s", config_.id, qc.to_string().c_str());
+    return false;
+  }
+  verified_qc_digests_.insert(digest);
+  return true;
+}
+
+void ReplicaBase::finalize_qc(QuorumCert& qc) {
+  const Hash256 digest = qc.signed_digest(domain_);
+  if (config_.use_threshold_sigs) {
+    std::vector<std::pair<ReplicaId, Bytes>> parts;
+    parts.reserve(qc.sigs.parts.size());
+    for (const auto& p : qc.sigs.parts) parts.emplace_back(p.signer, p.sig);
+    env_.charge_combine_shares(static_cast<std::uint32_t>(parts.size()));
+    auto combined = suite_.threshold_combine(digest.view(), parts, quorum());
+    if (combined) {
+      qc.threshold_sig = std::move(*combined);
+      qc.sigs = crypto::SigGroup{};
+    }
+  }
+  // A locally formed certificate is valid by construction.
+  verified_qc_digests_.insert(digest);
+}
+
+crypto::PartialSig ReplicaBase::sign_digest(const Hash256& digest) {
+  if (config_.use_threshold_sigs) {
+    env_.charge_threshold_signs(1);
+  } else {
+    env_.charge_signs(1);
+  }
+  return crypto::PartialSig{config_.id, signer_->sign(digest.view())};
+}
+
+bool ReplicaBase::verify_partial(const crypto::PartialSig& sig,
+                                 const Hash256& digest) {
+  if (config_.use_threshold_sigs) {
+    env_.charge_pairings(2);  // BLS-class share verification
+  } else {
+    env_.charge_verifies(1);
+  }
+  return verifier_.verify(sig.signer, digest.view(), sig.sig);
+}
+
+std::vector<types::Operation> ReplicaBase::make_batch(bool force) {
+  auto batch = pool_.next_batch(config_.max_batch_ops);
+  if (batch.empty() && !force && !config_.allow_empty_blocks) return {};
+  return batch;
+}
+
+void ReplicaBase::commit_to(const Hash256& target, ReplicaId provider) {
+  if (target == committed_hash_) return;
+  const Block* tip = store_.get(target);
+  if (tip && tip->height <= committed_height_) {
+    // Already committed (an old DECIDE re-delivered) — or a conflicting
+    // chain, which the chain() walk below would catch; cheap check first.
+    if (!store_.extends(committed_hash_, target)) {
+      safety_violated_ = true;
+      MLOG_ERROR("replica %u: SAFETY VIOLATION: commit target %s conflicts",
+                 config_.id, target.short_hex().c_str());
+    }
+    return;
+  }
+
+  std::vector<Hash256> path = store_.chain(target, committed_hash_);
+  if (path.empty()) {
+    // Bodies on the path are missing. Sanity-check for an actual conflict
+    // (walked to the root without meeting the committed head), then issue
+    // a batched catch-up fetch for the whole range.
+    Hash256 cursor = target;
+    while (true) {
+      const Block* b = store_.get(cursor);
+      if (!b) break;
+      if (b->is_genesis()) {
+        safety_violated_ = true;
+        MLOG_ERROR("replica %u: SAFETY VIOLATION at %s", config_.id,
+                   target.short_hex().c_str());
+        return;
+      }
+      const Hash256 parent = store_.parent_of(cursor);
+      if (parent.is_zero() || parent == committed_hash_) break;
+      cursor = parent;
+    }
+    pending_commit_ = PendingCommit{target, provider};
+
+    // Pick what to request next so successive batches converge: walk down
+    // from the target — or, when the target's own body is still missing,
+    // from the oldest block the previous batch delivered — to the deepest
+    // known block, and request its (missing) parent's range. When the
+    // bottom of the gap is already closed, the remainder is at the top:
+    // request the target itself.
+    Hash256 walk_start = target;
+    if (!store_.get(target) && !last_fetched_.is_zero() &&
+        store_.get(last_fetched_)) {
+      walk_start = last_fetched_;
+    }
+    Hash256 request_hash = target;
+    if (store_.get(walk_start)) {
+      Hash256 down = walk_start;
+      while (const Block* b = store_.get(down)) {
+        if (b->is_genesis()) break;
+        const Hash256 parent = store_.parent_of(down);
+        if (parent.is_zero() || parent == committed_hash_) break;
+        down = parent;
+      }
+      const Hash256 parent = store_.parent_of(down);
+      if (!parent.is_zero() && parent != committed_hash_ &&
+          !store_.get(parent)) {
+        request_hash = parent;
+      }
+    }
+
+    if (in_fetch_retry_) return;           // a batch is still streaming in
+    if (fetch_inflight_ && ++fetch_stall_ < 8) return;  // one at a time
+    fetch_inflight_ = true;
+    fetch_stall_ = 0;
+    send_to(provider,
+            types::make_envelope(
+                MsgKind::kFetchRequest,
+                types::FetchRequestMsg{request_hash, committed_height_}));
+    return;
+  }
+  fetch_inflight_ = false;  // progress: the next gap issues a fresh fetch
+  fetch_stall_ = 0;
+  last_fetched_ = Hash256{};
+
+  for (const Hash256& h : path) {
+    const Block* b = store_.get(h);
+    std::vector<types::Operation> executable;
+    executable.reserve(b->ops.size());
+    for (const types::Operation& op : b->ops) {
+      if (pool_.executed(op.client, op.request)) continue;  // duplicate
+      pool_.mark_committed(op);
+      executable.push_back(op);
+    }
+    env_.deliver(*b, executable);
+    committed_hash_ = h;
+    committed_height_ = b->height;
+    ++committed_blocks_;
+    // Release executed payloads once the retained-bytes budget is
+    // exceeded (a released body must never be served again — its content
+    // no longer matches its hash — so keep a generous catch-up window).
+    const std::size_t body_bytes = types::ops_wire_size(b->ops);
+    recent_committed_.emplace_back(h, body_bytes);
+    retained_bytes_ += body_bytes;
+    while (recent_committed_.size() > kRetainMinBlocks &&
+           retained_bytes_ > kRetainBudgetBytes) {
+      store_.release_ops(recent_committed_.front().first);
+      retained_bytes_ -= recent_committed_.front().second;
+      recent_committed_.pop_front();
+    }
+  }
+  env_.progressed();
+  maybe_propose();
+}
+
+void ReplicaBase::on_fetch_request(ReplicaId from,
+                                   const types::FetchRequestMsg& msg) {
+  // Serve the chain from the requested block down to `since`, newest
+  // first, capped per request. Stop at any released body (its content no
+  // longer matches its hash) — the requester can re-request as it closes
+  // the gap from the other side.
+  Hash256 cursor = msg.block_hash;
+  std::uint32_t sent = 0;
+  while (sent < types::FetchRequestMsg::kFetchBatchLimit) {
+    const Block* b = store_.get(cursor);
+    if (!b || store_.ops_released(cursor)) break;
+    if (b->height <= msg.since || b->is_genesis()) break;
+    send_to(from, types::make_envelope(MsgKind::kFetchResponse,
+                                       types::FetchResponseMsg{*b}));
+    ++sent;
+    cursor = store_.parent_of(cursor);
+    if (cursor.is_zero()) break;
+  }
+}
+
+void ReplicaBase::on_fetch_response(ReplicaId from,
+                                    types::FetchResponseMsg msg) {
+  (void)from;
+  env_.charge_hash_bytes(types::ops_wire_size(msg.block.ops) + 128);
+  last_fetched_ = msg.block.hash();
+  store_.insert(std::move(msg.block));
+  // Retry after each body, but suppress new fetch requests while the rest
+  // of the batch is still streaming in (in_fetch_retry_); the last body of
+  // the batch either completes the commit (clearing the inflight flag) or
+  // the next DECIDE re-arms the fetch via the stall counter.
+  in_fetch_retry_ = true;
+  retry_pending_commit();
+  in_fetch_retry_ = false;
+}
+
+void ReplicaBase::retry_pending_commit() {
+  if (!pending_commit_) return;
+  const PendingCommit pc = *pending_commit_;
+  pending_commit_.reset();
+  commit_to(pc.target, pc.provider);
+}
+
+}  // namespace marlin::consensus

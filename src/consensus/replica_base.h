@@ -1,0 +1,213 @@
+// Infrastructure shared by the Marlin and HotStuff replicas: envelope
+// dispatch, vote collection, QC verification (with caching and cost
+// accounting), block fetching, chain commit, and view bookkeeping.
+//
+// Threading/timing model: a replica is a deterministic event handler. The
+// environment calls handle_message / submit / on_view_timeout; the replica
+// never blocks and reports all effects through ProtocolEnv.
+//
+// Broadcast semantics: ProtocolEnv::broadcast delivers to ALL n replicas
+// including the sender (loopback), so a leader's own proposal flows through
+// the same code path as everyone else's.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "consensus/env.h"
+#include "consensus/txpool.h"
+#include "crypto/signer.h"
+#include "types/block_store.h"
+#include "types/messages.h"
+
+namespace marlin::consensus {
+
+using types::Block;
+using types::BlockRef;
+using types::Envelope;
+using types::Hash256;
+using types::Justify;
+using types::MsgKind;
+using types::Phase;
+using types::QcType;
+using types::QuorumCert;
+
+struct ReplicaConfig {
+  ReplicaId id = 0;
+  QuorumParams quorum = QuorumParams::for_f(1);
+  /// Max client operations per proposed block.
+  std::size_t max_batch_ops = 4000;
+  /// Pipelined (chained) mode: the leader proposes the next block as soon
+  /// as the previous block's prepareQC forms, instead of after commit.
+  bool pipelined = true;
+  /// Propose empty blocks when the pool is dry (usually off; view-change
+  /// re-proposals may always be empty).
+  bool allow_empty_blocks = false;
+  /// Marlin only: skip the happy-path view change even when eligible
+  /// (benchmarks force the unhappy path with this).
+  bool disable_happy_path = false;
+  /// Quorum-certificate instantiation: false = signature group (the
+  /// paper's "most efficient implementation"; default), true = combined
+  /// threshold signature (constant-size QCs, pairing-class CPU costs).
+  bool use_threshold_sigs = false;
+};
+
+/// Collects votes per (phase, block); emits an aggregate exactly once when
+/// the threshold is first reached.
+class VoteCollector {
+ public:
+  explicit VoteCollector(std::uint32_t threshold) : threshold_(threshold) {}
+
+  /// Returns the combined signature group when this vote completes the
+  /// quorum (first time only); nullopt otherwise. Duplicate signers ignored.
+  std::optional<crypto::SigGroup> add(Phase phase, const Hash256& block,
+                                      const crypto::PartialSig& sig);
+
+  std::uint32_t count(Phase phase, const Hash256& block) const;
+  void clear() { slots_.clear(); }
+
+ private:
+  struct Key {
+    std::uint8_t phase;
+    Hash256 block;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Slot {
+    std::vector<crypto::PartialSig> sigs;
+    std::set<ReplicaId> signers;
+    bool formed = false;
+  };
+
+  std::uint32_t threshold_;
+  std::map<Key, Slot> slots_;
+};
+
+class ReplicaBase {
+ public:
+  ReplicaBase(ReplicaConfig config, const crypto::SignatureSuite& suite,
+              ProtocolEnv& env, std::string domain);
+  virtual ~ReplicaBase() = default;
+
+  /// Enters view 1 and, if leader, becomes ready to propose.
+  virtual void start();
+
+  /// Entry point for every network payload addressed to this replica.
+  void handle_message(ReplicaId from, const Envelope& envelope);
+
+  /// A client operation arrived (runtime decodes ClientRequest envelopes
+  /// too, but tests may inject directly).
+  void submit(types::Operation op);
+
+  /// The pacemaker's view timer fired.
+  virtual void on_view_timeout() = 0;
+
+  // -- introspection -------------------------------------------------------
+  ReplicaId id() const { return config_.id; }
+  ViewNumber current_view() const { return cview_; }
+  Height committed_height() const { return committed_height_; }
+  const Hash256& committed_hash() const { return committed_hash_; }
+  std::uint64_t committed_blocks() const { return committed_blocks_; }
+  /// Set iff a commit ever contradicted the local committed chain — the
+  /// safety tripwire property tests assert on.
+  bool safety_violated() const { return safety_violated_; }
+  const types::BlockStore& store() const { return store_; }
+  TxPool& pool() { return pool_; }
+
+ protected:
+  // -- protocol-specific handlers ------------------------------------------
+  virtual void on_proposal(ReplicaId from, types::ProposalMsg msg) = 0;
+  virtual void on_vote(ReplicaId from, types::VoteMsg msg) = 0;
+  virtual void on_qc_notice(ReplicaId from, types::QcNoticeMsg msg) = 0;
+  virtual void on_view_change(ReplicaId from, types::ViewChangeMsg msg) = 0;
+  /// Called when new ops arrive or the pipeline frees up; the leader
+  /// decides whether to propose.
+  virtual void maybe_propose() = 0;
+
+  // -- helpers --------------------------------------------------------------
+  ReplicaId leader_of(ViewNumber v) const {
+    return static_cast<ReplicaId>(v % config_.quorum.n);
+  }
+  bool is_leader() const { return leader_of(cview_) == config_.id; }
+  std::uint32_t quorum() const { return config_.quorum.quorum(); }
+
+  /// Verifies a QC's aggregate signature over its signed digest (genesis
+  /// QCs are valid by convention). Successful digests are cached so
+  /// re-presentations are free — mirroring real implementations — and the
+  /// env is charged for the work actually performed (signature checks, or
+  /// pairings in threshold form).
+  bool verify_qc(const QuorumCert& qc);
+
+  /// Converts a freshly formed QC to the configured instantiation: in
+  /// threshold mode, combines the collected partials into one constant-
+  /// size signature (charging combine costs) and drops the group.
+  void finalize_qc(QuorumCert& qc);
+
+  /// Signs a vote digest (charges one sign / threshold share).
+  crypto::PartialSig sign_digest(const Hash256& digest);
+
+  /// Verifies one partial signature over a digest (charges one verify).
+  bool verify_partial(const crypto::PartialSig& sig, const Hash256& digest);
+
+  /// Commits everything from the committed head up to `target` (must
+  /// extend it), delivering blocks in order. If a body on the path is
+  /// missing, fetches it from `provider` and retries on arrival.
+  void commit_to(const Hash256& target, ReplicaId provider);
+
+  /// Builds a batch for a new proposal; empty when the pool is dry and
+  /// `force` is false and empty blocks are disallowed.
+  std::vector<types::Operation> make_batch(bool force);
+
+  /// Sends an envelope to one replica / all replicas (including self).
+  void send_to(ReplicaId to, const Envelope& env) { env_.send(to, env); }
+  void broadcast(const Envelope& env) { env_.broadcast(env); }
+
+  ReplicaConfig config_;
+  ProtocolEnv& env_;
+  std::string domain_;
+  const crypto::SignatureSuite& suite_;
+  std::unique_ptr<crypto::Signer> signer_;
+  const crypto::Verifier& verifier_;
+
+  types::BlockStore store_;
+  TxPool pool_;
+
+  ViewNumber cview_ = 0;  // 0 until start(); views begin at 1
+  Hash256 committed_hash_;
+  Height committed_height_ = 0;
+  std::uint64_t committed_blocks_ = 0;
+  bool safety_violated_ = false;
+
+ private:
+  void on_fetch_request(ReplicaId from, const types::FetchRequestMsg& msg);
+  void on_fetch_response(ReplicaId from, types::FetchResponseMsg msg);
+  void retry_pending_commit();
+
+  std::set<Hash256> verified_qc_digests_;
+  struct PendingCommit {
+    Hash256 target;
+    ReplicaId provider;
+  };
+  std::optional<PendingCommit> pending_commit_;
+  /// Catch-up fetches are batched (FetchRequestMsg carries a height
+  /// range): at most one request outstanding; `fetch_stall_` counts
+  /// retries since it was issued so a dead provider doesn't wedge us.
+  bool fetch_inflight_ = false;
+  bool in_fetch_retry_ = false;
+  std::uint32_t fetch_stall_ = 0;
+  /// Oldest body delivered by the in-flight batch (batches stream newest
+  /// first) — the resume point for the next request.
+  Hash256 last_fetched_;
+  /// Committed bodies stay fetchable until this many payload bytes are
+  /// retained (plus a minimum block count); then the oldest are released.
+  static constexpr std::size_t kRetainBudgetBytes = 64u << 20;
+  static constexpr std::size_t kRetainMinBlocks = 16;
+  std::deque<std::pair<Hash256, std::size_t>> recent_committed_;
+  std::size_t retained_bytes_ = 0;
+};
+
+}  // namespace marlin::consensus

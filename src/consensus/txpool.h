@@ -1,0 +1,88 @@
+// Per-replica mempool. Clients broadcast requests to every replica; the
+// current leader drains batches from here, and commits prune entries on
+// all replicas. Deduplication is by (client, request id); a per-client
+// executed watermark drops stale re-submissions.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "types/block.h"
+
+namespace marlin::consensus {
+
+class TxPool {
+ public:
+  /// Adds an operation; ignored when already pooled or already executed.
+  void add(types::Operation op) {
+    const std::uint64_t key = op_key(op);
+    if (pooled_.count(key) > 0) return;
+    auto it = executed_.find(op.client);
+    if (it != executed_.end() && op.request <= it->second) return;
+    pooled_.insert(key);
+    queue_.push_back(std::move(op));
+  }
+
+  /// Pops up to `max_ops` operations for a new proposal, skipping any that
+  /// committed since they were pooled.
+  std::vector<types::Operation> next_batch(std::size_t max_ops) {
+    std::vector<types::Operation> batch;
+    batch.reserve(std::min(max_ops, queue_.size()));
+    while (batch.size() < max_ops && !queue_.empty()) {
+      types::Operation op = std::move(queue_.front());
+      queue_.pop_front();
+      pooled_.erase(op_key(op));
+      auto it = executed_.find(op.client);
+      if (it != executed_.end() && op.request <= it->second) continue;
+      batch.push_back(std::move(op));
+    }
+    return batch;
+  }
+
+  /// Marks a committed operation: advances the executed watermark and
+  /// drops the pooled copy lazily (skipped at pop time).
+  void mark_committed(const types::Operation& op) {
+    auto [it, inserted] = executed_.try_emplace(op.client, op.request);
+    if (!inserted && op.request > it->second) it->second = op.request;
+  }
+
+  bool executed(ClientId client, RequestId request) const {
+    auto it = executed_.find(client);
+    return it != executed_.end() && request <= it->second;
+  }
+
+  /// Pending (not-yet-committed) work. Commits arrive roughly in pool
+  /// order, so purging stale entries from the front keeps these accurate
+  /// at O(1) amortized.
+  std::size_t pending() {
+    purge_front();
+    return queue_.size();
+  }
+  bool empty() {
+    purge_front();
+    return queue_.empty();
+  }
+
+ private:
+  void purge_front() {
+    while (!queue_.empty()) {
+      const types::Operation& op = queue_.front();
+      if (!executed(op.client, op.request)) break;
+      pooled_.erase(op_key(op));
+      queue_.pop_front();
+    }
+  }
+
+  static std::uint64_t op_key(const types::Operation& op) {
+    // Clients issue sequential ids; (client, request) packs into 64 bits
+    // for the life of any experiment.
+    return static_cast<std::uint64_t>(op.client) << 40 | op.request;
+  }
+
+  std::deque<types::Operation> queue_;
+  std::unordered_set<std::uint64_t> pooled_;
+  std::unordered_map<ClientId, RequestId> executed_;
+};
+
+}  // namespace marlin::consensus

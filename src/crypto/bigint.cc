@@ -1,0 +1,205 @@
+#include "crypto/bigint.h"
+
+#include <cassert>
+
+namespace marlin::crypto {
+
+using u128 = unsigned __int128;
+
+U256 U256::from_u64(std::uint64_t v) {
+  U256 out;
+  out.limb[0] = v;
+  return out;
+}
+
+U256 U256::from_be_bytes(BytesView b) {
+  assert(b.size() == 32);
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t limb = 0;
+    for (int j = 0; j < 8; ++j) {
+      limb = limb << 8 | b[static_cast<std::size_t>(8 * (3 - i) + j)];
+    }
+    out.limb[i] = limb;
+  }
+  return out;
+}
+
+U256 U256::from_hex(std::string_view hex) {
+  assert(hex.size() <= 64);
+  std::string padded(64 - hex.size(), '0');
+  padded += hex;
+  auto bytes = ::marlin::from_hex(padded);
+  assert(bytes.has_value());
+  return from_be_bytes(*bytes);
+}
+
+Bytes U256::to_be_bytes() const {
+  Bytes out(32);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[static_cast<std::size_t>(8 * (3 - i) + j)] =
+          static_cast<std::uint8_t>(limb[i] >> (56 - 8 * j));
+    }
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  return ::marlin::to_hex(to_be_bytes());
+}
+
+bool U256::is_zero() const {
+  return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+}
+
+bool U256::bit(int i) const {
+  assert(i >= 0 && i < 256);
+  return (limb[i / 64] >> (i % 64)) & 1;
+}
+
+int U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[i] != 0) return 64 * i + 64 - __builtin_clzll(limb[i]);
+  }
+  return 0;
+}
+
+bool U512::high_is_zero() const {
+  return (limb[4] | limb[5] | limb[6] | limb[7]) == 0;
+}
+
+U256 U512::low() const {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limb[i] = limb[i];
+  return out;
+}
+
+U256 U512::high() const {
+  U256 out;
+  for (int i = 0; i < 4; ++i) out.limb[i] = limb[i + 4];
+  return out;
+}
+
+std::uint64_t add_with_carry(const U256& a, const U256& b, U256& out) {
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 sum = static_cast<u128>(a.limb[i]) + b.limb[i] + carry;
+    out.limb[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  return carry;
+}
+
+std::uint64_t sub_with_borrow(const U256& a, const U256& b, U256& out) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 diff =
+        static_cast<u128>(a.limb[i]) - b.limb[i] - borrow;
+    out.limb[i] = static_cast<std::uint64_t>(diff);
+    borrow = (diff >> 64) ? 1 : 0;
+  }
+  return borrow;
+}
+
+U512 mul_full(const U256& a, const U256& b) {
+  U512 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 t = static_cast<u128>(a.limb[i]) * b.limb[j] +
+                     out.limb[i + j] + carry;
+      out.limb[i + j] = static_cast<std::uint64_t>(t);
+      carry = static_cast<std::uint64_t>(t >> 64);
+    }
+    out.limb[i + 4] = carry;
+  }
+  return out;
+}
+
+U512 add512(const U512& a, const U512& b) {
+  U512 out;
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    const u128 sum = static_cast<u128>(a.limb[i]) + b.limb[i] + carry;
+    out.limb[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  return out;
+}
+
+ModArith::ModArith(const U256& modulus) : m_(modulus) {
+  // d = 2^256 - m, computed as 0 - m with wraparound.
+  sub_with_borrow(U256::zero(), m_, d_);
+  assert(!m_.is_zero());
+  // The fast reduction path requires d to be "small" relative to 2^256 so
+  // the hi*d + lo loop converges; both secp256k1 moduli satisfy d < 2^129.
+  assert(d_.bit_length() <= 136);
+}
+
+U256 ModArith::reduce(const U256& x) const {
+  U256 out = x;
+  while (out >= m_) {
+    sub_with_borrow(out, m_, out);
+  }
+  return out;
+}
+
+U256 ModArith::reduce(const U512& x) const {
+  // x = hi * 2^256 + lo ≡ hi * d + lo  (mod m), iterated until hi == 0.
+  U512 acc = x;
+  while (!acc.high_is_zero()) {
+    const U512 folded = mul_full(acc.high(), d_);
+    U512 lo_only{};
+    for (int i = 0; i < 4; ++i) lo_only.limb[i] = acc.limb[i];
+    acc = add512(folded, lo_only);
+  }
+  return reduce(acc.low());
+}
+
+U256 ModArith::add(const U256& a, const U256& b) const {
+  U256 sum;
+  const std::uint64_t carry = add_with_carry(a, b, sum);
+  if (carry) {
+    // sum + 2^256 ≡ sum + d (mod m); d + sum cannot carry again because
+    // a, b < m ≤ 2^256 - d.
+    U256 adjusted;
+    add_with_carry(sum, d_, adjusted);
+    return reduce(adjusted);
+  }
+  return reduce(sum);
+}
+
+U256 ModArith::sub(const U256& a, const U256& b) const {
+  U256 diff;
+  if (sub_with_borrow(a, b, diff)) {
+    U256 out;
+    add_with_carry(diff, m_, out);
+    return out;
+  }
+  return diff;
+}
+
+U256 ModArith::mul(const U256& a, const U256& b) const {
+  return reduce(mul_full(a, b));
+}
+
+U256 ModArith::pow(const U256& base, const U256& exp) const {
+  U256 result = U256::one();
+  U256 acc = reduce(base);
+  const int bits = exp.bit_length();
+  for (int i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mul(result, acc);
+    acc = sqr(acc);
+  }
+  return result;
+}
+
+U256 ModArith::inv(const U256& a) const {
+  // a^(m-2) mod m, valid for prime m.
+  U256 exp;
+  sub_with_borrow(m_, U256::from_u64(2), exp);
+  return pow(a, exp);
+}
+
+}  // namespace marlin::crypto

@@ -1,0 +1,87 @@
+// Fixed-width 256-bit unsigned arithmetic plus modular arithmetic for
+// moduli of the form 2^256 - d (both the secp256k1 field prime and group
+// order have this shape). This is the arithmetic core under the ECDSA
+// implementation; it is correctness-oriented, not constant-time — see
+// crypto/README note in DESIGN.md (simulated network, not a production HSM).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace marlin::crypto {
+
+/// 256-bit unsigned integer, little-endian limb order.
+struct U256 {
+  std::array<std::uint64_t, 4> limb{};
+
+  static U256 zero() { return U256{}; }
+  static U256 one() { return from_u64(1); }
+  static U256 from_u64(std::uint64_t v);
+  /// Parses exactly 32 big-endian bytes.
+  static U256 from_be_bytes(BytesView b);
+  /// Parses a (≤64 char) hex string, big-endian. Asserts on bad input.
+  static U256 from_hex(std::string_view hex);
+
+  Bytes to_be_bytes() const;
+  std::string to_hex() const;
+
+  bool is_zero() const;
+  bool is_odd() const { return limb[0] & 1; }
+  bool bit(int i) const;   // i in [0, 256)
+  int bit_length() const;  // index of highest set bit + 1; 0 for zero
+
+  auto operator<=>(const U256& o) const {
+    for (int i = 3; i >= 0; --i) {
+      if (limb[i] != o.limb[i]) return limb[i] <=> o.limb[i];
+    }
+    return std::strong_ordering::equal;
+  }
+  bool operator==(const U256&) const = default;
+};
+
+/// 512-bit intermediate for full products.
+struct U512 {
+  std::array<std::uint64_t, 8> limb{};
+
+  bool high_is_zero() const;  // limbs [4..8) all zero
+  U256 low() const;
+  U256 high() const;
+};
+
+/// out = a + b, returns the carry bit.
+std::uint64_t add_with_carry(const U256& a, const U256& b, U256& out);
+/// out = a - b, returns the borrow bit.
+std::uint64_t sub_with_borrow(const U256& a, const U256& b, U256& out);
+/// Full 256x256 -> 512-bit product.
+U512 mul_full(const U256& a, const U256& b);
+/// 512 + 512 with wrap (carry discarded; callers guarantee no overflow).
+U512 add512(const U512& a, const U512& b);
+
+/// Modular arithmetic for m = 2^256 - d. Precomputes d once.
+class ModArith {
+ public:
+  explicit ModArith(const U256& modulus);
+
+  const U256& modulus() const { return m_; }
+
+  U256 add(const U256& a, const U256& b) const;
+  U256 sub(const U256& a, const U256& b) const;
+  U256 mul(const U256& a, const U256& b) const;
+  U256 sqr(const U256& a) const { return mul(a, a); }
+  U256 pow(const U256& base, const U256& exp) const;
+  /// Multiplicative inverse via Fermat's little theorem (m must be prime).
+  U256 inv(const U256& a) const;
+  /// Reduces an arbitrary 512-bit value mod m.
+  U256 reduce(const U512& x) const;
+  /// Reduces a 256-bit value mod m (single conditional subtraction domain).
+  U256 reduce(const U256& x) const;
+
+ private:
+  U256 m_;
+  U256 d_;  // 2^256 - m
+};
+
+}  // namespace marlin::crypto

@@ -1,0 +1,122 @@
+#include "crypto/ecdsa.h"
+
+#include <cassert>
+
+namespace marlin::crypto {
+
+namespace {
+
+const Secp256k1& curve() { return Secp256k1::instance(); }
+
+/// Hash-to-scalar: interpret a digest as a big-endian integer mod n,
+/// mapping zero to one so results are always valid scalars.
+U256 digest_to_scalar(const Hash256& digest) {
+  const U256 z = U256::from_be_bytes(digest.view());
+  U256 reduced = curve().scalar().reduce(z);
+  if (reduced.is_zero()) reduced = U256::one();
+  return reduced;
+}
+
+/// Deterministic nonce derivation in the spirit of RFC 6979: iterate
+/// HMAC(d || digest || counter) until the candidate lands in [1, n-1].
+U256 derive_nonce(const U256& d, const Hash256& digest) {
+  Bytes key = d.to_be_bytes();
+  for (std::uint32_t counter = 0;; ++counter) {
+    Bytes msg = digest.to_bytes();
+    msg.push_back(static_cast<std::uint8_t>(counter));
+    msg.push_back(static_cast<std::uint8_t>(counter >> 8));
+    msg.push_back(static_cast<std::uint8_t>(counter >> 16));
+    msg.push_back(static_cast<std::uint8_t>(counter >> 24));
+    const Hash256 h = hmac_sha256(key, msg);
+    const U256 k = U256::from_be_bytes(h.view());
+    if (!k.is_zero() && k < curve().n()) return k;
+  }
+}
+
+}  // namespace
+
+Bytes EcdsaSignature::encode() const {
+  Bytes out = r.to_be_bytes();
+  append(out, s.to_be_bytes());
+  return out;
+}
+
+std::optional<EcdsaSignature> EcdsaSignature::decode(BytesView b) {
+  if (b.size() != 64) return std::nullopt;
+  EcdsaSignature sig;
+  sig.r = U256::from_be_bytes(b.subspan(0, 32));
+  sig.s = U256::from_be_bytes(b.subspan(32, 32));
+  return sig;
+}
+
+std::optional<EcdsaPublicKey> EcdsaPublicKey::decode(BytesView b) {
+  auto point = AffinePoint::decode(b);
+  if (!point || point->infinity) return std::nullopt;
+  return EcdsaPublicKey(*point);
+}
+
+bool EcdsaPublicKey::verify(BytesView message, const EcdsaSignature& sig) const {
+  return verify_digest(Sha256::digest(message), sig);
+}
+
+bool EcdsaPublicKey::verify_digest(const Hash256& digest,
+                                   const EcdsaSignature& sig) const {
+  const ModArith& fn = curve().scalar();
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (sig.r >= curve().n() || sig.s >= curve().n()) return false;
+
+  const U256 z = digest_to_scalar(digest);
+  const U256 w = fn.inv(sig.s);
+  const U256 u1 = fn.mul(z, w);
+  const U256 u2 = fn.mul(sig.r, w);
+
+  const JacobianPoint rp = double_scalar_mult(u1, u2, q_);
+  if (rp.is_infinity()) return false;
+  const AffinePoint r_affine = rp.to_affine();
+  return fn.reduce(r_affine.x) == sig.r;
+}
+
+EcdsaPrivateKey EcdsaPrivateKey::from_seed(BytesView seed) {
+  // Expand the seed until the candidate scalar is in [1, n-1]; the first
+  // hash nearly always suffices.
+  Bytes material(seed.begin(), seed.end());
+  for (;;) {
+    const Hash256 h = Sha256::digest(material);
+    const U256 d = U256::from_be_bytes(h.view());
+    if (!d.is_zero() && d < curve().n()) return EcdsaPrivateKey(d);
+    material = h.to_bytes();
+  }
+}
+
+EcdsaSignature EcdsaPrivateKey::sign(BytesView message) const {
+  return sign_digest(Sha256::digest(message));
+}
+
+EcdsaSignature EcdsaPrivateKey::sign_digest(const Hash256& digest) const {
+  const ModArith& fn = curve().scalar();
+  const U256 z = digest_to_scalar(digest);
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    // Fold the attempt counter into the digest if a retry is ever needed
+    // (r == 0 or s == 0 — astronomically unlikely but handled).
+    Hash256 d = digest;
+    d.data[0] ^= static_cast<std::uint8_t>(attempt);
+    const U256 k = derive_nonce(d_, d);
+
+    const AffinePoint rp = scalar_mult_base(k).to_affine();
+    const U256 r = fn.reduce(rp.x);
+    if (r.is_zero()) continue;
+
+    const U256 k_inv = fn.inv(k);
+    const U256 s = fn.mul(k_inv, fn.add(z, fn.mul(r, d_)));
+    if (s.is_zero()) continue;
+
+    return EcdsaSignature{r, s};
+  }
+}
+
+EcdsaPublicKey EcdsaPrivateKey::public_key() const {
+  return EcdsaPublicKey(scalar_mult_base(d_).to_affine());
+}
+
+}  // namespace marlin::crypto

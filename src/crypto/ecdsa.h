@@ -1,0 +1,58 @@
+// ECDSA over secp256k1 with deterministic nonces (RFC 6979 flavour, using
+// our HMAC-SHA256). This is the "real" signature scheme exercised by unit
+// tests and examples; the simulation testbed swaps in FastSigner with a
+// calibrated cost model (see crypto/signer.h and DESIGN.md §1).
+#pragma once
+
+#include <optional>
+
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+
+namespace marlin::crypto {
+
+struct EcdsaSignature {
+  U256 r;
+  U256 s;
+
+  /// 64-byte fixed encoding: r || s, big-endian.
+  Bytes encode() const;
+  static std::optional<EcdsaSignature> decode(BytesView b);
+  bool operator==(const EcdsaSignature&) const = default;
+};
+
+class EcdsaPublicKey {
+ public:
+  explicit EcdsaPublicKey(AffinePoint q) : q_(q) {}
+
+  /// Verifies a signature over the SHA-256 digest of `message`.
+  bool verify(BytesView message, const EcdsaSignature& sig) const;
+  bool verify_digest(const Hash256& digest, const EcdsaSignature& sig) const;
+
+  Bytes encode() const { return q_.encode(); }
+  static std::optional<EcdsaPublicKey> decode(BytesView b);
+  const AffinePoint& point() const { return q_; }
+
+ private:
+  AffinePoint q_;
+};
+
+class EcdsaPrivateKey {
+ public:
+  /// Derives a key pair deterministically from a seed (tests/simulation);
+  /// the seed is hashed and reduced into [1, n-1].
+  static EcdsaPrivateKey from_seed(BytesView seed);
+
+  EcdsaSignature sign(BytesView message) const;
+  EcdsaSignature sign_digest(const Hash256& digest) const;
+
+  EcdsaPublicKey public_key() const;
+  const U256& scalar() const { return d_; }
+
+ private:
+  explicit EcdsaPrivateKey(U256 d) : d_(d) {}
+
+  U256 d_;
+};
+
+}  // namespace marlin::crypto

@@ -1,0 +1,160 @@
+#include "crypto/secp256k1.h"
+
+#include <cassert>
+
+namespace marlin::crypto {
+
+const Secp256k1& Secp256k1::instance() {
+  static const Secp256k1 curve;
+  return curve;
+}
+
+Secp256k1::Secp256k1()
+    : p_(U256::from_hex(
+          "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")),
+      n_(U256::from_hex(
+          "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")),
+      gx_(U256::from_hex(
+          "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")),
+      gy_(U256::from_hex(
+          "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")),
+      fp_(p_),
+      fn_(n_) {}
+
+Bytes AffinePoint::encode() const {
+  if (infinity) return Bytes{0x00};
+  Bytes out;
+  out.reserve(65);
+  out.push_back(0x04);
+  append(out, x.to_be_bytes());
+  append(out, y.to_be_bytes());
+  return out;
+}
+
+std::optional<AffinePoint> AffinePoint::decode(BytesView b) {
+  if (b.size() == 1 && b[0] == 0x00) return at_infinity();
+  if (b.size() != 65 || b[0] != 0x04) return std::nullopt;
+  AffinePoint out;
+  out.x = U256::from_be_bytes(b.subspan(1, 32));
+  out.y = U256::from_be_bytes(b.subspan(33, 32));
+  if (!out.on_curve()) return std::nullopt;
+  return out;
+}
+
+bool AffinePoint::on_curve() const {
+  if (infinity) return true;
+  const ModArith& fp = Secp256k1::instance().field();
+  const U256 lhs = fp.sqr(y);
+  const U256 rhs = fp.add(fp.mul(fp.sqr(x), x), U256::from_u64(7));
+  return lhs == rhs;
+}
+
+JacobianPoint JacobianPoint::at_infinity() {
+  return JacobianPoint{U256::one(), U256::one(), U256::zero()};
+}
+
+JacobianPoint JacobianPoint::from_affine(const AffinePoint& a) {
+  if (a.infinity) return at_infinity();
+  return JacobianPoint{a.x, a.y, U256::one()};
+}
+
+AffinePoint JacobianPoint::to_affine() const {
+  if (is_infinity()) return AffinePoint::at_infinity();
+  const ModArith& fp = Secp256k1::instance().field();
+  const U256 z_inv = fp.inv(z);
+  const U256 z_inv2 = fp.sqr(z_inv);
+  const U256 z_inv3 = fp.mul(z_inv2, z_inv);
+  return AffinePoint{fp.mul(x, z_inv2), fp.mul(y, z_inv3), false};
+}
+
+JacobianPoint point_double(const JacobianPoint& a) {
+  if (a.is_infinity()) return a;
+  const ModArith& fp = Secp256k1::instance().field();
+  if (a.y.is_zero()) return JacobianPoint::at_infinity();
+
+  // Standard dbl-2007-bl-style formulas for curves with a = 0.
+  const U256 ysq = fp.sqr(a.y);
+  const U256 s = fp.mul(fp.mul(U256::from_u64(4), a.x), ysq);
+  const U256 m = fp.mul(U256::from_u64(3), fp.sqr(a.x));
+  const U256 x3 = fp.sub(fp.sqr(m), fp.mul(U256::from_u64(2), s));
+  const U256 y3 =
+      fp.sub(fp.mul(m, fp.sub(s, x3)), fp.mul(U256::from_u64(8), fp.sqr(ysq)));
+  const U256 z3 = fp.mul(fp.mul(U256::from_u64(2), a.y), a.z);
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint point_add(const JacobianPoint& a, const JacobianPoint& b) {
+  if (a.is_infinity()) return b;
+  if (b.is_infinity()) return a;
+  const ModArith& fp = Secp256k1::instance().field();
+
+  const U256 z1z1 = fp.sqr(a.z);
+  const U256 z2z2 = fp.sqr(b.z);
+  const U256 u1 = fp.mul(a.x, z2z2);
+  const U256 u2 = fp.mul(b.x, z1z1);
+  const U256 s1 = fp.mul(a.y, fp.mul(z2z2, b.z));
+  const U256 s2 = fp.mul(b.y, fp.mul(z1z1, a.z));
+
+  if (u1 == u2) {
+    if (s1 == s2) return point_double(a);
+    return JacobianPoint::at_infinity();
+  }
+
+  const U256 h = fp.sub(u2, u1);
+  const U256 hh = fp.sqr(h);
+  const U256 hhh = fp.mul(hh, h);
+  const U256 r = fp.sub(s2, s1);
+  const U256 v = fp.mul(u1, hh);
+
+  const U256 x3 = fp.sub(fp.sub(fp.sqr(r), hhh),
+                         fp.mul(U256::from_u64(2), v));
+  const U256 y3 = fp.sub(fp.mul(r, fp.sub(v, x3)), fp.mul(s1, hhh));
+  const U256 z3 = fp.mul(fp.mul(a.z, b.z), h);
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint point_add_affine(const JacobianPoint& a, const AffinePoint& b) {
+  return point_add(a, JacobianPoint::from_affine(b));
+}
+
+JacobianPoint scalar_mult(const U256& k, const AffinePoint& p) {
+  JacobianPoint acc = JacobianPoint::at_infinity();
+  const int bits = k.bit_length();
+  for (int i = bits - 1; i >= 0; --i) {
+    acc = point_double(acc);
+    if (k.bit(i)) acc = point_add_affine(acc, p);
+  }
+  return acc;
+}
+
+JacobianPoint scalar_mult_base(const U256& k) {
+  const Secp256k1& curve = Secp256k1::instance();
+  return scalar_mult(k, AffinePoint{curve.gx(), curve.gy(), false});
+}
+
+JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
+                                 const AffinePoint& q) {
+  const Secp256k1& curve = Secp256k1::instance();
+  const AffinePoint g{curve.gx(), curve.gy(), false};
+  // Precompute G + Q once; then one doubling per bit and at most one add.
+  const AffinePoint gq = point_add(JacobianPoint::from_affine(g),
+                                   JacobianPoint::from_affine(q))
+                             .to_affine();
+  JacobianPoint acc = JacobianPoint::at_infinity();
+  const int bits = std::max(u1.bit_length(), u2.bit_length());
+  for (int i = bits - 1; i >= 0; --i) {
+    acc = point_double(acc);
+    const bool b1 = u1.bit(i);
+    const bool b2 = u2.bit(i);
+    if (b1 && b2) {
+      acc = point_add_affine(acc, gq);
+    } else if (b1) {
+      acc = point_add_affine(acc, g);
+    } else if (b2) {
+      acc = point_add_affine(acc, q);
+    }
+  }
+  return acc;
+}
+
+}  // namespace marlin::crypto

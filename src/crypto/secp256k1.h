@@ -1,0 +1,76 @@
+// secp256k1 elliptic-curve group operations (y^2 = x^3 + 7 over F_p),
+// built on crypto/bigint. Points use Jacobian projective coordinates so the
+// scalar-multiplication hot loop needs no modular inversions.
+#pragma once
+
+#include <optional>
+
+#include "crypto/bigint.h"
+
+namespace marlin::crypto {
+
+/// Curve constants and arithmetic contexts (field mod p, scalars mod n).
+/// Access via Secp256k1::instance(); construction precomputes the contexts.
+class Secp256k1 {
+ public:
+  static const Secp256k1& instance();
+
+  const U256& p() const { return p_; }
+  const U256& n() const { return n_; }
+  const ModArith& field() const { return fp_; }
+  const ModArith& scalar() const { return fn_; }
+  const U256& gx() const { return gx_; }
+  const U256& gy() const { return gy_; }
+
+ private:
+  Secp256k1();
+
+  U256 p_, n_, gx_, gy_;
+  ModArith fp_;
+  ModArith fn_;
+};
+
+/// Affine point; infinity is represented by the flag.
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = false;
+
+  static AffinePoint at_infinity() { return AffinePoint{{}, {}, true}; }
+  bool operator==(const AffinePoint&) const = default;
+
+  /// 65-byte uncompressed SEC1 encoding (0x04 || X || Y); infinity is a
+  /// single 0x00 byte.
+  Bytes encode() const;
+  static std::optional<AffinePoint> decode(BytesView b);
+
+  /// Checks y^2 = x^3 + 7 (mod p).
+  bool on_curve() const;
+};
+
+/// Jacobian point (X, Y, Z) representing (X/Z^2, Y/Z^3).
+struct JacobianPoint {
+  U256 x, y, z;
+
+  static JacobianPoint at_infinity();
+  static JacobianPoint from_affine(const AffinePoint& a);
+  bool is_infinity() const { return z.is_zero(); }
+  AffinePoint to_affine() const;
+};
+
+JacobianPoint point_double(const JacobianPoint& a);
+JacobianPoint point_add(const JacobianPoint& a, const JacobianPoint& b);
+JacobianPoint point_add_affine(const JacobianPoint& a, const AffinePoint& b);
+
+/// k * P via left-to-right double-and-add. Not constant-time (documented
+/// trade-off; see DESIGN.md §1).
+JacobianPoint scalar_mult(const U256& k, const AffinePoint& p);
+
+/// k * G with the fixed base point.
+JacobianPoint scalar_mult_base(const U256& k);
+
+/// u1*G + u2*Q in one pass (Shamir's trick) — the ECDSA verify workhorse.
+JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
+                                 const AffinePoint& q);
+
+}  // namespace marlin::crypto

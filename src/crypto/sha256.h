@@ -1,0 +1,61 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used for block parent
+// links, message digests signed by ECDSA, and as the PRF core of HMAC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace marlin::crypto {
+
+inline constexpr std::size_t kHashSize = 32;
+
+/// A 32-byte digest with value semantics; ordered/hashable for map keys.
+struct Hash256 {
+  std::array<std::uint8_t, kHashSize> data{};
+
+  auto operator<=>(const Hash256&) const = default;
+
+  BytesView view() const { return BytesView(data.data(), data.size()); }
+  Bytes to_bytes() const { return Bytes(data.begin(), data.end()); }
+  std::string to_hex() const { return ::marlin::to_hex(view()); }
+  /// First 8 hex chars — for logs.
+  std::string short_hex() const { return to_hex().substr(0, 8); }
+
+  static Hash256 from_bytes(BytesView b);  // asserts b.size() == 32
+  bool is_zero() const;
+};
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+  void update(BytesView data);
+  Hash256 finish();  // may only be called once
+
+  static Hash256 digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104).
+Hash256 hmac_sha256(BytesView key, BytesView message);
+
+/// std::hash adapter so Hash256 keys work in unordered containers.
+struct Hash256Hasher {
+  std::size_t operator()(const Hash256& h) const {
+    std::size_t out;
+    static_assert(sizeof out <= kHashSize);
+    __builtin_memcpy(&out, h.data.data(), sizeof out);
+    return out;
+  }
+};
+
+}  // namespace marlin::crypto

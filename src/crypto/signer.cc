@@ -1,0 +1,244 @@
+#include "crypto/signer.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace marlin::crypto {
+
+namespace {
+
+// Shared implementation of the simulated threshold-signature combine /
+// verify (see SignatureSuite doc): the combined object is a 64-byte
+// suite-secret MAC over the message, derivable only after `threshold`
+// valid partials are presented.
+class ThresholdCore {
+ public:
+  ThresholdCore(BytesView seed, const Verifier& verifier)
+      : verifier_(verifier) {
+    Bytes material(seed.begin(), seed.end());
+    append(material, to_bytes("threshold-core"));
+    secret_ = Sha256::digest(material);
+  }
+
+  std::optional<Bytes> combine(
+      BytesView message, const std::vector<std::pair<ReplicaId, Bytes>>& parts,
+      std::uint32_t threshold) const {
+    std::uint32_t valid = 0;
+    std::vector<bool> seen(verifier_.n(), false);
+    for (const auto& [signer, sig] : parts) {
+      if (signer >= verifier_.n() || seen[signer]) continue;
+      if (!verifier_.verify(signer, message, sig)) continue;
+      seen[signer] = true;
+      ++valid;
+    }
+    if (valid < threshold) return std::nullopt;
+    return tag(message);
+  }
+
+  bool verify(BytesView message, BytesView combined) const {
+    return constant_time_equal(tag(message), combined);
+  }
+
+ private:
+  Bytes tag(BytesView message) const {
+    const Hash256 first = hmac_sha256(secret_.view(), message);
+    const Hash256 second = hmac_sha256(secret_.view(), first.view());
+    Bytes out = first.to_bytes();
+    append(out, second.view());
+    return out;
+  }
+
+  const Verifier& verifier_;
+  Hash256 secret_;
+};
+
+Bytes seed_for(BytesView seed, ReplicaId id, const char* domain) {
+  Bytes material(seed.begin(), seed.end());
+  append(material, to_bytes(domain));
+  material.push_back(static_cast<std::uint8_t>(id));
+  material.push_back(static_cast<std::uint8_t>(id >> 8));
+  material.push_back(static_cast<std::uint8_t>(id >> 16));
+  material.push_back(static_cast<std::uint8_t>(id >> 24));
+  return material;
+}
+
+// --------------------------------------------------------------------------
+// ECDSA suite
+// --------------------------------------------------------------------------
+
+class EcdsaSigner final : public Signer {
+ public:
+  EcdsaSigner(ReplicaId id, EcdsaPrivateKey key) : id_(id), key_(std::move(key)) {}
+
+  ReplicaId id() const override { return id_; }
+
+  Bytes sign(BytesView message) const override {
+    return key_.sign(message).encode();
+  }
+
+ private:
+  ReplicaId id_;
+  EcdsaPrivateKey key_;
+};
+
+class EcdsaVerifier final : public Verifier {
+ public:
+  explicit EcdsaVerifier(std::vector<EcdsaPublicKey> keys)
+      : keys_(std::move(keys)) {}
+
+  bool verify(ReplicaId signer, BytesView message,
+              BytesView signature) const override {
+    if (signer >= keys_.size()) return false;
+    const auto sig = EcdsaSignature::decode(signature);
+    if (!sig) return false;
+    return keys_[signer].verify(message, *sig);
+  }
+
+  std::uint32_t n() const override {
+    return static_cast<std::uint32_t>(keys_.size());
+  }
+
+ private:
+  std::vector<EcdsaPublicKey> keys_;
+};
+
+class EcdsaSuite final : public SignatureSuite {
+ public:
+  EcdsaSuite(std::uint32_t n, BytesView seed) {
+    std::vector<EcdsaPublicKey> pubs;
+    pubs.reserve(n);
+    keys_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      keys_.push_back(EcdsaPrivateKey::from_seed(seed_for(seed, i, "ecdsa")));
+      pubs.push_back(keys_.back().public_key());
+    }
+    verifier_ = std::make_unique<EcdsaVerifier>(std::move(pubs));
+    threshold_ = std::make_unique<ThresholdCore>(seed, *verifier_);
+  }
+
+  std::optional<Bytes> threshold_combine(
+      BytesView message, const std::vector<std::pair<ReplicaId, Bytes>>& parts,
+      std::uint32_t threshold) const override {
+    return threshold_->combine(message, parts, threshold);
+  }
+
+  bool threshold_verify(BytesView message, BytesView combined) const override {
+    return threshold_->verify(message, combined);
+  }
+
+  std::unique_ptr<Signer> signer(ReplicaId id) const override {
+    assert(id < keys_.size());
+    return std::make_unique<EcdsaSigner>(id, keys_[id]);
+  }
+
+  const Verifier& verifier() const override { return *verifier_; }
+  std::uint32_t n() const override {
+    return static_cast<std::uint32_t>(keys_.size());
+  }
+
+ private:
+  std::vector<EcdsaPrivateKey> keys_;
+  std::unique_ptr<EcdsaVerifier> verifier_;
+  std::unique_ptr<ThresholdCore> threshold_;
+};
+
+// --------------------------------------------------------------------------
+// Fast (HMAC) suite
+// --------------------------------------------------------------------------
+
+Bytes hmac_tag(const Hash256& secret, BytesView message) {
+  // 64-byte tag (two chained HMACs) so wire sizes match ECDSA exactly —
+  // the bandwidth model must see identical message lengths.
+  const Hash256 first = hmac_sha256(secret.view(), message);
+  const Hash256 second = hmac_sha256(secret.view(), first.view());
+  Bytes out = first.to_bytes();
+  append(out, second.view());
+  return out;
+}
+
+class FastSigner final : public Signer {
+ public:
+  FastSigner(ReplicaId id, Hash256 secret) : id_(id), secret_(secret) {}
+
+  ReplicaId id() const override { return id_; }
+
+  Bytes sign(BytesView message) const override {
+    return hmac_tag(secret_, message);
+  }
+
+ private:
+  ReplicaId id_;
+  Hash256 secret_;
+};
+
+class FastVerifier final : public Verifier {
+ public:
+  explicit FastVerifier(std::vector<Hash256> secrets)
+      : secrets_(std::move(secrets)) {}
+
+  bool verify(ReplicaId signer, BytesView message,
+              BytesView signature) const override {
+    if (signer >= secrets_.size()) return false;
+    if (signature.size() != kSignatureSize) return false;
+    const Bytes expected = hmac_tag(secrets_[signer], message);
+    return constant_time_equal(expected, signature);
+  }
+
+  std::uint32_t n() const override {
+    return static_cast<std::uint32_t>(secrets_.size());
+  }
+
+ private:
+  std::vector<Hash256> secrets_;
+};
+
+class FastSuite final : public SignatureSuite {
+ public:
+  FastSuite(std::uint32_t n, BytesView seed) {
+    secrets_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      secrets_.push_back(Sha256::digest(seed_for(seed, i, "fast")));
+    }
+    verifier_ = std::make_unique<FastVerifier>(secrets_);
+    threshold_ = std::make_unique<ThresholdCore>(seed, *verifier_);
+  }
+
+  std::optional<Bytes> threshold_combine(
+      BytesView message, const std::vector<std::pair<ReplicaId, Bytes>>& parts,
+      std::uint32_t threshold) const override {
+    return threshold_->combine(message, parts, threshold);
+  }
+
+  bool threshold_verify(BytesView message, BytesView combined) const override {
+    return threshold_->verify(message, combined);
+  }
+
+  std::unique_ptr<Signer> signer(ReplicaId id) const override {
+    assert(id < secrets_.size());
+    return std::make_unique<FastSigner>(id, secrets_[id]);
+  }
+
+  const Verifier& verifier() const override { return *verifier_; }
+  std::uint32_t n() const override {
+    return static_cast<std::uint32_t>(secrets_.size());
+  }
+
+ private:
+  std::vector<Hash256> secrets_;
+  std::unique_ptr<FastVerifier> verifier_;
+  std::unique_ptr<ThresholdCore> threshold_;
+};
+
+}  // namespace
+
+std::unique_ptr<SignatureSuite> make_ecdsa_suite(std::uint32_t n,
+                                                 BytesView seed) {
+  return std::make_unique<EcdsaSuite>(n, seed);
+}
+
+std::unique_ptr<SignatureSuite> make_fast_suite(std::uint32_t n,
+                                                BytesView seed) {
+  return std::make_unique<FastSuite>(n, seed);
+}
+
+}  // namespace marlin::crypto

@@ -1,0 +1,92 @@
+#include "runtime/client_process.h"
+
+namespace marlin::runtime {
+
+ClientProcess::ClientProcess(sim::Simulator& sim, sim::Network& net,
+                             ClientConfig config)
+    : sim_(sim), net_(net), config_(config), rng_(sim.rng().fork()) {}
+
+sim::NodeId ClientProcess::attach() {
+  node_id_ = net_.add_node(this);
+  return node_id_;
+}
+
+void ClientProcess::start() {
+  for (std::uint32_t i = 0; i < config_.window; ++i) issue_next();
+  flush_burst();
+}
+
+Bytes ClientProcess::payload_for(RequestId id) {
+  (void)id;
+  return rng_.next_bytes(config_.payload_size);
+}
+
+void ClientProcess::issue_next() {
+  if (config_.max_requests != 0 && next_request_ > config_.max_requests) {
+    return;
+  }
+  const RequestId id = next_request_++;
+  const Bytes payload = payload_for(id);
+  payloads_[id] = payload;
+  Pending& p = pending_[id];
+  p.first_sent = sim_.now();
+  burst_.push_back(types::Operation{config_.id, id, payload});
+  arm_retransmit(id);
+}
+
+void ClientProcess::arm_retransmit(RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  it->second.retransmit.cancel();
+  it->second.retransmit =
+      sim_.schedule(config_.retransmit_timeout, [this, id] {
+        auto pit = pending_.find(id);
+        if (pit == pending_.end()) return;
+        ++retransmissions_;
+        burst_.push_back(types::Operation{config_.id, id, payloads_[id]});
+        flush_burst();
+        arm_retransmit(id);
+      });
+}
+
+/// Sends every buffered request (issued within the current event) as one
+/// frame to each replica.
+void ClientProcess::flush_burst() {
+  if (burst_.empty()) return;
+  types::ClientRequestMsg msg;
+  msg.ops = std::move(burst_);
+  burst_.clear();
+  const Bytes wire =
+      types::make_envelope(types::MsgKind::kClientRequest, msg).serialize();
+  for (ReplicaId r = 0; r < config_.quorum.n; ++r) {
+    net_.send(node_id_, r, wire);
+  }
+}
+
+void ClientProcess::on_message(sim::NodeId from, Bytes payload) {
+  (void)from;
+  auto env = types::Envelope::parse(payload);
+  if (!env.is_ok() || env.value().kind != types::MsgKind::kClientReply) return;
+  auto reply = types::open_envelope<types::ClientReplyMsg>(env.value());
+  if (!reply.is_ok()) return;
+  const types::ClientReplyMsg& m = reply.value();
+  if (m.client != config_.id) return;
+
+  for (RequestId id : m.requests) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    auto& acks = it->second.acks_by_result[m.result];
+    acks.insert(m.replica);
+    if (acks.size() < config_.quorum.reply_quorum()) continue;
+
+    latency_.record(sim_.now() - it->second.first_sent);
+    completed_.record(sim_.now());
+    it->second.retransmit.cancel();
+    pending_.erase(it);
+    payloads_.erase(id);
+    issue_next();
+  }
+  flush_burst();
+}
+
+}  // namespace marlin::runtime

@@ -1,0 +1,70 @@
+// Closed-loop BFT client: keeps `window` requests outstanding, broadcasts
+// each request to every replica, accepts a result once f+1 matching replies
+// arrive (paper §III), records end-to-end latency, and retransmits on
+// timeout (covers leader failure / dropped batches).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "common/histogram.h"
+#include "common/ids.h"
+#include "simnet/network.h"
+#include "types/messages.h"
+
+namespace marlin::runtime {
+
+struct ClientConfig {
+  ClientId id = 0;
+  QuorumParams quorum;
+  /// Outstanding requests kept in flight (closed loop).
+  std::uint32_t window = 1;
+  /// Request payload size in bytes (0 = the paper's no-op mode).
+  std::size_t payload_size = 150;
+  Duration retransmit_timeout = Duration::seconds(4);
+  /// Stop issuing new requests after this many (0 = unlimited).
+  std::uint64_t max_requests = 0;
+};
+
+class ClientProcess final : public sim::NetworkNode {
+ public:
+  ClientProcess(sim::Simulator& sim, sim::Network& net, ClientConfig config);
+
+  sim::NodeId attach();
+  void start();
+
+  void on_message(sim::NodeId from, Bytes payload) override;
+
+  WindowedCounter& completed() { return completed_; }
+  LatencyHistogram& latency() { return latency_; }
+  std::uint64_t issued() const { return next_request_ - 1; }
+  std::uint64_t in_flight() const { return pending_.size(); }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct Pending {
+    TimePoint first_sent;
+    std::map<Bytes, std::set<ReplicaId>> acks_by_result;
+    sim::TimerHandle retransmit;
+  };
+
+  void issue_next();
+  void arm_retransmit(RequestId id);
+  void flush_burst();
+  Bytes payload_for(RequestId id);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  ClientConfig config_;
+  sim::NodeId node_id_ = 0;
+  RequestId next_request_ = 1;
+  std::map<RequestId, Pending> pending_;
+  std::map<RequestId, Bytes> payloads_;  // for retransmission
+  std::vector<types::Operation> burst_;  // requests awaiting one flush
+  WindowedCounter completed_;
+  LatencyHistogram latency_;
+  std::uint64_t retransmissions_ = 0;
+  Rng rng_;
+};
+
+}  // namespace marlin::runtime

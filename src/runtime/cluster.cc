@@ -1,0 +1,132 @@
+#include "runtime/cluster.h"
+
+namespace marlin::runtime {
+
+Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
+    : sim_(sim), config_(config) {
+  const std::uint32_t n = 3 * config_.f + 1;
+  net_ = std::make_unique<sim::Network>(sim_, config_.net);
+
+  Bytes seed_bytes(8);
+  for (int i = 0; i < 8; ++i) {
+    seed_bytes[i] = static_cast<std::uint8_t>(config_.seed >> (8 * i));
+  }
+  suite_ = crypto::make_fast_suite(n, seed_bytes);
+
+  for (ReplicaId r = 0; r < n; ++r) {
+    ReplicaProcessConfig rc;
+    rc.replica.id = r;
+    rc.replica.quorum = QuorumParams::for_f(config_.f);
+    rc.replica.max_batch_ops = config_.max_batch_ops;
+    rc.replica.pipelined = config_.pipelined;
+    rc.replica.allow_empty_blocks = config_.allow_empty_blocks;
+    rc.replica.disable_happy_path = config_.disable_happy_path;
+    rc.replica.use_threshold_sigs = config_.use_threshold_sigs;
+    rc.protocol = config_.protocol;
+    rc.crypto_costs = config_.crypto_costs;
+    rc.storage_costs = config_.storage_costs;
+    rc.pacemaker = config_.pacemaker;
+    rc.checkpoint_interval = config_.checkpoint_interval;
+    rc.reply_size = config_.reply_size;
+    rc.client_base = n;
+    replicas_.push_back(
+        std::make_unique<ReplicaProcess>(sim_, *net_, *suite_, rc));
+    replicas_.back()->attach();
+  }
+
+  for (ClientId c = 0; c < config_.num_clients; ++c) {
+    ClientConfig cc;
+    cc.id = c;
+    cc.quorum = QuorumParams::for_f(config_.f);
+    cc.window = config_.client_window;
+    cc.payload_size = config_.payload_size;
+    cc.retransmit_timeout = config_.client_timeout;
+    cc.max_requests = config_.client_max_requests;
+    clients_.push_back(std::make_unique<ClientProcess>(sim_, *net_, cc));
+    clients_.back()->attach();
+  }
+}
+
+void Cluster::start() {
+  for (auto& r : replicas_) r->start();
+  // Clients begin shortly after the replicas have entered view 1, with
+  // staggered starts: synchronized closed-loop clients otherwise refill in
+  // lockstep "generations" that quantize throughput measurements.
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    ClientProcess* client = clients_[c].get();
+    sim_.schedule(Duration::millis(5) +
+                      Duration::millis(41) * static_cast<std::int64_t>(c),
+                  [client] { client->start(); });
+  }
+}
+
+ReplicaId Cluster::current_leader() const {
+  return static_cast<ReplicaId>(max_view() % n());
+}
+
+ViewNumber Cluster::max_view() const {
+  ViewNumber v = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (net_->is_down(static_cast<sim::NodeId>(i))) continue;
+    v = std::max(v, replicas_[i]->current_view());
+  }
+  return v;
+}
+
+void Cluster::set_measurement_window(TimePoint start, TimePoint end) {
+  for (auto& c : clients_) c->completed().set_window(start, end);
+  for (auto& r : replicas_) r->committed_ops().set_window(start, end);
+}
+
+double Cluster::client_throughput() const {
+  double total = 0;
+  for (const auto& c : clients_) total += c->completed().rate_per_second();
+  return total;
+}
+
+double Cluster::latency_ms(double percentile) const {
+  LatencyHistogram merged;
+  for (const auto& c : clients_) merged.merge_from(c->latency());
+  return merged.percentile(percentile).as_millis_f();
+}
+
+double Cluster::mean_latency_ms() const {
+  LatencyHistogram merged;
+  for (const auto& c : clients_) merged.merge_from(c->latency());
+  return merged.mean().as_millis_f();
+}
+
+std::uint64_t Cluster::total_completed() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) total += c->completed().in_window();
+  return total;
+}
+
+bool Cluster::any_safety_violation() const {
+  for (const auto& r : replicas_) {
+    if (r->protocol().safety_violated()) return true;
+  }
+  return false;
+}
+
+bool Cluster::committed_heights_consistent() const {
+  // For every pair of live replicas, the one with the lower committed
+  // height must have its committed hash on the other's chain.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (net_->is_down(static_cast<sim::NodeId>(i))) continue;
+    for (std::size_t j = i + 1; j < replicas_.size(); ++j) {
+      if (net_->is_down(static_cast<sim::NodeId>(j))) continue;
+      const auto& a = replicas_[i]->protocol();
+      const auto& b = replicas_[j]->protocol();
+      const auto& lo = a.committed_height() <= b.committed_height() ? a : b;
+      const auto& hi = a.committed_height() <= b.committed_height() ? b : a;
+      if (lo.committed_height() == 0) continue;
+      if (!hi.store().extends(hi.committed_hash(), lo.committed_hash())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace marlin::runtime

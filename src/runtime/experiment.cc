@@ -1,0 +1,102 @@
+#include "runtime/experiment.h"
+
+namespace marlin::runtime {
+
+ThroughputResult run_throughput_experiment(ClusterConfig config,
+                                           Duration warmup,
+                                           Duration measure) {
+  sim::Simulator sim(config.seed);
+  Cluster cluster(sim, config);
+
+  const TimePoint w_start = TimePoint::origin() + warmup;
+  const TimePoint w_end = w_start + measure;
+  cluster.set_measurement_window(w_start, w_end);
+
+  cluster.start();
+  sim.run_until(w_end + Duration::seconds(2));
+
+  ThroughputResult res;
+  res.throughput_ops = cluster.client_throughput();
+  res.mean_latency_ms = cluster.mean_latency_ms();
+  res.p50_latency_ms = cluster.latency_ms(50);
+  res.p95_latency_ms = cluster.latency_ms(95);
+  res.total_completed = cluster.total_completed();
+  res.safety_ok = !cluster.any_safety_violation();
+  res.consistent = cluster.committed_heights_consistent();
+  res.final_view = cluster.max_view();
+  return res;
+}
+
+ViewChangeResult run_view_change_experiment(ClusterConfig config,
+                                            bool force_unhappy) {
+  config.disable_happy_path = force_unhappy;
+  // A short, predictable timeout: the paper measures from VC start (timer
+  // firing), so the timeout itself is excluded either way.
+  config.pacemaker.base_timeout = Duration::millis(600);
+  config.allow_empty_blocks = false;
+
+  sim::Simulator sim(config.seed);
+  Cluster cluster(sim, config);
+  cluster.start();
+
+  // Let a few blocks commit in view 1.
+  sim.run_for(Duration::seconds(3));
+
+  const ReplicaId old_leader = cluster.current_leader();
+  const ViewNumber old_view = cluster.max_view();
+  cluster.crash_replica(old_leader);
+
+  // Run until every correct replica commits in a higher view (or timeout).
+  const TimePoint deadline = sim.now() + Duration::seconds(30);
+  ViewChangeResult res;
+  while (sim.now() < deadline) {
+    sim.run_for(Duration::millis(50));
+    bool all_committed = true;
+    for (ReplicaId r = 0; r < cluster.n(); ++r) {
+      if (r == old_leader) continue;
+      const auto& rp = cluster.replica(r);
+      if (rp.protocol().current_view() <= old_view ||
+          !rp.committed_in_current_view()) {
+        all_committed = false;
+        break;
+      }
+    }
+    if (all_committed) break;
+  }
+
+  double total_ms = 0;
+  std::uint32_t counted = 0;
+  bool resolved = true;
+  for (ReplicaId r = 0; r < cluster.n(); ++r) {
+    if (r == old_leader) continue;
+    auto& rp = cluster.replica(r);
+    if (!rp.committed_in_current_view() ||
+        rp.protocol().current_view() <= old_view) {
+      resolved = false;
+      continue;
+    }
+    const double ms =
+        (rp.first_commit_in_view() - rp.last_view_entry()).as_millis_f();
+    total_ms += ms;
+    ++counted;
+  }
+  res.resolved = resolved && counted > 0;
+  res.mean_latency_ms = counted ? total_ms / counted : 0;
+  res.new_view = cluster.max_view();
+  const ReplicaId new_leader = cluster.current_leader();
+  if (new_leader != old_leader) {
+    auto& lp = cluster.replica(new_leader);
+    if (lp.committed_in_current_view()) {
+      res.leader_latency_ms =
+          (lp.first_commit_in_view() - lp.last_view_entry()).as_millis_f();
+    }
+    if (auto* m = lp.marlin()) {
+      res.unhappy_path = m->unhappy_view_changes() > 0;
+    }
+  }
+  res.safety_ok = !cluster.any_safety_violation() &&
+                  cluster.committed_heights_consistent();
+  return res;
+}
+
+}  // namespace marlin::runtime

@@ -1,0 +1,43 @@
+// Canned experiment procedures shared by the benchmark binaries: a
+// closed-loop throughput/latency run with warm-up and measurement windows,
+// and a leader-crash view-change latency run. Every run is deterministic
+// given its config (seed included).
+#pragma once
+
+#include "runtime/cluster.h"
+
+namespace marlin::runtime {
+
+struct ThroughputResult {
+  double throughput_ops = 0;  // completed ops / second in window
+  double mean_latency_ms = 0;
+  double p50_latency_ms = 0;
+  double p95_latency_ms = 0;
+  std::uint64_t total_completed = 0;
+  bool safety_ok = true;
+  bool consistent = true;
+  ViewNumber final_view = 0;
+};
+
+/// Runs warmup + measure (+ small drain), returns window metrics.
+ThroughputResult run_throughput_experiment(ClusterConfig config,
+                                           Duration warmup,
+                                           Duration measure);
+
+struct ViewChangeResult {
+  /// Mean over correct replicas of (first commit after VC − VC start).
+  double mean_latency_ms = 0;
+  double leader_latency_ms = 0;  // measured at the new leader
+  bool resolved = false;         // a block committed in the new view
+  ViewNumber new_view = 0;
+  bool unhappy_path = false;     // the new leader ran PRE-PREPARE
+  bool safety_ok = true;
+};
+
+/// Commits a little traffic, crashes the current leader, and measures the
+/// view-change latency (paper Fig. 10i methodology). `force_unhappy`
+/// disables Marlin's happy path.
+ViewChangeResult run_view_change_experiment(ClusterConfig config,
+                                            bool force_unhappy);
+
+}  // namespace marlin::runtime

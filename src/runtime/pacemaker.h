@@ -1,0 +1,68 @@
+// View-timer policy. Two modes:
+//  * stable-leader (default): the timer restarts whenever the view makes
+//    progress; it fires a view change only after a quiet timeout, with
+//    exponential backoff across consecutive failed views (liveness under
+//    partial synchrony).
+//  * rotating (the paper's Fig. 10j setup, after HotStuff's rotating mode
+//    and Spinning): a fixed-interval timer rotates the leader regardless of
+//    progress.
+#pragma once
+
+#include "common/sim_time.h"
+
+namespace marlin::runtime {
+
+struct PacemakerConfig {
+  Duration base_timeout = Duration::seconds(2);
+  double backoff_factor = 2.0;
+  Duration max_timeout = Duration::seconds(30);
+  bool rotate_on_timer = false;         // rotating-leader mode
+  Duration rotation_interval = Duration::seconds(1);
+};
+
+/// Pure policy: the replica process feeds it events and asks for the next
+/// timer duration / what a firing timer means.
+class Pacemaker {
+ public:
+  explicit Pacemaker(PacemakerConfig config) : config_(config) {}
+
+  /// Timer duration for a freshly entered view.
+  Duration view_timeout() const {
+    if (config_.rotate_on_timer) return config_.rotation_interval;
+    double t = config_.base_timeout.as_seconds_f();
+    for (std::uint32_t i = 0; i < consecutive_failures_; ++i) {
+      t *= config_.backoff_factor;
+      if (t >= config_.max_timeout.as_seconds_f()) break;
+    }
+    return std::min(Duration::from_seconds_f(t), config_.max_timeout);
+  }
+
+  void on_view_entered() { progressed_ = false; }
+
+  void on_progress() {
+    progressed_ = true;
+    consecutive_failures_ = 0;
+  }
+
+  /// Called when the view timer fires. Returns true if the replica should
+  /// advance the view; false if the timer should simply restart (the view
+  /// made progress and we are in stable-leader mode).
+  bool should_advance_on_fire() {
+    if (config_.rotate_on_timer) return true;
+    if (progressed_) {
+      progressed_ = false;
+      return false;
+    }
+    ++consecutive_failures_;
+    return true;
+  }
+
+  std::uint32_t consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  PacemakerConfig config_;
+  bool progressed_ = false;
+  std::uint32_t consecutive_failures_ = 0;
+};
+
+}  // namespace marlin::runtime

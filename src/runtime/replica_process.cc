@@ -1,0 +1,284 @@
+#include "runtime/replica_process.h"
+
+#include <cassert>
+
+namespace marlin::runtime {
+
+using types::Envelope;
+using types::MsgKind;
+
+ReplicaProcess::ReplicaProcess(sim::Simulator& sim, sim::Network& net,
+                               const crypto::SignatureSuite& suite,
+                               ReplicaProcessConfig config)
+    : sim_(sim),
+      net_(net),
+      config_(std::move(config)),
+      cpu_(sim),
+      pacemaker_(config_.pacemaker) {
+  db_env_ = storage::make_mem_env();
+  auto db = storage::KVStore::open(*db_env_);
+  assert(db.is_ok());
+  db_ = std::move(db).take();
+
+  if (config_.protocol == ProtocolKind::kMarlin) {
+    protocol_ = std::make_unique<consensus::MarlinReplica>(config_.replica,
+                                                           suite, *this);
+  } else {
+    protocol_ = std::make_unique<consensus::HotStuffReplica>(config_.replica,
+                                                             suite, *this);
+  }
+}
+
+sim::NodeId ReplicaProcess::attach() {
+  node_id_ = net_.add_node(this);
+  assert(node_id_ == config_.replica.id &&
+         "replicas must occupy node ids [0, n)");
+  return node_id_;
+}
+
+void ReplicaProcess::start() {
+  run_protocol_task([this] { protocol_->start(); });
+}
+
+consensus::MarlinReplica* ReplicaProcess::marlin() {
+  return dynamic_cast<consensus::MarlinReplica*>(protocol_.get());
+}
+
+consensus::HotStuffReplica* ReplicaProcess::hotstuff() {
+  return dynamic_cast<consensus::HotStuffReplica*>(protocol_.get());
+}
+
+// ---------------------------------------------------------------------------
+// Task execution with CPU charging
+// ---------------------------------------------------------------------------
+
+void ReplicaProcess::run_protocol_task(std::function<void()> body) {
+  cpu_.post([this, body = std::move(body)]() -> Duration {
+    assert(!in_task_);
+    in_task_ = true;
+    pending_charge_ = Duration::zero();
+    outbox_.clear();
+    body();
+    const Duration cost = pending_charge_;
+    // Outputs leave the node when the CPU work completes.
+    flush_outbox(sim_.now() + cost);
+    in_task_ = false;
+    return cost;
+  });
+}
+
+void ReplicaProcess::flush_outbox(TimePoint at) {
+  if (outbox_.empty()) return;
+  std::vector<std::pair<sim::NodeId, Bytes>> pending;
+  pending.swap(outbox_);
+  sim_.schedule_at(at, [this, pending = std::move(pending)]() mutable {
+    for (auto& [to, wire] : pending) {
+      net_.send(node_id_, to, std::move(wire));
+    }
+  });
+}
+
+void ReplicaProcess::on_message(sim::NodeId from, Bytes payload) {
+  // Deserialize inside the task so the parse cost is charged.
+  run_protocol_task([this, from, payload = std::move(payload)] {
+    pending_charge_ +=
+        config_.crypto_costs.serialize_cost(payload.size());
+    auto env = Envelope::parse(payload);
+    if (!env.is_ok()) return;
+    const ReplicaId sender = static_cast<ReplicaId>(from);
+    protocol_->handle_message(sender, env.value());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ProtocolEnv
+// ---------------------------------------------------------------------------
+
+std::uint32_t ReplicaProcess::count_authenticators(
+    const types::Envelope& env) const {
+  // An authenticator is a signature, partial signature, or threshold
+  // signature (paper §III). SigGroup QCs count each contained signature,
+  // matching the paper's accounting for the signature instantiation.
+  auto justify_count = [](const types::Justify& j) {
+    std::uint32_t c = 0;
+    if (j.qc) c += std::max<std::size_t>(1, j.qc->sigs.parts.size());
+    if (j.vc) c += std::max<std::size_t>(1, j.vc->sigs.parts.size());
+    return c;
+  };
+  switch (env.kind) {
+    case MsgKind::kVote: {
+      auto m = types::open_envelope<types::VoteMsg>(env);
+      if (!m.is_ok()) return 0;
+      std::uint32_t c = 1;
+      if (m.value().locked_qc) {
+        c += std::max<std::size_t>(1, m.value().locked_qc->sigs.parts.size());
+      }
+      return c;
+    }
+    case MsgKind::kProposal: {
+      auto m = types::open_envelope<types::ProposalMsg>(env);
+      if (!m.is_ok()) return 0;
+      std::uint32_t c = 0;
+      for (const auto& e : m.value().entries) c += justify_count(e.justify);
+      return c;
+    }
+    case MsgKind::kQcNotice: {
+      auto m = types::open_envelope<types::QcNoticeMsg>(env);
+      if (!m.is_ok()) return 0;
+      std::uint32_t c = std::max<std::size_t>(1, m.value().qc.sigs.parts.size());
+      if (m.value().aux) {
+        c += std::max<std::size_t>(1, m.value().aux->sigs.parts.size());
+      }
+      return c;
+    }
+    case MsgKind::kViewChange: {
+      auto m = types::open_envelope<types::ViewChangeMsg>(env);
+      if (!m.is_ok()) return 0;
+      return 1 + justify_count(m.value().high_qc);
+    }
+    default:
+      return 0;
+  }
+}
+
+void ReplicaProcess::send(ReplicaId to, const Envelope& env) {
+  Bytes wire = env.serialize();
+  pending_charge_ += config_.crypto_costs.serialize_cost(wire.size());
+  const std::size_t k = static_cast<std::size_t>(env.kind);
+  traffic_.msgs_by_kind[k] += 1;
+  traffic_.bytes_by_kind[k] += wire.size();
+  if (count_authenticators_) {
+    traffic_.authenticators_sent += count_authenticators(env);
+  }
+  if (in_task_) {
+    outbox_.emplace_back(static_cast<sim::NodeId>(to), std::move(wire));
+  } else {
+    net_.send(node_id_, static_cast<sim::NodeId>(to), std::move(wire));
+  }
+}
+
+void ReplicaProcess::broadcast(const Envelope& env) {
+  const std::uint32_t n = config_.replica.quorum.n;
+  for (ReplicaId r = 0; r < n; ++r) send(r, env);
+}
+
+void ReplicaProcess::deliver(const types::Block& block,
+                             const std::vector<types::Operation>& executable) {
+  last_commit_time_ = sim_.now();
+  if (!commit_seen_in_view_) {
+    first_commit_in_view_ = sim_.now();
+    commit_seen_in_view_ = true;
+  }
+
+  // Execute: application cost per op, one DB write for the block.
+  const std::size_t block_bytes = types::ops_wire_size(executable) + 160;
+  pending_charge_ += config_.crypto_costs.execute_op *
+                     static_cast<std::int64_t>(executable.size());
+  pending_charge_ += config_.storage_costs.write_cost(block_bytes);
+
+  // Persist a compact block record (real store, virtual cost above).
+  char key[32];
+  std::snprintf(key, sizeof key, "blk/%012llu",
+                static_cast<unsigned long long>(block.height));
+  Writer rec;
+  rec.u64(block.view);
+  rec.u64(block.height);
+  rec.varint(executable.size());
+  rec.raw(block.hash().view());
+  (void)db_->put(key, rec.buffer());
+
+  // Periodic checkpoint (the paper's GC every 5000 blocks).
+  if (++blocks_since_checkpoint_ >= config_.checkpoint_interval) {
+    pending_charge_ +=
+        config_.storage_costs.checkpoint_cost(blocks_since_checkpoint_);
+    (void)db_->checkpoint();
+    blocks_since_checkpoint_ = 0;
+    ++checkpoints_run_;
+  }
+
+  // Reply to clients: one batched message per client, padded so wire bytes
+  // equal |requests| × reply_size.
+  std::map<ClientId, std::vector<RequestId>> by_client;
+  for (const types::Operation& op : executable) {
+    by_client[op.client].push_back(op.request);
+  }
+  const types::Hash256 block_hash = block.hash();
+  for (auto& [client, requests] : by_client) {
+    types::ClientReplyMsg reply;
+    reply.client = client;
+    reply.replica = config_.replica.id;
+    reply.view = block.view;
+    reply.height = block.height;
+    reply.result.assign(block_hash.data.begin(), block_hash.data.begin() + 8);
+    const std::size_t body_overhead = 45 + 8 * requests.size();
+    const std::size_t target = config_.reply_size * requests.size();
+    if (target > body_overhead) {
+      reply.padding.assign(target - body_overhead, 0xcd);
+    }
+    reply.requests = std::move(requests);
+    Bytes wire =
+        types::make_envelope(MsgKind::kClientReply, reply).serialize();
+    pending_charge_ += config_.crypto_costs.serialize_cost(wire.size());
+    const sim::NodeId dest = config_.client_base + client;
+    if (in_task_) {
+      outbox_.emplace_back(dest, std::move(wire));
+    } else {
+      net_.send(node_id_, dest, std::move(wire));
+    }
+  }
+
+  committed_ops_.record(sim_.now(), executable.size());
+}
+
+void ReplicaProcess::entered_view(ViewNumber v) {
+  (void)v;
+  last_view_entry_ = sim_.now();
+  commit_seen_in_view_ = false;
+  pacemaker_.on_view_entered();
+  arm_view_timer();
+}
+
+void ReplicaProcess::progressed() {
+  pacemaker_.on_progress();
+}
+
+void ReplicaProcess::arm_view_timer() {
+  view_timer_.cancel();
+  view_timer_ = sim_.schedule(pacemaker_.view_timeout(), [this] {
+    // A quiet view with no pending work is healthy, not stuck: don't churn
+    // views while idle (rotating mode still rotates unconditionally).
+    const bool idle = !config_.pacemaker.rotate_on_timer &&
+                      protocol_->pool().empty();
+    if (!idle && pacemaker_.should_advance_on_fire()) {
+      run_protocol_task([this] { protocol_->on_view_timeout(); });
+    } else {
+      arm_view_timer();
+    }
+  });
+}
+
+void ReplicaProcess::charge_signs(std::uint32_t count) {
+  pending_charge_ += config_.crypto_costs.sign * count;
+}
+
+void ReplicaProcess::charge_verifies(std::uint32_t count) {
+  pending_charge_ += config_.crypto_costs.verify * count;
+}
+
+void ReplicaProcess::charge_hash_bytes(std::size_t bytes) {
+  pending_charge_ += config_.crypto_costs.hash_cost(bytes);
+}
+
+void ReplicaProcess::charge_pairings(std::uint32_t count) {
+  pending_charge_ += config_.crypto_costs.pairing * count;
+}
+
+void ReplicaProcess::charge_threshold_signs(std::uint32_t count) {
+  pending_charge_ += config_.crypto_costs.threshold_sign_share * count;
+}
+
+void ReplicaProcess::charge_combine_shares(std::uint32_t count) {
+  pending_charge_ += config_.crypto_costs.threshold_combine_per_share * count;
+}
+
+}  // namespace marlin::runtime

@@ -1,0 +1,125 @@
+#include "simnet/network.h"
+
+#include <cassert>
+
+namespace marlin::sim {
+
+NodeId Network::add_node(NetworkNode* handler) {
+  assert(handler != nullptr);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(handler);
+  down_.push_back(false);
+  stats_.emplace_back();
+  nic_free_.push_back(TimePoint::origin());
+  return id;
+}
+
+void Network::set_node_down(NodeId node, bool down) {
+  assert(node < nodes_.size());
+  down_[node] = down;
+}
+
+bool Network::is_down(NodeId node) const {
+  assert(node < nodes_.size());
+  return down_[node];
+}
+
+const NodeNetStats& Network::stats(NodeId node) const {
+  assert(node < stats_.size());
+  return stats_[node];
+}
+
+NodeNetStats Network::total_stats() const {
+  NodeNetStats total;
+  for (const auto& s : stats_) {
+    total.messages_sent += s.messages_sent;
+    total.bytes_sent += s.bytes_sent;
+    total.messages_delivered += s.messages_delivered;
+    total.bytes_delivered += s.bytes_delivered;
+    total.messages_dropped += s.messages_dropped;
+  }
+  return total;
+}
+
+void Network::reset_stats() {
+  for (auto& s : stats_) s = NodeNetStats{};
+}
+
+void Network::send(NodeId from, NodeId to, Bytes payload) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  const std::size_t size = payload.size();
+  auto& sender_stats = stats_[from];
+
+  if (down_[from]) return;  // a crashed node emits nothing
+
+  if (filter_ && !filter_(from, to)) {
+    ++sender_stats.messages_dropped;
+    return;
+  }
+
+  const TimePoint now = sim_.now();
+  const bool before_gst = now < gst_;
+
+  double drop_p = config_.drop_probability;
+  if (before_gst) drop_p += config_.pre_gst_drop_probability;
+  if (drop_p > 0 && rng_.next_bool(drop_p)) {
+    ++sender_stats.messages_dropped;
+    return;
+  }
+
+  ++sender_stats.messages_sent;
+  sender_stats.bytes_sent += size;
+
+  if (from == to) {
+    // Loopback: skip NIC/link, deliver after a tiny local hop.
+    sim_.schedule(Duration::micros(5), [this, from, to,
+                                        p = std::move(payload)]() mutable {
+      if (down_[to]) return;
+      auto& rs = stats_[to];
+      ++rs.messages_delivered;
+      rs.bytes_delivered += p.size();
+      nodes_[to]->on_message(from, std::move(p));
+    });
+    return;
+  }
+
+  const double bits = static_cast<double>(size) * 8.0;
+
+  // Stage 1: serialize through the sender's NIC (shared across links).
+  const TimePoint nic_start = std::max(now, nic_free_[from]);
+  const Duration nic_tx =
+      Duration::from_seconds_f(bits / config_.nic_bandwidth_bps);
+  const TimePoint nic_end = nic_start + nic_tx;
+  nic_free_[from] = nic_end;
+
+  // Stage 2: serialize through the provisioned link (per ordered pair).
+  const std::uint64_t key = pair_key(from, to);
+  auto [it, inserted] = link_free_.try_emplace(key, TimePoint::origin());
+  const TimePoint link_start = std::max(nic_end, it->second);
+  const Duration link_tx =
+      Duration::from_seconds_f(bits / config_.link_bandwidth_bps);
+  const TimePoint link_end = link_start + link_tx;
+  it->second = link_end;
+
+  // Stage 3: propagation delay (+ jitter, + pre-GST chaos).
+  Duration extra = Duration::zero();
+  if (config_.jitter > Duration::zero()) {
+    extra += Duration::nanos(static_cast<std::int64_t>(
+        rng_.next_below(static_cast<std::uint64_t>(config_.jitter.as_nanos()))));
+  }
+  if (before_gst && config_.pre_gst_extra_delay_max > Duration::zero()) {
+    extra += Duration::nanos(static_cast<std::int64_t>(rng_.next_below(
+        static_cast<std::uint64_t>(config_.pre_gst_extra_delay_max.as_nanos()))));
+  }
+  const TimePoint arrival = link_end + config_.one_way_delay + extra;
+
+  sim_.schedule_at(arrival, [this, from, to, p = std::move(payload)]() mutable {
+    if (down_[to]) return;
+    auto& rs = stats_[to];
+    ++rs.messages_delivered;
+    rs.bytes_delivered += p.size();
+    nodes_[to]->on_message(from, std::move(p));
+  });
+}
+
+}  // namespace marlin::sim

@@ -1,0 +1,99 @@
+// Simulated point-to-point network. Reproduces the paper's testbed model:
+// a 40 ms injected one-way delay, 200 Mbps provisioned per link, and a
+// 1 Gbps NIC per server whose egress serializes (this is what makes the
+// leader the bandwidth bottleneck at large n). Supports crash faults,
+// message drops, arbitrary directional filters (partitions), and a GST
+// switch for partial synchrony: before GST messages suffer unbounded extra
+// delay / loss, after GST delivery is bounded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "simnet/simulator.h"
+
+namespace marlin::sim {
+
+using NodeId = std::uint32_t;
+
+struct NetConfig {
+  Duration one_way_delay = Duration::millis(40);
+  Duration jitter = Duration::micros(500);  // uniform [0, jitter)
+  double link_bandwidth_bps = 200e6;        // per ordered (src,dst) pair
+  double nic_bandwidth_bps = 1e9;           // per-source egress
+  double drop_probability = 0.0;            // after GST
+
+  // Pre-GST behaviour (partial synchrony): extra delay uniform in
+  // [0, pre_gst_extra_delay_max) and an extra drop probability.
+  Duration pre_gst_extra_delay_max = Duration::zero();
+  double pre_gst_drop_probability = 0.0;
+};
+
+struct NodeNetStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // counted at the sender
+};
+
+/// Receiver interface; implemented by replica/client runtimes.
+class NetworkNode {
+ public:
+  virtual ~NetworkNode() = default;
+  virtual void on_message(NodeId from, Bytes payload) = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, NetConfig config)
+      : sim_(sim), config_(config), rng_(sim.rng().fork()) {}
+
+  /// Registers a handler (non-owning; must outlive the network).
+  NodeId add_node(NetworkNode* handler);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Queues `payload` from → to through the NIC + link + propagation model.
+  /// Self-sends deliver after a minimal local hop.
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  /// Before GST, pre-GST delay/drop applies; at/after it, bounds hold.
+  /// Default GST = origin, i.e. the network starts synchronous.
+  void set_gst(TimePoint gst) { gst_ = gst; }
+
+  /// A down node neither sends nor receives (crash fault).
+  void set_node_down(NodeId node, bool down);
+  bool is_down(NodeId node) const;
+
+  /// Directional reachability filter; return false to drop (partitions,
+  /// targeted message suppression). Cleared with nullptr.
+  void set_filter(std::function<bool(NodeId from, NodeId to)> filter) {
+    filter_ = std::move(filter);
+  }
+
+  const NodeNetStats& stats(NodeId node) const;
+  NodeNetStats total_stats() const;
+  void reset_stats();
+
+ private:
+  std::uint64_t pair_key(NodeId from, NodeId to) const {
+    return static_cast<std::uint64_t>(from) << 32 | to;
+  }
+
+  Simulator& sim_;
+  NetConfig config_;
+  Rng rng_;
+  TimePoint gst_;  // origin: synchronous from the start
+  std::vector<NetworkNode*> nodes_;
+  std::vector<bool> down_;
+  std::vector<NodeNetStats> stats_;
+  std::vector<TimePoint> nic_free_;
+  std::unordered_map<std::uint64_t, TimePoint> link_free_;
+  std::function<bool(NodeId, NodeId)> filter_;
+};
+
+}  // namespace marlin::sim

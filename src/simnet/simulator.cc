@@ -1,0 +1,51 @@
+#include "simnet/simulator.h"
+
+#include <cassert>
+
+namespace marlin::sim {
+
+TimerHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerHandle Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return TimerHandle(std::move(cancelled));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty()) {
+    // Skip cancelled heads without advancing time.
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+}
+
+}  // namespace marlin::sim

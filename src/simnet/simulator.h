@@ -1,0 +1,81 @@
+// Deterministic discrete-event simulator: a virtual clock plus an ordered
+// event queue. Everything in the testbed (network transmission, CPU
+// charging, protocol timers) is an event here, so whole cluster runs replay
+// bit-identically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace marlin::sim {
+
+/// Cancellation handle for a scheduled event. Default-constructed handles
+/// are inert. Cancelling an already-fired event is a no-op.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  bool active() const { return cancelled_ && !*cancelled_; }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+
+  TimePoint now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run `delay` after now. Negative delays clamp to 0.
+  TimerHandle schedule(Duration delay, std::function<void()> fn);
+  TimerHandle schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Runs the earliest pending event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the clock would pass `deadline` (inclusive); events
+  /// scheduled exactly at the deadline do run.
+  void run_until(TimePoint deadline);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Drains the queue completely. Guard against livelock with max_events.
+  void run(std::uint64_t max_events = ~0ull);
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Rng rng_;
+};
+
+}  // namespace marlin::sim

@@ -1,0 +1,185 @@
+#include "storage/env.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+namespace marlin::storage {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// In-memory environment
+// ---------------------------------------------------------------------------
+
+class MemEnv;
+
+class MemAppendFile final : public AppendFile {
+ public:
+  explicit MemAppendFile(Bytes* target) : target_(target) {}
+
+  Status append(BytesView data) override {
+    marlin::append(*target_, data);
+    return Status::ok();
+  }
+  Status sync() override { return Status::ok(); }
+  std::uint64_t size() const override { return target_->size(); }
+
+ private:
+  Bytes* target_;  // owned by the MemEnv's file map
+};
+
+class MemEnv final : public Env {
+ public:
+  Result<std::unique_ptr<AppendFile>> create_append(
+      const std::string& name) override {
+    auto& content = files_[name];
+    content.clear();
+    return std::unique_ptr<AppendFile>(std::make_unique<MemAppendFile>(&content));
+  }
+
+  Result<Bytes> read_file(const std::string& name) const override {
+    auto it = files_.find(name);
+    if (it == files_.end()) {
+      return error(ErrorCode::kNotFound, "no such file: " + name);
+    }
+    return it->second;
+  }
+
+  Status write_file_atomic(const std::string& name, BytesView data) override {
+    files_[name] = Bytes(data.begin(), data.end());
+    return Status::ok();
+  }
+
+  Status remove_file(const std::string& name) override {
+    files_.erase(name);
+    return Status::ok();
+  }
+
+  bool file_exists(const std::string& name) const override {
+    return files_.count(name) > 0;
+  }
+
+  std::vector<std::string> list_files() const override {
+    std::vector<std::string> out;
+    out.reserve(files_.size());
+    for (const auto& [name, _] : files_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  // std::map guarantees pointer stability for MemAppendFile targets.
+  std::map<std::string, Bytes> files_;
+};
+
+// ---------------------------------------------------------------------------
+// POSIX environment
+// ---------------------------------------------------------------------------
+
+class PosixAppendFile final : public AppendFile {
+ public:
+  PosixAppendFile(std::FILE* f, std::uint64_t size) : f_(f), size_(size) {}
+  ~PosixAppendFile() override {
+    if (f_) std::fclose(f_);
+  }
+
+  Status append(BytesView data) override {
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return error(ErrorCode::kIoError, "short write");
+    }
+    size_ += data.size();
+    return Status::ok();
+  }
+
+  Status sync() override {
+    if (std::fflush(f_) != 0) return error(ErrorCode::kIoError, "fflush failed");
+    return Status::ok();
+  }
+
+  std::uint64_t size() const override { return size_; }
+
+ private:
+  std::FILE* f_;
+  std::uint64_t size_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  explicit PosixEnv(std::filesystem::path root) : root_(std::move(root)) {}
+
+  Result<std::unique_ptr<AppendFile>> create_append(
+      const std::string& name) override {
+    std::FILE* f = std::fopen(path(name).c_str(), "wb");
+    if (!f) return error(ErrorCode::kIoError, "cannot create " + name);
+    return std::unique_ptr<AppendFile>(std::make_unique<PosixAppendFile>(f, 0));
+  }
+
+  Result<Bytes> read_file(const std::string& name) const override {
+    std::FILE* f = std::fopen(path(name).c_str(), "rb");
+    if (!f) return error(ErrorCode::kNotFound, "no such file: " + name);
+    std::fseek(f, 0, SEEK_END);
+    const long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    Bytes out(static_cast<std::size_t>(len));
+    const std::size_t got = len > 0 ? std::fread(out.data(), 1, out.size(), f) : 0;
+    std::fclose(f);
+    if (got != out.size()) return error(ErrorCode::kIoError, "short read");
+    return out;
+  }
+
+  Status write_file_atomic(const std::string& name, BytesView data) override {
+    const std::string tmp = path(name) + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f) return error(ErrorCode::kIoError, "cannot create temp for " + name);
+    const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    std::fclose(f);
+    if (!ok) return error(ErrorCode::kIoError, "short write");
+    std::error_code ec;
+    std::filesystem::rename(tmp, path(name), ec);
+    if (ec) return error(ErrorCode::kIoError, "rename failed: " + ec.message());
+    return Status::ok();
+  }
+
+  Status remove_file(const std::string& name) override {
+    std::error_code ec;
+    std::filesystem::remove(path(name), ec);
+    if (ec) return error(ErrorCode::kIoError, "remove failed: " + ec.message());
+    return Status::ok();
+  }
+
+  bool file_exists(const std::string& name) const override {
+    return std::filesystem::exists(path(name));
+  }
+
+  std::vector<std::string> list_files() const override {
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(root_, ec)) {
+      if (entry.is_regular_file()) out.push_back(entry.path().filename());
+    }
+    return out;
+  }
+
+ private:
+  std::string path(const std::string& name) const { return root_ / name; }
+
+  std::filesystem::path root_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> make_mem_env() {
+  return std::make_unique<MemEnv>();
+}
+
+Result<std::unique_ptr<Env>> make_posix_env(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return error(ErrorCode::kIoError, "cannot create dir: " + ec.message());
+  }
+  return std::unique_ptr<Env>(std::make_unique<PosixEnv>(dir));
+}
+
+}  // namespace marlin::storage

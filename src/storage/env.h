@@ -1,0 +1,46 @@
+// Filesystem abstraction under the storage engine. Two implementations:
+// MemEnv (deterministic, used inside the simulation and by most tests) and
+// PosixEnv (real files, used by examples and durability tests).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace marlin::storage {
+
+/// Append-only file handle (WAL segments, SSTable builders).
+class AppendFile {
+ public:
+  virtual ~AppendFile() = default;
+  virtual Status append(BytesView data) = 0;
+  virtual Status sync() = 0;
+  virtual std::uint64_t size() const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<AppendFile>> create_append(
+      const std::string& name) = 0;
+  /// Reads the whole file.
+  virtual Result<Bytes> read_file(const std::string& name) const = 0;
+  /// Atomically replaces `name` with `data` (manifest updates).
+  virtual Status write_file_atomic(const std::string& name,
+                                   BytesView data) = 0;
+  virtual Status remove_file(const std::string& name) = 0;
+  virtual bool file_exists(const std::string& name) const = 0;
+  virtual std::vector<std::string> list_files() const = 0;
+};
+
+/// In-memory filesystem; deterministic, cheap, crash-free.
+std::unique_ptr<Env> make_mem_env();
+
+/// Real filesystem rooted at `dir` (created if missing).
+Result<std::unique_ptr<Env>> make_posix_env(const std::string& dir);
+
+}  // namespace marlin::storage

@@ -1,0 +1,225 @@
+#include "storage/kvstore.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/serialize.h"
+
+namespace marlin::storage {
+
+namespace {
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpDel = 2;
+constexpr const char* kManifestName = "MANIFEST";
+}  // namespace
+
+std::string KVStore::wal_name(std::uint64_t number) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "wal-%06llu.log",
+                static_cast<unsigned long long>(number));
+  return buf;
+}
+
+std::string KVStore::table_name(std::uint64_t number) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "sst-%06llu.tbl",
+                static_cast<unsigned long long>(number));
+  return buf;
+}
+
+Result<std::unique_ptr<KVStore>> KVStore::open(Env& env,
+                                               KVStoreOptions options) {
+  auto store = std::unique_ptr<KVStore>(new KVStore(env, options));
+  if (Status s = store->recover(); !s.is_ok()) return s;
+  return store;
+}
+
+Status KVStore::recover() {
+  if (env_.file_exists(kManifestName)) {
+    auto manifest = env_.read_file(kManifestName);
+    if (!manifest.is_ok()) return manifest.status();
+    Reader r(manifest.value());
+    std::uint64_t table_count = 0;
+    if (Status s = r.u64(next_file_number_); !s.is_ok()) return s;
+    if (Status s = r.u64(current_wal_number_); !s.is_ok()) return s;
+    if (Status s = r.varint(table_count); !s.is_ok()) return s;
+    for (std::uint64_t i = 0; i < table_count; ++i) {
+      std::string name;
+      if (Status s = r.str(name); !s.is_ok()) return s;
+      auto table = SSTable::open(env_, name);
+      if (!table.is_ok()) return table.status();
+      tables_.push_back(std::move(table).take());
+    }
+    if (Status s = r.expect_exhausted(); !s.is_ok()) return s;
+
+    // Replay the WAL tail into the memtable.
+    const std::string wal = wal_name(current_wal_number_);
+    if (env_.file_exists(wal)) {
+      auto records = wal_read_all(env_, wal);
+      if (!records.is_ok()) return records.status();
+      for (const Bytes& rec : records.value()) {
+        Reader rr(rec);
+        std::uint8_t op = 0;
+        std::string key;
+        Bytes value;
+        if (Status s = rr.u8(op); !s.is_ok()) return s;
+        if (Status s = rr.str(key); !s.is_ok()) return s;
+        if (op == kOpPut) {
+          if (Status s = rr.bytes(value); !s.is_ok()) return s;
+          mem_.put(key, std::move(value));
+        } else if (op == kOpDel) {
+          mem_.del(key);
+        } else {
+          return error(ErrorCode::kCorruption, "unknown wal op");
+        }
+      }
+    }
+  } else {
+    current_wal_number_ = next_file_number_++;
+    if (Status s = persist_manifest(); !s.is_ok()) return s;
+  }
+
+  // Recovery must not truncate an existing WAL: continue appends in a new
+  // segment... but a fresh segment per open would leak the old tail. We
+  // instead flush the replayed memtable immediately (if any) and then start
+  // a clean WAL — simple and safe.
+  if (!mem_.empty()) {
+    if (Status s = flush(); !s.is_ok()) return s;
+  } else {
+    auto w = WalWriter::create(env_, wal_name(current_wal_number_));
+    if (!w.is_ok()) return w.status();
+    wal_ = std::make_unique<WalWriter>(std::move(w).take());
+  }
+  return Status::ok();
+}
+
+Status KVStore::persist_manifest() {
+  Writer w;
+  w.u64(next_file_number_);
+  w.u64(current_wal_number_);
+  w.varint(tables_.size());
+  for (const auto& t : tables_) w.str(t->file_name());
+  return env_.write_file_atomic(kManifestName, w.buffer());
+}
+
+Status KVStore::append_wal(std::uint8_t op, const std::string& key,
+                           BytesView value) {
+  Writer w(key.size() + value.size() + 8);
+  w.u8(op);
+  w.str(key);
+  if (op == kOpPut) w.bytes(value);
+  if (Status s = wal_->append(w.buffer()); !s.is_ok()) return s;
+  if (options_.sync_writes) return wal_->sync();
+  return Status::ok();
+}
+
+Status KVStore::put(const std::string& key, BytesView value) {
+  if (Status s = append_wal(kOpPut, key, value); !s.is_ok()) return s;
+  mem_.put(key, Bytes(value.begin(), value.end()));
+  return maybe_flush();
+}
+
+Status KVStore::del(const std::string& key) {
+  if (Status s = append_wal(kOpDel, key, {}); !s.is_ok()) return s;
+  mem_.del(key);
+  return maybe_flush();
+}
+
+Result<Bytes> KVStore::get(const std::string& key) const {
+  if (auto hit = mem_.get(key)) {
+    if (hit->tombstone) return error(ErrorCode::kNotFound, key);
+    return hit->value;
+  }
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    if (auto hit = (*it)->get(key)) {
+      if (hit->tombstone) return error(ErrorCode::kNotFound, key);
+      return hit->value;
+    }
+  }
+  return error(ErrorCode::kNotFound, key);
+}
+
+Status KVStore::maybe_flush() {
+  if (mem_.approximate_bytes() < options_.memtable_flush_bytes) {
+    return Status::ok();
+  }
+  return flush();
+}
+
+Status KVStore::flush() {
+  if (!mem_.empty()) {
+    const std::uint64_t table_number = next_file_number_++;
+    const std::string name = table_name(table_number);
+    if (Status s = write_sstable(env_, name, mem_.entries()); !s.is_ok()) {
+      return s;
+    }
+    auto table = SSTable::open(env_, name);
+    if (!table.is_ok()) return table.status();
+    tables_.push_back(std::move(table).take());
+    mem_.clear();
+  }
+
+  // Rotate to a fresh WAL: everything in the old one is now in tables.
+  const std::uint64_t old_wal = current_wal_number_;
+  current_wal_number_ = next_file_number_++;
+  auto w = WalWriter::create(env_, wal_name(current_wal_number_));
+  if (!w.is_ok()) return w.status();
+  wal_ = std::make_unique<WalWriter>(std::move(w).take());
+  if (Status s = persist_manifest(); !s.is_ok()) return s;
+  (void)env_.remove_file(wal_name(old_wal));
+  return Status::ok();
+}
+
+Status KVStore::checkpoint() {
+  if (Status s = flush(); !s.is_ok()) return s;
+  if (tables_.size() <= 1) return Status::ok();
+
+  // Merge newest-wins: later tables shadow earlier ones.
+  std::map<std::string, ValueOrTombstone> merged;
+  for (const auto& table : tables_) {
+    for (auto& entry : table->read_all()) {
+      merged[entry.key] = std::move(entry.value);
+    }
+  }
+  // Tombstones have no older versions left to shadow — drop them.
+  for (auto it = merged.begin(); it != merged.end();) {
+    it = it->second.tombstone ? merged.erase(it) : std::next(it);
+  }
+
+  const std::uint64_t table_number = next_file_number_++;
+  const std::string name = table_name(table_number);
+  if (Status s = write_sstable(env_, name, merged); !s.is_ok()) return s;
+  auto table = SSTable::open(env_, name);
+  if (!table.is_ok()) return table.status();
+
+  std::vector<std::string> olds;
+  olds.reserve(tables_.size());
+  for (const auto& t : tables_) olds.push_back(t->file_name());
+  tables_.clear();
+  tables_.push_back(std::move(table).take());
+  if (Status s = persist_manifest(); !s.is_ok()) return s;
+  for (const std::string& old : olds) (void)env_.remove_file(old);
+  return Status::ok();
+}
+
+std::vector<std::pair<std::string, Bytes>> KVStore::scan(
+    const std::string& start, const std::string& end) const {
+  std::map<std::string, ValueOrTombstone> merged;
+  for (const auto& table : tables_) {
+    for (auto& entry : table->read_all()) {
+      if (entry.key >= start && entry.key < end) {
+        merged[entry.key] = std::move(entry.value);
+      }
+    }
+  }
+  for (const auto& [key, vot] : mem_.entries()) {
+    if (key >= start && key < end) merged[key] = vot;
+  }
+  std::vector<std::pair<std::string, Bytes>> out;
+  for (auto& [key, vot] : merged) {
+    if (!vot.tombstone) out.emplace_back(key, std::move(vot.value));
+  }
+  return out;
+}
+
+}  // namespace marlin::storage

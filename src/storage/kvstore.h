@@ -1,0 +1,76 @@
+// Mini log-structured KV store — the repo's LevelDB substitute (DESIGN.md
+// §1). Write path: WAL append → memtable; memtable flushes to an SSTable
+// past a size threshold; `checkpoint()` (the paper's every-5000-blocks
+// garbage collection) compacts all tables into one and truncates the WAL.
+// Reads consult memtable, then SSTables newest-first. Open() recovers from
+// MANIFEST + WAL replay.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace marlin::storage {
+
+struct KVStoreOptions {
+  /// Memtable flush threshold in approximate resident bytes.
+  std::size_t memtable_flush_bytes = 4 << 20;
+  /// fsync the WAL on every write (real-disk durability; MemEnv ignores).
+  bool sync_writes = false;
+};
+
+class KVStore {
+ public:
+  /// Opens (or creates) the store in `env`, replaying any WAL tail.
+  static Result<std::unique_ptr<KVStore>> open(Env& env,
+                                               KVStoreOptions options = {});
+
+  Status put(const std::string& key, BytesView value);
+  Status del(const std::string& key);
+  /// kNotFound when absent or deleted.
+  Result<Bytes> get(const std::string& key) const;
+
+  /// Forces the memtable to an SSTable and starts a fresh WAL.
+  Status flush();
+
+  /// Full compaction: flush, merge every SSTable into one (dropping
+  /// tombstones and shadowed versions), delete the olds. This is the
+  /// "checkpoint / garbage collection" the paper runs every 5000 blocks.
+  Status checkpoint();
+
+  /// Ordered scan of live keys in [start, end).
+  std::vector<std::pair<std::string, Bytes>> scan(const std::string& start,
+                                                  const std::string& end) const;
+
+  std::size_t sstable_count() const { return tables_.size(); }
+  std::size_t memtable_bytes() const { return mem_.approximate_bytes(); }
+  std::uint64_t wal_bytes() const { return wal_ ? wal_->size() : 0; }
+
+ private:
+  KVStore(Env& env, KVStoreOptions options) : env_(env), options_(options) {}
+
+  Status recover();
+  Status persist_manifest();
+  Status append_wal(std::uint8_t op, const std::string& key, BytesView value);
+  Status maybe_flush();
+
+  std::string wal_name(std::uint64_t number) const;
+  std::string table_name(std::uint64_t number) const;
+
+  Env& env_;
+  KVStoreOptions options_;
+  MemTable mem_;
+  std::vector<std::shared_ptr<SSTable>> tables_;  // oldest first
+  std::unique_ptr<WalWriter> wal_;
+  std::uint64_t next_file_number_ = 1;
+  std::uint64_t current_wal_number_ = 0;
+};
+
+}  // namespace marlin::storage

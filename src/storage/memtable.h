@@ -1,0 +1,66 @@
+// Sorted in-memory write buffer. Holds the newest version of each key
+// (including tombstones) until a flush turns it into an SSTable.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace marlin::storage {
+
+/// A value or a deletion marker.
+struct ValueOrTombstone {
+  Bytes value;
+  bool tombstone = false;
+};
+
+class MemTable {
+ public:
+  void put(const std::string& key, Bytes value) {
+    adjust_size(key, value.size());
+    entries_[key] = ValueOrTombstone{std::move(value), false};
+  }
+
+  void del(const std::string& key) {
+    adjust_size(key, 0);
+    entries_[key] = ValueOrTombstone{{}, true};
+  }
+
+  /// nullopt = key unknown here (check older tables); a tombstone result
+  /// means "definitely deleted".
+  std::optional<ValueOrTombstone> get(const std::string& key) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t entry_count() const { return entries_.size(); }
+  /// Approximate resident bytes — drives the flush threshold.
+  std::size_t approximate_bytes() const { return approx_bytes_; }
+
+  const std::map<std::string, ValueOrTombstone>& entries() const {
+    return entries_;
+  }
+
+  void clear() {
+    entries_.clear();
+    approx_bytes_ = 0;
+  }
+
+ private:
+  void adjust_size(const std::string& key, std::size_t value_size) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      approx_bytes_ -= it->first.size() + it->second.value.size() + 16;
+    }
+    approx_bytes_ += key.size() + value_size + 16;
+  }
+
+  std::map<std::string, ValueOrTombstone> entries_;
+  std::size_t approx_bytes_ = 0;
+};
+
+}  // namespace marlin::storage

@@ -1,0 +1,132 @@
+#include "storage/sstable.h"
+
+#include <algorithm>
+
+#include "common/crc32c.h"
+#include "common/serialize.h"
+
+namespace marlin::storage {
+
+namespace {
+constexpr std::uint8_t kKindValue = 0;
+constexpr std::uint8_t kKindTombstone = 1;
+constexpr std::size_t kFooterSize = 20;
+}  // namespace
+
+Status write_sstable(Env& env, const std::string& name,
+                     const std::map<std::string, ValueOrTombstone>& entries) {
+  Writer data;
+  Writer index;
+  for (const auto& [key, vot] : entries) {
+    index.str(key);
+    index.varint(data.size());
+    data.str(key);
+    data.u8(vot.tombstone ? kKindTombstone : kKindValue);
+    if (vot.tombstone) {
+      data.varint(0);
+    } else {
+      data.bytes(vot.value);
+    }
+  }
+
+  Writer file(data.size() + index.size() + kFooterSize);
+  file.raw(data.buffer());
+  const std::uint64_t index_offset = file.size();
+  file.raw(index.buffer());
+  const std::uint32_t crc = crc32c_masked(file.buffer());
+  file.u64(index_offset);
+  file.u64(entries.size());
+  file.u32(crc);
+
+  return env.write_file_atomic(name, file.buffer());
+}
+
+Result<std::shared_ptr<SSTable>> SSTable::open(const Env& env,
+                                               const std::string& name) {
+  auto content = env.read_file(name);
+  if (!content.is_ok()) return content.status();
+  Bytes file = std::move(content).take();
+  if (file.size() < kFooterSize) {
+    return error(ErrorCode::kCorruption, "sstable too small: " + name);
+  }
+
+  Reader footer(BytesView(file.data() + file.size() - kFooterSize, kFooterSize));
+  std::uint64_t index_offset = 0, count = 0;
+  std::uint32_t crc = 0;
+  (void)footer.u64(index_offset);
+  (void)footer.u64(count);
+  (void)footer.u32(crc);
+
+  const std::size_t body_size = file.size() - kFooterSize;
+  if (index_offset > body_size) {
+    return error(ErrorCode::kCorruption, "bad index offset: " + name);
+  }
+  if (crc32c_masked(BytesView(file.data(), body_size)) != crc) {
+    return error(ErrorCode::kCorruption, "sstable crc mismatch: " + name);
+  }
+
+  Reader index_reader(
+      BytesView(file.data() + index_offset, body_size - index_offset));
+  std::vector<IndexEntry> index;
+  index.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IndexEntry e;
+    if (Status s = index_reader.str(e.key); !s.is_ok()) return s;
+    if (Status s = index_reader.varint(e.offset); !s.is_ok()) return s;
+    index.push_back(std::move(e));
+  }
+  if (Status s = index_reader.expect_exhausted(); !s.is_ok()) return s;
+
+  Bytes data(file.begin(), file.begin() + static_cast<std::ptrdiff_t>(index_offset));
+  return std::shared_ptr<SSTable>(
+      new SSTable(name, std::move(data), std::move(index)));
+}
+
+std::optional<ValueOrTombstone> SSTable::get(const std::string& key) const {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const IndexEntry& e, const std::string& k) { return e.key < k; });
+  if (it == index_.end() || it->key != key) return std::nullopt;
+  return decode_at(it->offset);
+}
+
+std::optional<ValueOrTombstone> SSTable::decode_at(std::uint64_t offset) const {
+  if (offset >= data_.size()) return std::nullopt;
+  Reader r(BytesView(data_.data() + offset, data_.size() - offset));
+  std::string key;
+  std::uint8_t kind = 0;
+  ValueOrTombstone out;
+  if (!r.str(key).is_ok()) return std::nullopt;
+  if (!r.u8(kind).is_ok()) return std::nullopt;
+  if (kind == kKindTombstone) {
+    std::uint64_t zero = 0;
+    if (!r.varint(zero).is_ok()) return std::nullopt;
+    out.tombstone = true;
+    return out;
+  }
+  if (!r.bytes(out.value).is_ok()) return std::nullopt;
+  return out;
+}
+
+std::vector<SSTable::Entry> SSTable::read_all() const {
+  std::vector<Entry> out;
+  out.reserve(index_.size());
+  Reader r(BytesView(data_.data(), data_.size()));
+  while (!r.exhausted()) {
+    Entry e;
+    std::uint8_t kind = 0;
+    if (!r.str(e.key).is_ok()) break;
+    if (!r.u8(kind).is_ok()) break;
+    if (kind == kKindTombstone) {
+      std::uint64_t zero = 0;
+      if (!r.varint(zero).is_ok()) break;
+      e.value.tombstone = true;
+    } else if (!r.bytes(e.value.value).is_ok()) {
+      break;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace marlin::storage

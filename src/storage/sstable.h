@@ -1,0 +1,64 @@
+// Immutable sorted table. Layout:
+//
+//   data section:   repeated [varint klen][key][u8 kind][varint vlen][value]
+//   index section:  repeated [varint klen][key][varint offset]
+//   footer (20 B):  [u64 index_offset][u64 entry_count][u32 masked-crc of
+//                    data+index]
+//
+// The reader keeps the whole index in memory (these tables are flush-sized,
+// not TB-sized) and binary-searches it per lookup.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/memtable.h"
+
+namespace marlin::storage {
+
+/// Writes a memtable snapshot (already sorted) as an SSTable file.
+Status write_sstable(Env& env, const std::string& name,
+                     const std::map<std::string, ValueOrTombstone>& entries);
+
+class SSTable {
+ public:
+  /// Opens and validates (footer CRC) a table file.
+  static Result<std::shared_ptr<SSTable>> open(const Env& env,
+                                               const std::string& name);
+
+  /// nullopt = not in this table; tombstones are returned explicitly.
+  std::optional<ValueOrTombstone> get(const std::string& key) const;
+
+  std::size_t entry_count() const { return index_.size(); }
+  const std::string& file_name() const { return name_; }
+
+  /// Sorted iteration support for merged scans.
+  struct Entry {
+    std::string key;
+    ValueOrTombstone value;
+  };
+  /// Decodes every entry in order (used by compaction and scans).
+  std::vector<Entry> read_all() const;
+
+ private:
+  struct IndexEntry {
+    std::string key;
+    std::uint64_t offset;
+  };
+
+  SSTable(std::string name, Bytes data, std::vector<IndexEntry> index)
+      : name_(std::move(name)), data_(std::move(data)), index_(std::move(index)) {}
+
+  std::optional<ValueOrTombstone> decode_at(std::uint64_t offset) const;
+
+  std::string name_;
+  Bytes data_;  // data section only
+  std::vector<IndexEntry> index_;
+};
+
+}  // namespace marlin::storage

@@ -1,0 +1,48 @@
+#include "storage/wal.h"
+
+#include "common/crc32c.h"
+#include "common/serialize.h"
+
+namespace marlin::storage {
+
+Result<WalWriter> WalWriter::create(Env& env, const std::string& name) {
+  auto file = env.create_append(name);
+  if (!file.is_ok()) return file.status();
+  return WalWriter(std::move(file).take());
+}
+
+Status WalWriter::append(BytesView record) {
+  Writer w(record.size() + 8);
+  w.u32(crc32c_masked(record));
+  w.u32(static_cast<std::uint32_t>(record.size()));
+  w.raw(record);
+  return file_->append(w.buffer());
+}
+
+Result<std::vector<Bytes>> wal_read_all(const Env& env,
+                                        const std::string& name) {
+  auto content = env.read_file(name);
+  if (!content.is_ok()) return content.status();
+  const Bytes& data = content.value();
+
+  std::vector<Bytes> records;
+  std::size_t pos = 0;
+  while (pos + 8 <= data.size()) {
+    Reader header(BytesView(data.data() + pos, 8));
+    std::uint32_t crc = 0, len = 0;
+    (void)header.u32(crc);
+    (void)header.u32(len);
+    if (pos + 8 + len > data.size()) break;  // torn final record
+    BytesView payload(data.data() + pos + 8, len);
+    if (crc32c_masked(payload) != crc) {
+      // A bad CRC mid-file (with full length present) is real corruption,
+      // not a torn tail.
+      return error(ErrorCode::kCorruption, "wal crc mismatch in " + name);
+    }
+    records.emplace_back(payload.begin(), payload.end());
+    pos += 8 + len;
+  }
+  return records;
+}
+
+}  // namespace marlin::storage

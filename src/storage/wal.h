@@ -1,0 +1,40 @@
+// Write-ahead log: length-prefixed, CRC-guarded records. Every mutation of
+// the KV store is appended here before touching the memtable, so an open
+// after a crash replays the tail that never made it into an SSTable.
+//
+// Record framing: [u32 masked-crc][u32 len][payload]. Replay stops cleanly
+// at the first torn/corrupt record (partial final write is not an error).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace marlin::storage {
+
+class WalWriter {
+ public:
+  /// Creates (truncates) the segment `name` in `env`.
+  static Result<WalWriter> create(Env& env, const std::string& name);
+
+  Status append(BytesView record);
+  Status sync() { return file_->sync(); }
+  std::uint64_t size() const { return file_->size(); }
+
+ private:
+  explicit WalWriter(std::unique_ptr<AppendFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<AppendFile> file_;
+};
+
+/// Reads all intact records from a segment. A trailing torn record is
+/// silently dropped; a CRC mismatch mid-file reports kCorruption.
+Result<std::vector<Bytes>> wal_read_all(const Env& env,
+                                        const std::string& name);
+
+}  // namespace marlin::storage

@@ -1,0 +1,73 @@
+#include "types/block.h"
+
+namespace marlin::types {
+
+void Operation::encode(Writer& w) const {
+  w.u32(client);
+  w.u64(request);
+  w.bytes(payload);
+}
+
+Result<Operation> Operation::decode(Reader& r) {
+  Operation op;
+  if (Status s = r.u32(op.client); !s.is_ok()) return s;
+  if (Status s = r.u64(op.request); !s.is_ok()) return s;
+  if (Status s = r.bytes(op.payload); !s.is_ok()) return s;
+  return op;
+}
+
+std::size_t ops_wire_size(const std::vector<Operation>& ops) {
+  std::size_t total = 0;
+  for (const Operation& op : ops) total += 4 + 8 + 2 + op.payload.size();
+  return total;
+}
+
+Hash256 Block::hash() const {
+  Writer w(128 + ops_wire_size(ops));
+  w.str("marlin.block");
+  encode(w);
+  return crypto::Sha256::digest(w.buffer());
+}
+
+void Block::encode(Writer& w) const {
+  w.raw(parent_link.view());
+  w.u64(parent_view);
+  w.u64(view);
+  w.u64(height);
+  w.boolean(virtual_block);
+  w.varint(ops.size());
+  for (const Operation& op : ops) op.encode(w);
+  justify.encode(w);
+}
+
+Result<Block> Block::decode(Reader& r) {
+  Block b;
+  Bytes hash;
+  if (Status s = r.raw(crypto::kHashSize, hash); !s.is_ok()) return s;
+  b.parent_link = Hash256::from_bytes(hash);
+  if (Status s = r.u64(b.parent_view); !s.is_ok()) return s;
+  if (Status s = r.u64(b.view); !s.is_ok()) return s;
+  if (Status s = r.u64(b.height); !s.is_ok()) return s;
+  if (Status s = r.boolean(b.virtual_block); !s.is_ok()) return s;
+  std::uint64_t count = 0;
+  if (Status s = r.varint(count); !s.is_ok()) return s;
+  if (count > (1u << 22)) {
+    return error(ErrorCode::kCorruption, "oversized op batch");
+  }
+  b.ops.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Result<Operation> op = Operation::decode(r);
+    if (!op.is_ok()) return op.status();
+    b.ops.push_back(std::move(op).take());
+  }
+  Result<Justify> j = Justify::decode(r);
+  if (!j.is_ok()) return j.status();
+  b.justify = std::move(j).take();
+  return b;
+}
+
+Block Block::genesis() {
+  return Block{};  // zero hash parent, view 0, height 0, no ops, no justify
+}
+
+}  // namespace marlin::types

@@ -1,0 +1,62 @@
+// Block model from the paper (§V-A): a block is
+//   b = [pl, pview, view, height, op, justify]
+// where `pl` is the hash of the parent block, `pview` the parent's view,
+// and `justify` carries the QC(s) for the parent. A *virtual* block is the
+// view-change special: its pl is ⊥ (zero hash) and it may acquire a "real"
+// parent only after the fact (Case 2 of the pre-prepare phase). *Shadow*
+// blocks are a bandwidth trick, not a distinct type: two blocks proposed in
+// one PRE-PREPARE share the same `op` payload, and the wire format sends
+// the payload once (see messages.h).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+#include "types/quorum_cert.h"
+
+namespace marlin::types {
+
+using crypto::Hash256;
+
+/// One client operation (opaque payload plus routing metadata for replies).
+struct Operation {
+  ClientId client = 0;
+  RequestId request = 0;
+  Bytes payload;
+
+  void encode(Writer& w) const;
+  static Result<Operation> decode(Reader& r);
+  bool operator==(const Operation&) const = default;
+};
+
+struct Block {
+  Hash256 parent_link;    // pl: hash of parent; zero for genesis / virtual
+  ViewNumber parent_view = 0;  // pview
+  ViewNumber view = 0;
+  Height height = 0;
+  bool virtual_block = false;  // pl = ⊥ (paper's virtual block)
+  std::vector<Operation> ops;
+  Justify justify;  // QC(s) for the parent block (see quorum_cert.h)
+
+  /// Deterministic content hash — the identity used by parent links, votes
+  /// and QCs. Includes every field (the paper's shadow blocks share ops but
+  /// differ in metadata, so they hash differently, as required).
+  Hash256 hash() const;
+
+  bool is_genesis() const { return view == 0 && height == 0; }
+
+  void encode(Writer& w) const;
+  static Result<Block> decode(Reader& r);
+  bool operator==(const Block&) const = default;
+
+  /// The genesis block every replica starts from.
+  static Block genesis();
+};
+
+/// Total payload bytes across ops (bandwidth accounting).
+std::size_t ops_wire_size(const std::vector<Operation>& ops);
+
+}  // namespace marlin::types

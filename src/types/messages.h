@@ -1,0 +1,162 @@
+// Wire messages for both protocols. Every network payload is an Envelope:
+// a one-byte kind tag plus the message body. Proposal messages implement
+// the paper's *shadow block* optimisation: when a PRE-PREPARE carries two
+// blocks sharing one op batch (Cases V1/V3), the payload is serialized
+// once and the second block is flagged as a shadow (§IV-D, §V-C).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "types/block_store.h"
+
+namespace marlin::types {
+
+enum class MsgKind : std::uint8_t {
+  kClientRequest = 1,
+  kClientReply = 2,
+  kProposal = 3,     // leader → replicas (PREPARE / PRE-PREPARE / HotStuff)
+  kVote = 4,         // replica → leader
+  kQcNotice = 5,     // leader → replicas: a formed QC (COMMIT msg, DECIDE…)
+  kViewChange = 6,   // replica → new leader (Marlin VC / HotStuff NEW-VIEW)
+  kFetchRequest = 7, // ask a peer for a block body
+  kFetchResponse = 8,
+};
+
+/// Phase tag on proposals/votes/QC notices. Mapped per protocol:
+/// Marlin uses {PrePrepare, Prepare, Commit, Decide};
+/// HotStuff uses {Prepare, PreCommit, Commit, Decide}.
+enum class Phase : std::uint8_t {
+  kPrePrepare = 0,
+  kPrepare = 1,
+  kPreCommit = 2,
+  kCommit = 3,
+  kDecide = 4,
+};
+
+const char* phase_name(Phase p);
+
+/// One or more operations submitted together. Clients coalesce requests
+/// issued at the same instant into one frame (wire bytes are unchanged —
+/// it is plain concatenation — but simulator event counts stay bounded).
+struct ClientRequestMsg {
+  std::vector<Operation> ops;
+
+  void encode(Writer& w) const;
+  static Result<ClientRequestMsg> decode(Reader& r);
+};
+
+/// Reply for all of one client's operations committed by one block. The
+/// simulation batches per-(client, block) to bound event counts; `padding`
+/// keeps the wire size equal to one reply-sized message per request (the
+/// paper's replies are 150 B each), so the bandwidth model is unchanged.
+struct ClientReplyMsg {
+  ClientId client = 0;
+  ReplicaId replica = 0;
+  ViewNumber view = 0;
+  Height height = 0;          // height of the committing block
+  std::vector<RequestId> requests;
+  Bytes result;               // execution result digest (same on all correct)
+  Bytes padding;              // sizes the message as |requests| real replies
+
+  void encode(Writer& w) const;
+  static Result<ClientReplyMsg> decode(Reader& r);
+};
+
+/// One proposed block plus the message-level justify (which, unlike the
+/// block's own justify, may be the (qc, vc) pair validating a virtual
+/// block's pre-prepareQC).
+struct ProposalEntry {
+  Block block;
+  Justify justify;
+};
+
+struct ProposalMsg {
+  Phase phase = Phase::kPrepare;
+  ViewNumber view = 0;
+  std::vector<ProposalEntry> entries;  // 1 or 2 (two only in PRE-PREPARE)
+
+  void encode(Writer& w) const;
+  static Result<ProposalMsg> decode(Reader& r);
+
+  /// Wire size (shadow sharing accounted).
+  std::size_t wire_size() const;
+};
+
+struct VoteMsg {
+  Phase phase = Phase::kPrepare;
+  ViewNumber view = 0;
+  Hash256 block_hash;
+  crypto::PartialSig parsig;
+  /// R2 votes attach the voter's lockedQC so the leader can learn the
+  /// higher prepareQC `vc` (paper Fig. 9, Case R2).
+  std::optional<QuorumCert> locked_qc;
+
+  void encode(Writer& w) const;
+  static Result<VoteMsg> decode(Reader& r);
+};
+
+struct QcNoticeMsg {
+  Phase phase = Phase::kCommit;  // which step this QC drives
+  ViewNumber view = 0;
+  QuorumCert qc;
+  /// For a PREPARE re-broadcast of a virtual block: the validating vc.
+  std::optional<QuorumCert> aux;
+
+  void encode(Writer& w) const;
+  static Result<QcNoticeMsg> decode(Reader& r);
+};
+
+struct ViewChangeMsg {
+  ViewNumber view = 0;  // the view being started
+  BlockRef last_voted;  // lb
+  Justify high_qc;      // highQC (one or two QCs)
+  crypto::PartialSig parsig;  // partial sig over the happy-path digest
+
+  void encode(Writer& w) const;
+  static Result<ViewChangeMsg> decode(Reader& r);
+};
+
+/// Catch-up request: "send me the bodies on the path from `block_hash`
+/// down to height `since` (exclusive)". The provider answers with up to
+/// kFetchBatchLimit FetchResponse messages, newest first.
+struct FetchRequestMsg {
+  Hash256 block_hash;
+  Height since = 0;
+
+  static constexpr std::uint32_t kFetchBatchLimit = 64;
+
+  void encode(Writer& w) const;
+  static Result<FetchRequestMsg> decode(Reader& r);
+};
+
+struct FetchResponseMsg {
+  Block block;
+
+  void encode(Writer& w) const;
+  static Result<FetchResponseMsg> decode(Reader& r);
+};
+
+/// Top-level frame: [u8 kind][body].
+struct Envelope {
+  MsgKind kind;
+  Bytes body;
+
+  Bytes serialize() const;
+  static Result<Envelope> parse(BytesView wire);
+};
+
+/// Helpers to build/open envelopes for any message type above.
+template <typename M>
+Envelope make_envelope(MsgKind kind, const M& msg) {
+  Writer w;
+  msg.encode(w);
+  return Envelope{kind, std::move(w).take()};
+}
+
+template <typename M>
+Result<M> open_envelope(const Envelope& env) {
+  return decode_from_bytes<M>(env.body);
+}
+
+}  // namespace marlin::types

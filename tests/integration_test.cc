@@ -1,0 +1,342 @@
+// End-to-end integration tests on the full simulated testbed: replicas +
+// clients over the latency/bandwidth network, with crypto/storage cost
+// charging, pacemakers, crash faults, rotating leaders, partitions, and
+// partial synchrony (pre-GST chaos).
+#include <gtest/gtest.h>
+
+#include "runtime/experiment.h"
+
+namespace marlin::runtime {
+namespace {
+
+ClusterConfig small_config(ProtocolKind protocol) {
+  ClusterConfig cfg;
+  cfg.f = 1;
+  cfg.protocol = protocol;
+  cfg.num_clients = 4;
+  cfg.client_window = 8;
+  cfg.max_batch_ops = 500;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+class BothProtocols : public ::testing::TestWithParam<ProtocolKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, BothProtocols,
+                         ::testing::Values(ProtocolKind::kMarlin,
+                                           ProtocolKind::kHotStuff),
+                         [](const auto& info) {
+                           return info.param == ProtocolKind::kMarlin
+                                      ? "Marlin"
+                                      : "HotStuff";
+                         });
+
+TEST_P(BothProtocols, SteadyStateCommits) {
+  auto res = run_throughput_experiment(small_config(GetParam()),
+                                       Duration::seconds(2),
+                                       Duration::seconds(6));
+  EXPECT_GT(res.throughput_ops, 50.0);
+  EXPECT_TRUE(res.safety_ok);
+  EXPECT_TRUE(res.consistent);
+  EXPECT_EQ(res.final_view, 1u);  // stable leader, no spurious view changes
+  EXPECT_GT(res.total_completed, 0u);
+}
+
+TEST_P(BothProtocols, AllClientRequestsEventuallyComplete) {
+  ClusterConfig cfg = small_config(GetParam());
+  cfg.client_max_requests = 50;  // each client stops after 50 requests
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.start();
+  sim.run_for(Duration::seconds(30));
+  for (ClientId c = 0; c < cfg.num_clients; ++c) {
+    EXPECT_EQ(cluster.client(c).issued(), 50u);
+    EXPECT_EQ(cluster.client(c).in_flight(), 0u);
+    EXPECT_EQ(cluster.client(c).latency().count(), 50u);
+  }
+  EXPECT_FALSE(cluster.any_safety_violation());
+}
+
+TEST_P(BothProtocols, MarlinLatencyIsLower) {
+  // Not parameterized work per se: assert the headline latency ordering.
+  auto marlin = run_throughput_experiment(small_config(ProtocolKind::kMarlin),
+                                          Duration::seconds(2),
+                                          Duration::seconds(6));
+  auto hotstuff = run_throughput_experiment(
+      small_config(ProtocolKind::kHotStuff), Duration::seconds(2),
+      Duration::seconds(6));
+  // Marlin commits in two phases instead of three. The closed-loop beat
+  // alignment absorbs part of the saved round-trip, so assert a clear but
+  // conservative margin (≥ 30 ms at a 40 ms one-way delay).
+  EXPECT_LT(marlin.p50_latency_ms + 30, hotstuff.p50_latency_ms);
+}
+
+TEST_P(BothProtocols, LeaderCrashRecovers) {
+  ClusterConfig cfg = small_config(GetParam());
+  cfg.pacemaker.base_timeout = Duration::millis(800);
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.start();
+  sim.run_for(Duration::seconds(3));
+  const auto committed_before = cluster.replica(0).protocol().committed_height();
+  EXPECT_GT(committed_before, 0u);
+
+  cluster.crash_replica(cluster.current_leader());
+  sim.run_for(Duration::seconds(10));
+
+  // Committing resumed well past the pre-crash height.
+  for (ReplicaId r = 0; r < cluster.n(); ++r) {
+    if (cluster.network().is_down(r)) continue;
+    EXPECT_GT(cluster.replica(r).protocol().committed_height(),
+              committed_before + 3)
+        << "replica " << r;
+    EXPECT_GE(cluster.replica(r).protocol().current_view(), 2u);
+  }
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+}
+
+TEST_P(BothProtocols, SurvivesFSuccessiveLeaderCrashes) {
+  ClusterConfig cfg = small_config(GetParam());
+  cfg.f = 2;  // n = 7, tolerate 2 crashes
+  cfg.pacemaker.base_timeout = Duration::millis(800);
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.start();
+  sim.run_for(Duration::seconds(3));
+
+  for (int i = 0; i < 2; ++i) {
+    cluster.crash_replica(cluster.current_leader());
+    sim.run_for(Duration::seconds(8));
+  }
+  Height max_height = 0;
+  for (ReplicaId r = 0; r < cluster.n(); ++r) {
+    if (cluster.network().is_down(r)) continue;
+    max_height =
+        std::max(max_height, cluster.replica(r).protocol().committed_height());
+  }
+  EXPECT_GT(max_height, 5u);
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+}
+
+TEST_P(BothProtocols, RotatingLeaderModeProgresses) {
+  ClusterConfig cfg = small_config(GetParam());
+  cfg.pacemaker.rotate_on_timer = true;
+  cfg.pacemaker.rotation_interval = Duration::millis(700);
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.start();
+  sim.run_for(Duration::seconds(10));
+  // Leader rotated many times and commits continued.
+  EXPECT_GE(cluster.max_view(), 8u);
+  for (ReplicaId r = 0; r < cluster.n(); ++r) {
+    EXPECT_GT(cluster.replica(r).protocol().committed_height(), 5u);
+  }
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+}
+
+TEST_P(BothProtocols, RotatingLeaderWithCrashes) {
+  ClusterConfig cfg = small_config(GetParam());
+  cfg.f = 3;  // n = 13, as in the paper's Fig. 10j
+  cfg.pacemaker.rotate_on_timer = true;
+  cfg.pacemaker.rotation_interval = Duration::seconds(1);
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.start();
+  cluster.crash_replica(2);
+  cluster.crash_replica(5);
+  cluster.crash_replica(8);
+  sim.run_for(Duration::seconds(20));
+  Height max_height = 0;
+  for (ReplicaId r = 0; r < cluster.n(); ++r) {
+    if (cluster.network().is_down(r)) continue;
+    max_height =
+        std::max(max_height, cluster.replica(r).protocol().committed_height());
+  }
+  EXPECT_GT(max_height, 5u);
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+}
+
+TEST_P(BothProtocols, MessageLossIsTolerated) {
+  ClusterConfig cfg = small_config(GetParam());
+  cfg.net.drop_probability = 0.02;  // 2% loss on every link
+  cfg.pacemaker.base_timeout = Duration::millis(900);
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.start();
+  sim.run_for(Duration::seconds(20));
+  for (ReplicaId r = 0; r < cluster.n(); ++r) {
+    EXPECT_GT(cluster.replica(r).protocol().committed_height(), 3u);
+  }
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+}
+
+TEST_P(BothProtocols, PartitionHeals) {
+  ClusterConfig cfg = small_config(GetParam());
+  cfg.pacemaker.base_timeout = Duration::millis(800);
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.start();
+  sim.run_for(Duration::seconds(2));
+  const auto before = cluster.replica(0).protocol().committed_height();
+
+  // Isolate replica 0 and the leader from each other (minority cut, the
+  // rest keep quorum).
+  cluster.network().set_filter([](sim::NodeId from, sim::NodeId to) {
+    return !((from == 0 && to == 1) || (from == 1 && to == 0));
+  });
+  sim.run_for(Duration::seconds(5));
+  cluster.network().set_filter(nullptr);
+  sim.run_for(Duration::seconds(8));
+
+  for (ReplicaId r = 0; r < cluster.n(); ++r) {
+    EXPECT_GT(cluster.replica(r).protocol().committed_height(), before);
+  }
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+}
+
+TEST_P(BothProtocols, PartialSynchronyBeforeGst) {
+  // Chaotic network until GST at t=8s: big random extra delays and loss.
+  // After GST the protocol must stabilize and commit (Theorem 2).
+  ClusterConfig cfg = small_config(GetParam());
+  cfg.net.pre_gst_extra_delay_max = Duration::seconds(2);
+  cfg.net.pre_gst_drop_probability = 0.3;
+  cfg.pacemaker.base_timeout = Duration::millis(800);
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.network().set_gst(TimePoint::origin() + Duration::seconds(8));
+  cluster.start();
+  sim.run_for(Duration::seconds(30));
+  for (ReplicaId r = 0; r < cluster.n(); ++r) {
+    EXPECT_GT(cluster.replica(r).protocol().committed_height(), 2u)
+        << "replica " << r;
+  }
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+}
+
+TEST_P(BothProtocols, ChaosNeverViolatesSafetyEvenWithoutLiveness) {
+  // Extreme loss for the whole run: liveness is not guaranteed, safety is.
+  ClusterConfig cfg = small_config(GetParam());
+  cfg.net.drop_probability = 0.35;
+  cfg.pacemaker.base_timeout = Duration::millis(500);
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.start();
+  sim.run_for(Duration::seconds(25));
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+}
+
+TEST(IntegrationMarlin, ForcedUnhappyPathStillRecovers) {
+  ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
+  auto res = run_view_change_experiment(cfg, /*force_unhappy=*/true);
+  EXPECT_TRUE(res.resolved);
+  EXPECT_TRUE(res.unhappy_path);
+  EXPECT_TRUE(res.safety_ok);
+}
+
+TEST(IntegrationMarlin, HappyPathViewChangeFasterThanUnhappy) {
+  ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
+  auto happy = run_view_change_experiment(cfg, /*force_unhappy=*/false);
+  auto unhappy = run_view_change_experiment(cfg, /*force_unhappy=*/true);
+  ASSERT_TRUE(happy.resolved);
+  ASSERT_TRUE(unhappy.resolved);
+  EXPECT_FALSE(happy.unhappy_path);
+  EXPECT_LT(happy.mean_latency_ms + 40, unhappy.mean_latency_ms);
+}
+
+TEST(IntegrationMarlin, HappyViewChangeBeatsHotStuff) {
+  // The paper's Fig. 10i ordering: Marlin happy < HotStuff ≈ Marlin unhappy.
+  ClusterConfig m = small_config(ProtocolKind::kMarlin);
+  ClusterConfig hs = small_config(ProtocolKind::kHotStuff);
+  auto marlin_happy = run_view_change_experiment(m, false);
+  auto marlin_unhappy = run_view_change_experiment(m, true);
+  auto hotstuff = run_view_change_experiment(hs, false);
+  ASSERT_TRUE(marlin_happy.resolved);
+  ASSERT_TRUE(marlin_unhappy.resolved);
+  ASSERT_TRUE(hotstuff.resolved);
+  EXPECT_LT(marlin_happy.mean_latency_ms, hotstuff.mean_latency_ms * 0.85);
+  EXPECT_NEAR(marlin_unhappy.mean_latency_ms, hotstuff.mean_latency_ms,
+              hotstuff.mean_latency_ms * 0.25);
+}
+
+TEST(IntegrationMarlin, ThroughputBeatsHotStuffUnderEqualLoad) {
+  ClusterConfig m = small_config(ProtocolKind::kMarlin);
+  ClusterConfig hs = small_config(ProtocolKind::kHotStuff);
+  m.client_window = hs.client_window = 64;
+  auto marlin = run_throughput_experiment(m, Duration::seconds(2),
+                                          Duration::seconds(8));
+  auto hotstuff = run_throughput_experiment(hs, Duration::seconds(2),
+                                            Duration::seconds(8));
+  EXPECT_GT(marlin.throughput_ops, hotstuff.throughput_ops * 1.04);
+}
+
+TEST(IntegrationRuntime, CheckpointsRunAtConfiguredInterval) {
+  ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
+  cfg.checkpoint_interval = 20;  // every 20 blocks for the test
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.start();
+  sim.run_for(Duration::seconds(15));
+  const auto& rp = cluster.replica(0);
+  EXPECT_GT(rp.protocol().committed_blocks(), 20u);
+  EXPECT_GE(rp.checkpoints_run(),
+            rp.protocol().committed_blocks() / 20 - 1);
+}
+
+TEST(IntegrationRuntime, NoOpModeCompletes) {
+  ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
+  cfg.payload_size = 0;  // the paper's no-op requests
+  auto res = run_throughput_experiment(cfg, Duration::seconds(2),
+                                       Duration::seconds(6));
+  EXPECT_GT(res.throughput_ops, 50.0);
+  EXPECT_TRUE(res.safety_ok);
+}
+
+TEST(IntegrationRuntime, DeterministicGivenSeed) {
+  ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
+  auto a = run_throughput_experiment(cfg, Duration::seconds(2),
+                                     Duration::seconds(5));
+  auto b = run_throughput_experiment(cfg, Duration::seconds(2),
+                                     Duration::seconds(5));
+  EXPECT_DOUBLE_EQ(a.throughput_ops, b.throughput_ops);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.total_completed, b.total_completed);
+}
+
+TEST(IntegrationRuntime, DifferentSeedsStillSafe) {
+  for (std::uint64_t seed : {7ull, 99ull, 12345ull}) {
+    ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
+    cfg.seed = seed;
+    auto res = run_throughput_experiment(cfg, Duration::seconds(1),
+                                         Duration::seconds(4));
+    EXPECT_TRUE(res.safety_ok) << seed;
+    EXPECT_TRUE(res.consistent) << seed;
+    EXPECT_GT(res.throughput_ops, 0) << seed;
+  }
+}
+
+TEST(IntegrationRuntime, TrafficCountersPopulate) {
+  ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
+  sim::Simulator sim(cfg.seed);
+  Cluster cluster(sim, cfg);
+  cluster.replica(1).set_count_authenticators(true);  // view-1 leader
+  cluster.start();
+  sim.run_for(Duration::seconds(3));
+  const auto& t = cluster.replica(1).traffic();
+  const auto proposal_idx = static_cast<std::size_t>(types::MsgKind::kProposal);
+  const auto notice_idx = static_cast<std::size_t>(types::MsgKind::kQcNotice);
+  EXPECT_GT(t.msgs_by_kind[proposal_idx], 0u);
+  EXPECT_GT(t.msgs_by_kind[notice_idx], 0u);
+  EXPECT_GT(t.bytes_by_kind[proposal_idx], 0u);
+  EXPECT_GT(t.authenticators_sent, 0u);
+}
+
+}  // namespace
+}  // namespace marlin::runtime

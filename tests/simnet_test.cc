@@ -1,0 +1,449 @@
+// Tests for the discrete-event simulator, the network model (latency,
+// bandwidth serialization, drops, partitions, crash faults, GST), and the
+// CPU-charging sequential processor.
+#include <gtest/gtest.h>
+
+#include "simnet/network.h"
+#include "simnet/processor.h"
+#include "simnet/simulator.h"
+
+namespace marlin::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simulator core
+// ---------------------------------------------------------------------------
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  sim.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(Duration::millis(10), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim(1);
+  TimePoint seen;
+  sim.schedule(Duration::millis(250), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint::origin() + Duration::millis(250));
+}
+
+TEST(Simulator, CancelledEventDoesNotRun) {
+  Simulator sim(1);
+  bool ran = false;
+  TimerHandle h = sim.schedule(Duration::millis(5), [&] { ran = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim(1);
+  bool ran = false;
+  TimerHandle h = sim.schedule(Duration::millis(5), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim(1);
+  int count = 0;
+  sim.schedule(Duration::millis(10), [&] { ++count; });
+  sim.schedule(Duration::millis(20), [&] { ++count; });
+  sim.schedule(Duration::millis(30), [&] { ++count; });
+  sim.run_until(TimePoint::origin() + Duration::millis(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(20));
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim(1);
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(Duration::millis(1), recurse);
+  };
+  sim.schedule(Duration::millis(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Simulator, MaxEventsGuard) {
+  Simulator sim(1);
+  std::function<void()> forever = [&] {
+    sim.schedule(Duration::millis(1), forever);
+  };
+  sim.schedule(Duration::millis(1), forever);
+  sim.run(100);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+class Recorder : public NetworkNode {
+ public:
+  struct Rx {
+    NodeId from;
+    Bytes payload;
+    TimePoint at;
+  };
+  explicit Recorder(Simulator& sim) : sim_(sim) {}
+  void on_message(NodeId from, Bytes payload) override {
+    received.push_back({from, std::move(payload), sim_.now()});
+  }
+  Simulator& sim_;
+  std::vector<Rx> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(7) {}
+
+  Network& make_net(NetConfig cfg) {
+    net_ = std::make_unique<Network>(sim_, cfg);
+    for (int i = 0; i < 4; ++i) {
+      nodes_.push_back(std::make_unique<Recorder>(sim_));
+      net_->add_node(nodes_.back().get());
+    }
+    return *net_;
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<Recorder>> nodes_;
+};
+
+TEST_F(NetworkTest, DeliversWithPropagationDelay) {
+  NetConfig cfg;
+  cfg.one_way_delay = Duration::millis(40);
+  cfg.jitter = Duration::zero();
+  Network& net = make_net(cfg);
+  net.send(0, 1, to_bytes("hello"));
+  sim_.run();
+  ASSERT_EQ(nodes_[1]->received.size(), 1u);
+  EXPECT_EQ(nodes_[1]->received[0].payload, to_bytes("hello"));
+  // Tiny message: transmission time is negligible but present.
+  const Duration took = nodes_[1]->received[0].at - TimePoint::origin();
+  EXPECT_GE(took, Duration::millis(40));
+  EXPECT_LT(took, Duration::millis(41));
+}
+
+TEST_F(NetworkTest, BandwidthSerializesLargeMessages) {
+  NetConfig cfg;
+  cfg.one_way_delay = Duration::millis(10);
+  cfg.jitter = Duration::zero();
+  cfg.link_bandwidth_bps = 8e6;  // 1 MB/s
+  cfg.nic_bandwidth_bps = 8e7;
+  Network& net = make_net(cfg);
+  net.send(0, 1, Bytes(1000000, 0x55));  // 1 MB → 1 s on the link
+  sim_.run();
+  ASSERT_EQ(nodes_[1]->received.size(), 1u);
+  const Duration took = nodes_[1]->received[0].at - TimePoint::origin();
+  EXPECT_GE(took, Duration::millis(1010));
+  EXPECT_LT(took, Duration::millis(1200));
+}
+
+TEST_F(NetworkTest, NicSharedAcrossDestinations) {
+  NetConfig cfg;
+  cfg.one_way_delay = Duration::zero();
+  cfg.jitter = Duration::zero();
+  cfg.link_bandwidth_bps = 1e12;  // links unconstrained
+  cfg.nic_bandwidth_bps = 8e6;    // 1 MB/s NIC
+  Network& net = make_net(cfg);
+  // Three 1 MB sends from node 0 serialize at the NIC: ~1, 2, 3 seconds.
+  for (NodeId d = 1; d <= 3; ++d) net.send(0, d, Bytes(1000000, 1));
+  sim_.run();
+  const Duration t1 = nodes_[1]->received[0].at - TimePoint::origin();
+  const Duration t3 = nodes_[3]->received[0].at - TimePoint::origin();
+  EXPECT_NEAR(t1.as_seconds_f(), 1.0, 0.05);
+  EXPECT_NEAR(t3.as_seconds_f(), 3.0, 0.05);
+}
+
+TEST_F(NetworkTest, PerLinkBandwidthIndependent) {
+  NetConfig cfg;
+  cfg.one_way_delay = Duration::zero();
+  cfg.jitter = Duration::zero();
+  cfg.link_bandwidth_bps = 8e6;  // 1 MB/s per link
+  cfg.nic_bandwidth_bps = 1e12;  // NIC unconstrained
+  Network& net = make_net(cfg);
+  for (NodeId d = 1; d <= 3; ++d) net.send(0, d, Bytes(1000000, 1));
+  sim_.run();
+  // All three links serialize in parallel: each arrives ≈ 1 s.
+  for (NodeId d = 1; d <= 3; ++d) {
+    const Duration t = nodes_[d]->received[0].at - TimePoint::origin();
+    EXPECT_NEAR(t.as_seconds_f(), 1.0, 0.05) << d;
+  }
+}
+
+TEST_F(NetworkTest, LoopbackIsFast) {
+  Network& net = make_net(NetConfig{});
+  net.send(2, 2, to_bytes("self"));
+  sim_.run();
+  ASSERT_EQ(nodes_[2]->received.size(), 1u);
+  EXPECT_LT(nodes_[2]->received[0].at - TimePoint::origin(),
+            Duration::millis(1));
+}
+
+TEST_F(NetworkTest, CrashedNodeNeitherSendsNorReceives) {
+  Network& net = make_net(NetConfig{});
+  net.set_node_down(1, true);
+  net.send(1, 2, to_bytes("from crashed"));
+  net.send(0, 1, to_bytes("to crashed"));
+  sim_.run();
+  EXPECT_TRUE(nodes_[2]->received.empty());
+  EXPECT_TRUE(nodes_[1]->received.empty());
+}
+
+TEST_F(NetworkTest, CrashMidFlightDropsDelivery) {
+  NetConfig cfg;
+  cfg.jitter = Duration::zero();
+  Network& net = make_net(cfg);
+  net.send(0, 1, to_bytes("in flight"));
+  sim_.run_until(TimePoint::origin() + Duration::millis(5));
+  net.set_node_down(1, true);
+  sim_.run();
+  EXPECT_TRUE(nodes_[1]->received.empty());
+}
+
+TEST_F(NetworkTest, FilterBlocksDirectionally) {
+  Network& net = make_net(NetConfig{});
+  net.set_filter([](NodeId from, NodeId to) {
+    return !(from == 0 && to == 1);  // block 0 → 1 only
+  });
+  net.send(0, 1, to_bytes("blocked"));
+  net.send(1, 0, to_bytes("allowed"));
+  sim_.run();
+  EXPECT_TRUE(nodes_[1]->received.empty());
+  EXPECT_EQ(nodes_[0]->received.size(), 1u);
+  net.set_filter(nullptr);
+  net.send(0, 1, to_bytes("healed"));
+  sim_.run();
+  EXPECT_EQ(nodes_[1]->received.size(), 1u);
+}
+
+TEST_F(NetworkTest, DropProbabilityOneDropsAll) {
+  NetConfig cfg;
+  cfg.drop_probability = 1.0;
+  Network& net = make_net(cfg);
+  for (int i = 0; i < 10; ++i) net.send(0, 1, to_bytes("x"));
+  sim_.run();
+  EXPECT_TRUE(nodes_[1]->received.empty());
+  EXPECT_EQ(net.stats(0).messages_dropped, 10u);
+}
+
+TEST_F(NetworkTest, PreGstExtraDelayAppliesOnlyBeforeGst) {
+  NetConfig cfg;
+  cfg.one_way_delay = Duration::millis(10);
+  cfg.jitter = Duration::zero();
+  cfg.pre_gst_extra_delay_max = Duration::seconds(1);
+  Network& net = make_net(cfg);
+  net.set_gst(TimePoint::origin() + Duration::seconds(10));
+
+  net.send(0, 1, to_bytes("pre"));
+  sim_.run_until(TimePoint::origin() + Duration::seconds(5));
+
+  // Post-GST message: bounded delay again.
+  sim_.schedule(Duration::seconds(6), [&] { net.send(0, 2, to_bytes("post")); });
+  sim_.run();
+  ASSERT_EQ(nodes_[2]->received.size(), 1u);
+  const Duration post_delay =
+      nodes_[2]->received[0].at - (TimePoint::origin() + Duration::seconds(11));
+  EXPECT_LT(post_delay, Duration::millis(11));
+}
+
+TEST_F(NetworkTest, StatsAccumulate) {
+  Network& net = make_net(NetConfig{});
+  net.send(0, 1, Bytes(100, 1));
+  net.send(0, 2, Bytes(50, 1));
+  sim_.run();
+  EXPECT_EQ(net.stats(0).messages_sent, 2u);
+  EXPECT_EQ(net.stats(0).bytes_sent, 150u);
+  EXPECT_EQ(net.stats(1).messages_delivered, 1u);
+  EXPECT_EQ(net.total_stats().bytes_delivered, 150u);
+  net.reset_stats();
+  EXPECT_EQ(net.total_stats().messages_sent, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SequentialProcessor
+// ---------------------------------------------------------------------------
+
+TEST(SequentialProcessor, ChargesCpuTime) {
+  Simulator sim(1);
+  SequentialProcessor cpu(sim);
+  TimePoint second_start;
+  cpu.post([&] { return Duration::millis(10); });
+  cpu.post([&] {
+    second_start = sim.now();
+    return Duration::millis(5);
+  });
+  sim.run();
+  EXPECT_EQ(second_start, TimePoint::origin() + Duration::millis(10));
+  EXPECT_EQ(cpu.total_busy(), Duration::millis(15));
+}
+
+TEST(SequentialProcessor, IdleCpuRunsImmediately) {
+  Simulator sim(1);
+  SequentialProcessor cpu(sim);
+  TimePoint start;
+  cpu.post([&] {
+    start = sim.now();
+    return Duration::zero();
+  });
+  sim.run();
+  EXPECT_EQ(start, TimePoint::origin());
+}
+
+TEST(SequentialProcessor, BacklogDrains) {
+  Simulator sim(1);
+  SequentialProcessor cpu(sim);
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) {
+    cpu.post([&] {
+      ++ran;
+      return Duration::millis(1);
+    });
+  }
+  EXPECT_GT(cpu.backlog(), 0u);
+  sim.run();
+  EXPECT_EQ(ran, 10);
+  EXPECT_EQ(cpu.free_at(), TimePoint::origin() + Duration::millis(10));
+}
+
+TEST(SequentialProcessor, TasksPostedDuringRunExecute) {
+  Simulator sim(1);
+  SequentialProcessor cpu(sim);
+  bool inner = false;
+  cpu.post([&] {
+    cpu.post([&] {
+      inner = true;
+      return Duration::zero();
+    });
+    return Duration::millis(3);
+  });
+  sim.run();
+  EXPECT_TRUE(inner);
+}
+
+}  // namespace
+}  // namespace marlin::sim
+
+namespace marlin::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Additional simulator/network edge cases
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorEdge, RunUntilIdempotentOnEmptyQueue) {
+  Simulator sim(1);
+  sim.run_until(TimePoint::origin() + Duration::seconds(5));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::seconds(5));
+  sim.run_until(TimePoint::origin() + Duration::seconds(5));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::seconds(5));
+}
+
+TEST(SimulatorEdge, TimerHandleActiveTracksLifecycle) {
+  Simulator sim(1);
+  TimerHandle inert;
+  EXPECT_FALSE(inert.active());
+  TimerHandle h = sim.schedule(Duration::millis(10), [] {});
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+}
+
+TEST(SimulatorEdge, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim(1);
+  sim.schedule(Duration::millis(5), [&] {
+    TimePoint inner_time;
+    sim.schedule(Duration::zero(), [&] { inner_time = sim.now(); });
+    (void)inner_time;
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(5));
+}
+
+TEST(NetworkEdge, JitterBoundedByConfig) {
+  Simulator sim(3);
+  NetConfig cfg;
+  cfg.one_way_delay = Duration::millis(10);
+  cfg.jitter = Duration::millis(2);
+  Network net(sim, cfg);
+  struct Sink : NetworkNode {
+    Simulator& sim;
+    std::vector<TimePoint> at;
+    explicit Sink(Simulator& s) : sim(s) {}
+    void on_message(NodeId, Bytes) override { at.push_back(sim.now()); }
+  } a{sim}, b{sim};
+  net.add_node(&a);
+  net.add_node(&b);
+  for (int i = 0; i < 200; ++i) net.send(0, 1, to_bytes("x"));
+  sim.run();
+  ASSERT_EQ(b.at.size(), 200u);
+  for (TimePoint t : b.at) {
+    const Duration d = t - TimePoint::origin();
+    EXPECT_GE(d, Duration::millis(10));
+    EXPECT_LT(d, Duration::millis(13));
+  }
+}
+
+TEST(NetworkEdge, DeterministicGivenSeed) {
+  auto run = [] {
+    Simulator sim(42);
+    NetConfig cfg;
+    cfg.jitter = Duration::millis(5);
+    cfg.drop_probability = 0.2;
+    Network net(sim, cfg);
+    struct Sink : NetworkNode {
+      int count = 0;
+      void on_message(NodeId, Bytes) override { ++count; }
+    } a, b;
+    net.add_node(&a);
+    net.add_node(&b);
+    for (int i = 0; i < 500; ++i) net.send(0, 1, to_bytes("x"));
+    sim.run();
+    return b.count;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(NetworkEdge, RevivedNodeReceivesAgain) {
+  Simulator sim(5);
+  Network net(sim, NetConfig{});
+  struct Sink : NetworkNode {
+    int count = 0;
+    void on_message(NodeId, Bytes) override { ++count; }
+  } a, b;
+  net.add_node(&a);
+  net.add_node(&b);
+  net.set_node_down(1, true);
+  net.send(0, 1, to_bytes("lost"));
+  sim.run();
+  EXPECT_EQ(b.count, 0);
+  net.set_node_down(1, false);
+  net.send(0, 1, to_bytes("found"));
+  sim.run();
+  EXPECT_EQ(b.count, 1);
+}
+
+}  // namespace
+}  // namespace marlin::sim

@@ -1,0 +1,546 @@
+// Tests for the storage engine: WAL framing and recovery semantics,
+// memtable, SSTable format (including corruption detection), and the full
+// KVStore (flush, checkpoint/GC, recovery, scans) on both environments.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "storage/kvstore.h"
+
+namespace marlin::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Env
+// ---------------------------------------------------------------------------
+
+TEST(MemEnv, BasicFileOps) {
+  auto env = make_mem_env();
+  EXPECT_FALSE(env->file_exists("a"));
+  ASSERT_TRUE(env->write_file_atomic("a", to_bytes("data")).is_ok());
+  EXPECT_TRUE(env->file_exists("a"));
+  auto content = env->read_file("a");
+  ASSERT_TRUE(content.is_ok());
+  EXPECT_EQ(content.value(), to_bytes("data"));
+  ASSERT_TRUE(env->remove_file("a").is_ok());
+  EXPECT_FALSE(env->file_exists("a"));
+}
+
+TEST(MemEnv, AppendFileAccumulates) {
+  auto env = make_mem_env();
+  auto f = env->create_append("log");
+  ASSERT_TRUE(f.is_ok());
+  ASSERT_TRUE(f.value()->append(to_bytes("one")).is_ok());
+  ASSERT_TRUE(f.value()->append(to_bytes("two")).is_ok());
+  EXPECT_EQ(f.value()->size(), 6u);
+  EXPECT_EQ(env->read_file("log").value(), to_bytes("onetwo"));
+}
+
+TEST(MemEnv, ListFiles) {
+  auto env = make_mem_env();
+  (void)env->write_file_atomic("b", {});
+  (void)env->write_file_atomic("a", {});
+  auto files = env->list_files();
+  EXPECT_EQ(files.size(), 2u);
+}
+
+TEST(MemEnv, ReadMissingFails) {
+  auto env = make_mem_env();
+  EXPECT_EQ(env->read_file("nope").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(PosixEnv, RoundTrip) {
+  const std::string dir = "/tmp/marlin_posix_env_test";
+  std::filesystem::remove_all(dir);
+  auto env_result = make_posix_env(dir);
+  ASSERT_TRUE(env_result.is_ok());
+  auto& env = *env_result.value();
+  ASSERT_TRUE(env.write_file_atomic("f", to_bytes("persisted")).is_ok());
+  EXPECT_EQ(env.read_file("f").value(), to_bytes("persisted"));
+  auto f = env.create_append("log");
+  ASSERT_TRUE(f.is_ok());
+  ASSERT_TRUE(f.value()->append(to_bytes("rec")).is_ok());
+  ASSERT_TRUE(f.value()->sync().is_ok());
+  EXPECT_TRUE(env.file_exists("log"));
+  EXPECT_EQ(env.list_files().size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+TEST(Wal, RoundTrip) {
+  auto env = make_mem_env();
+  auto w = WalWriter::create(*env, "wal");
+  ASSERT_TRUE(w.is_ok());
+  ASSERT_TRUE(w.value().append(to_bytes("alpha")).is_ok());
+  ASSERT_TRUE(w.value().append(to_bytes("beta")).is_ok());
+  auto records = wal_read_all(*env, "wal");
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0], to_bytes("alpha"));
+  EXPECT_EQ(records.value()[1], to_bytes("beta"));
+}
+
+TEST(Wal, EmptyLog) {
+  auto env = make_mem_env();
+  auto w = WalWriter::create(*env, "wal");
+  ASSERT_TRUE(w.is_ok());
+  auto records = wal_read_all(*env, "wal");
+  ASSERT_TRUE(records.is_ok());
+  EXPECT_TRUE(records.value().empty());
+}
+
+TEST(Wal, TornTailIsIgnored) {
+  auto env = make_mem_env();
+  {
+    auto w = WalWriter::create(*env, "wal");
+    ASSERT_TRUE(w.is_ok());
+    ASSERT_TRUE(w.value().append(to_bytes("whole")).is_ok());
+    ASSERT_TRUE(w.value().append(to_bytes("torn record")).is_ok());
+  }
+  Bytes content = env->read_file("wal").value();
+  content.resize(content.size() - 4);  // tear the final record
+  ASSERT_TRUE(env->write_file_atomic("wal", content).is_ok());
+
+  auto records = wal_read_all(*env, "wal");
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0], to_bytes("whole"));
+}
+
+TEST(Wal, MidFileCorruptionDetected) {
+  auto env = make_mem_env();
+  {
+    auto w = WalWriter::create(*env, "wal");
+    ASSERT_TRUE(w.is_ok());
+    ASSERT_TRUE(w.value().append(to_bytes("record one")).is_ok());
+    ASSERT_TRUE(w.value().append(to_bytes("record two")).is_ok());
+  }
+  Bytes content = env->read_file("wal").value();
+  content[10] ^= 0xff;  // flip a bit inside the first record's payload
+  ASSERT_TRUE(env->write_file_atomic("wal", content).is_ok());
+  EXPECT_EQ(wal_read_all(*env, "wal").status().code(), ErrorCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// MemTable
+// ---------------------------------------------------------------------------
+
+TEST(MemTable, PutGetDelete) {
+  MemTable mt;
+  mt.put("k", to_bytes("v1"));
+  ASSERT_TRUE(mt.get("k").has_value());
+  EXPECT_EQ(mt.get("k")->value, to_bytes("v1"));
+  mt.put("k", to_bytes("v2"));
+  EXPECT_EQ(mt.get("k")->value, to_bytes("v2"));
+  mt.del("k");
+  ASSERT_TRUE(mt.get("k").has_value());
+  EXPECT_TRUE(mt.get("k")->tombstone);
+  EXPECT_FALSE(mt.get("other").has_value());
+}
+
+TEST(MemTable, SizeTracking) {
+  MemTable mt;
+  EXPECT_EQ(mt.approximate_bytes(), 0u);
+  mt.put("key", Bytes(100, 1));
+  const std::size_t after_one = mt.approximate_bytes();
+  EXPECT_GT(after_one, 100u);
+  mt.put("key", Bytes(10, 1));  // overwrite shrinks
+  EXPECT_LT(mt.approximate_bytes(), after_one);
+  mt.clear();
+  EXPECT_EQ(mt.approximate_bytes(), 0u);
+  EXPECT_TRUE(mt.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SSTable
+// ---------------------------------------------------------------------------
+
+class SSTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = make_mem_env(); }
+
+  std::shared_ptr<SSTable> build(
+      const std::map<std::string, ValueOrTombstone>& entries) {
+    EXPECT_TRUE(write_sstable(*env_, "t1", entries).is_ok());
+    auto t = SSTable::open(*env_, "t1");
+    EXPECT_TRUE(t.is_ok());
+    return t.value();
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(SSTableTest, LookupHitAndMiss) {
+  auto t = build({{"apple", {to_bytes("red"), false}},
+                  {"banana", {to_bytes("yellow"), false}},
+                  {"cherry", {to_bytes("dark"), false}}});
+  EXPECT_EQ(t->entry_count(), 3u);
+  ASSERT_TRUE(t->get("banana").has_value());
+  EXPECT_EQ(t->get("banana")->value, to_bytes("yellow"));
+  EXPECT_FALSE(t->get("blueberry").has_value());
+  EXPECT_FALSE(t->get("").has_value());
+  EXPECT_FALSE(t->get("zzz").has_value());
+}
+
+TEST_F(SSTableTest, TombstonesPreserved) {
+  auto t = build({{"gone", {{}, true}}, {"kept", {to_bytes("v"), false}}});
+  ASSERT_TRUE(t->get("gone").has_value());
+  EXPECT_TRUE(t->get("gone")->tombstone);
+  EXPECT_FALSE(t->get("kept")->tombstone);
+}
+
+TEST_F(SSTableTest, ReadAllInOrder) {
+  auto t = build({{"b", {to_bytes("2"), false}},
+                  {"a", {to_bytes("1"), false}},
+                  {"c", {to_bytes("3"), false}}});
+  auto all = t->read_all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].key, "a");
+  EXPECT_EQ(all[2].key, "c");
+}
+
+TEST_F(SSTableTest, EmptyTable) {
+  auto t = build({});
+  EXPECT_EQ(t->entry_count(), 0u);
+  EXPECT_FALSE(t->get("anything").has_value());
+}
+
+TEST_F(SSTableTest, CorruptionDetected) {
+  build({{"k", {to_bytes("v"), false}}});
+  Bytes raw = env_->read_file("t1").value();
+  raw[1] ^= 0x01;
+  ASSERT_TRUE(env_->write_file_atomic("t1", raw).is_ok());
+  EXPECT_EQ(SSTable::open(*env_, "t1").status().code(),
+            ErrorCode::kCorruption);
+}
+
+TEST_F(SSTableTest, TruncationDetected) {
+  build({{"k", {to_bytes("v"), false}}});
+  Bytes raw = env_->read_file("t1").value();
+  raw.resize(raw.size() / 2);
+  ASSERT_TRUE(env_->write_file_atomic("t1", raw).is_ok());
+  EXPECT_FALSE(SSTable::open(*env_, "t1").is_ok());
+}
+
+TEST_F(SSTableTest, LargeTableBinarySearch) {
+  std::map<std::string, ValueOrTombstone> entries;
+  for (int i = 0; i < 1000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof key, "key%05d", i);
+    entries[key] = {to_bytes(std::to_string(i)), false};
+  }
+  auto t = build(entries);
+  EXPECT_EQ(t->get("key00500")->value, to_bytes("500"));
+  EXPECT_EQ(t->get("key00999")->value, to_bytes("999"));
+  EXPECT_FALSE(t->get("key01000").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// KVStore
+// ---------------------------------------------------------------------------
+
+class KVStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = make_mem_env();
+    reopen();
+  }
+
+  void reopen(KVStoreOptions opts = {}) {
+    store_.reset();
+    auto s = KVStore::open(*env_, opts);
+    ASSERT_TRUE(s.is_ok()) << s.status().to_string();
+    store_ = std::move(s).take();
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<KVStore> store_;
+};
+
+TEST_F(KVStoreTest, PutGetDelete) {
+  ASSERT_TRUE(store_->put("k1", to_bytes("v1")).is_ok());
+  EXPECT_EQ(store_->get("k1").value(), to_bytes("v1"));
+  ASSERT_TRUE(store_->put("k1", to_bytes("v2")).is_ok());
+  EXPECT_EQ(store_->get("k1").value(), to_bytes("v2"));
+  ASSERT_TRUE(store_->del("k1").is_ok());
+  EXPECT_EQ(store_->get("k1").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(KVStoreTest, GetMissing) {
+  EXPECT_EQ(store_->get("missing").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(KVStoreTest, FlushMovesDataToSSTable) {
+  ASSERT_TRUE(store_->put("a", to_bytes("1")).is_ok());
+  ASSERT_TRUE(store_->put("b", to_bytes("2")).is_ok());
+  EXPECT_EQ(store_->sstable_count(), 0u);
+  ASSERT_TRUE(store_->flush().is_ok());
+  EXPECT_EQ(store_->sstable_count(), 1u);
+  EXPECT_EQ(store_->memtable_bytes(), 0u);
+  EXPECT_EQ(store_->get("a").value(), to_bytes("1"));
+}
+
+TEST_F(KVStoreTest, NewerTableShadowsOlder) {
+  ASSERT_TRUE(store_->put("k", to_bytes("old")).is_ok());
+  ASSERT_TRUE(store_->flush().is_ok());
+  ASSERT_TRUE(store_->put("k", to_bytes("new")).is_ok());
+  ASSERT_TRUE(store_->flush().is_ok());
+  EXPECT_EQ(store_->sstable_count(), 2u);
+  EXPECT_EQ(store_->get("k").value(), to_bytes("new"));
+}
+
+TEST_F(KVStoreTest, DeleteShadowsFlushedValue) {
+  ASSERT_TRUE(store_->put("k", to_bytes("v")).is_ok());
+  ASSERT_TRUE(store_->flush().is_ok());
+  ASSERT_TRUE(store_->del("k").is_ok());
+  EXPECT_EQ(store_->get("k").status().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(store_->flush().is_ok());
+  EXPECT_EQ(store_->get("k").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(KVStoreTest, CheckpointCompactsToOneTable) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store_->put("key" + std::to_string(i),
+                            to_bytes(std::to_string(i)))
+                    .is_ok());
+    ASSERT_TRUE(store_->flush().is_ok());
+  }
+  EXPECT_EQ(store_->sstable_count(), 5u);
+  ASSERT_TRUE(store_->checkpoint().is_ok());
+  EXPECT_EQ(store_->sstable_count(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(store_->get("key" + std::to_string(i)).value(),
+              to_bytes(std::to_string(i)));
+  }
+}
+
+TEST_F(KVStoreTest, CheckpointDropsTombstones) {
+  ASSERT_TRUE(store_->put("dead", to_bytes("v")).is_ok());
+  ASSERT_TRUE(store_->flush().is_ok());
+  ASSERT_TRUE(store_->del("dead").is_ok());
+  ASSERT_TRUE(store_->checkpoint().is_ok());
+  EXPECT_EQ(store_->get("dead").status().code(), ErrorCode::kNotFound);
+  // The compacted table holds zero entries for the deleted key.
+  EXPECT_EQ(store_->sstable_count(), 1u);
+}
+
+TEST_F(KVStoreTest, AutoFlushOnThreshold) {
+  KVStoreOptions opts;
+  opts.memtable_flush_bytes = 1024;
+  reopen(opts);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        store_->put("key" + std::to_string(i), Bytes(64, 0x11)).is_ok());
+  }
+  EXPECT_GT(store_->sstable_count(), 0u);
+  EXPECT_EQ(store_->get("key0").value(), Bytes(64, 0x11));
+}
+
+TEST_F(KVStoreTest, RecoveryReplaysWal) {
+  ASSERT_TRUE(store_->put("persist", to_bytes("me")).is_ok());
+  ASSERT_TRUE(store_->put("and", to_bytes("me too")).is_ok());
+  ASSERT_TRUE(store_->del("and").is_ok());
+  reopen();  // WAL tail replays
+  EXPECT_EQ(store_->get("persist").value(), to_bytes("me"));
+  EXPECT_EQ(store_->get("and").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(KVStoreTest, RecoveryAfterFlushAndMoreWrites) {
+  ASSERT_TRUE(store_->put("flushed", to_bytes("1")).is_ok());
+  ASSERT_TRUE(store_->flush().is_ok());
+  ASSERT_TRUE(store_->put("unflushed", to_bytes("2")).is_ok());
+  reopen();
+  EXPECT_EQ(store_->get("flushed").value(), to_bytes("1"));
+  EXPECT_EQ(store_->get("unflushed").value(), to_bytes("2"));
+}
+
+TEST_F(KVStoreTest, RepeatedReopenStable) {
+  ASSERT_TRUE(store_->put("k", to_bytes("v")).is_ok());
+  for (int i = 0; i < 3; ++i) {
+    reopen();
+    EXPECT_EQ(store_->get("k").value(), to_bytes("v"));
+  }
+}
+
+TEST_F(KVStoreTest, Scan) {
+  ASSERT_TRUE(store_->put("a1", to_bytes("1")).is_ok());
+  ASSERT_TRUE(store_->put("a2", to_bytes("2")).is_ok());
+  ASSERT_TRUE(store_->flush().is_ok());
+  ASSERT_TRUE(store_->put("a3", to_bytes("3")).is_ok());
+  ASSERT_TRUE(store_->put("b1", to_bytes("x")).is_ok());
+  ASSERT_TRUE(store_->del("a2").is_ok());
+
+  auto rows = store_->scan("a", "b");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "a1");
+  EXPECT_EQ(rows[1].first, "a3");
+}
+
+TEST_F(KVStoreTest, RandomizedAgainstReferenceMap) {
+  // Property test: the store behaves exactly like a std::map through an
+  // arbitrary interleaving of puts/deletes/flushes/checkpoints/reopens.
+  Rng rng(2024);
+  std::map<std::string, Bytes> reference;
+  for (int step = 0; step < 2000; ++step) {
+    const std::string key = "k" + std::to_string(rng.next_below(50));
+    switch (rng.next_below(10)) {
+      case 0:
+        ASSERT_TRUE(store_->flush().is_ok());
+        break;
+      case 1:
+        ASSERT_TRUE(store_->checkpoint().is_ok());
+        break;
+      case 2:
+        reopen();
+        break;
+      case 3:
+      case 4:
+        ASSERT_TRUE(store_->del(key).is_ok());
+        reference.erase(key);
+        break;
+      default: {
+        const Bytes value = rng.next_bytes(1 + rng.next_below(40));
+        ASSERT_TRUE(store_->put(key, value).is_ok());
+        reference[key] = value;
+      }
+    }
+    if (step % 97 == 0) {
+      for (const auto& [k, v] : reference) {
+        auto got = store_->get(k);
+        ASSERT_TRUE(got.is_ok()) << k;
+        ASSERT_EQ(got.value(), v) << k;
+      }
+    }
+  }
+  // Final full comparison via scan.
+  auto rows = store_->scan("", "\x7f");
+  ASSERT_EQ(rows.size(), reference.size());
+  for (const auto& [k, v] : rows) {
+    ASSERT_EQ(reference.at(k), v);
+  }
+}
+
+TEST(KVStorePosix, SurvivesRealFilesystem) {
+  const std::string dir = "/tmp/marlin_kv_posix_test";
+  std::filesystem::remove_all(dir);
+  auto env = make_posix_env(dir);
+  ASSERT_TRUE(env.is_ok());
+  {
+    auto store = KVStore::open(*env.value());
+    ASSERT_TRUE(store.is_ok());
+    ASSERT_TRUE(store.value()->put("disk", to_bytes("durable")).is_ok());
+    ASSERT_TRUE(store.value()->flush().is_ok());
+    ASSERT_TRUE(store.value()->put("tail", to_bytes("wal")).is_ok());
+  }
+  {
+    auto store = KVStore::open(*env.value());
+    ASSERT_TRUE(store.is_ok());
+    EXPECT_EQ(store.value()->get("disk").value(), to_bytes("durable"));
+    EXPECT_EQ(store.value()->get("tail").value(), to_bytes("wal"));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace marlin::storage
+
+namespace marlin::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Additional engine edge cases
+// ---------------------------------------------------------------------------
+
+TEST(KVStoreEdge, CheckpointOnEmptyStoreIsNoop) {
+  auto env = make_mem_env();
+  auto store = KVStore::open(*env);
+  ASSERT_TRUE(store.is_ok());
+  ASSERT_TRUE(store.value()->checkpoint().is_ok());
+  EXPECT_EQ(store.value()->sstable_count(), 0u);
+}
+
+TEST(KVStoreEdge, FlushEmptyMemtableOnlyRotatesWal) {
+  auto env = make_mem_env();
+  auto store = KVStore::open(*env);
+  ASSERT_TRUE(store.is_ok());
+  ASSERT_TRUE(store.value()->flush().is_ok());
+  EXPECT_EQ(store.value()->sstable_count(), 0u);
+  ASSERT_TRUE(store.value()->put("k", to_bytes("v")).is_ok());
+  EXPECT_EQ(store.value()->get("k").value(), to_bytes("v"));
+}
+
+TEST(KVStoreEdge, OverwriteChainAcrossManyTables) {
+  auto env = make_mem_env();
+  auto store = KVStore::open(*env);
+  ASSERT_TRUE(store.is_ok());
+  for (int gen = 0; gen < 8; ++gen) {
+    ASSERT_TRUE(
+        store.value()->put("key", to_bytes("gen" + std::to_string(gen)))
+            .is_ok());
+    ASSERT_TRUE(store.value()->flush().is_ok());
+  }
+  EXPECT_EQ(store.value()->sstable_count(), 8u);
+  EXPECT_EQ(store.value()->get("key").value(), to_bytes("gen7"));
+  ASSERT_TRUE(store.value()->checkpoint().is_ok());
+  EXPECT_EQ(store.value()->sstable_count(), 1u);
+  EXPECT_EQ(store.value()->get("key").value(), to_bytes("gen7"));
+}
+
+TEST(KVStoreEdge, ManifestCorruptionDetectedOnOpen) {
+  auto env = make_mem_env();
+  {
+    auto store = KVStore::open(*env);
+    ASSERT_TRUE(store.is_ok());
+    ASSERT_TRUE(store.value()->put("k", to_bytes("v")).is_ok());
+    ASSERT_TRUE(store.value()->flush().is_ok());
+  }
+  Bytes manifest = env->read_file("MANIFEST").value();
+  manifest.resize(manifest.size() / 2);
+  ASSERT_TRUE(env->write_file_atomic("MANIFEST", manifest).is_ok());
+  EXPECT_FALSE(KVStore::open(*env).is_ok());
+}
+
+TEST(KVStoreEdge, LargeValuesRoundTrip) {
+  auto env = make_mem_env();
+  auto store = KVStore::open(*env);
+  ASSERT_TRUE(store.is_ok());
+  Rng rng(77);
+  const Bytes big = rng.next_bytes(1 << 20);  // 1 MiB value
+  ASSERT_TRUE(store.value()->put("big", big).is_ok());
+  ASSERT_TRUE(store.value()->flush().is_ok());
+  EXPECT_EQ(store.value()->get("big").value(), big);
+}
+
+TEST(KVStoreEdge, EmptyKeyAndEmptyValue) {
+  auto env = make_mem_env();
+  auto store = KVStore::open(*env);
+  ASSERT_TRUE(store.is_ok());
+  ASSERT_TRUE(store.value()->put("", to_bytes("empty-key")).is_ok());
+  ASSERT_TRUE(store.value()->put("empty-value", {}).is_ok());
+  EXPECT_EQ(store.value()->get("").value(), to_bytes("empty-key"));
+  EXPECT_EQ(store.value()->get("empty-value").value(), Bytes{});
+  ASSERT_TRUE(store.value()->flush().is_ok());
+  EXPECT_EQ(store.value()->get("").value(), to_bytes("empty-key"));
+}
+
+TEST(KVStoreEdge, ScanAcrossMemtableAndTables) {
+  auto env = make_mem_env();
+  auto store = KVStore::open(*env);
+  ASSERT_TRUE(store.is_ok());
+  ASSERT_TRUE(store.value()->put("a", to_bytes("1")).is_ok());
+  ASSERT_TRUE(store.value()->flush().is_ok());
+  ASSERT_TRUE(store.value()->put("b", to_bytes("2")).is_ok());
+  ASSERT_TRUE(store.value()->checkpoint().is_ok());
+  ASSERT_TRUE(store.value()->put("c", to_bytes("3")).is_ok());
+  auto rows = store.value()->scan("", "zzz");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "a");
+  EXPECT_EQ(rows[2].first, "c");
+}
+
+}  // namespace
+}  // namespace marlin::storage
