@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "runtime/experiment.h"
 
 namespace marlin::bench {
@@ -66,17 +67,46 @@ struct SweepPoint {
   runtime::ThroughputResult result;
 };
 
+/// Observability artifacts a bench can accumulate across runs and dump at
+/// exit: a cluster metrics snapshot (merged additively over every run) and
+/// the protocol trace of the runs it was wired into (the ring keeps the
+/// newest events when a long sweep overflows it).
+struct ObsArtifacts {
+  obs::MetricsRegistry metrics;
+  obs::TraceSink trace{1u << 17};
+
+  /// Writes <prefix>.metrics.json and <prefix>.trace.jsonl; returns false
+  /// if either write fails.
+  bool write(const std::string& prefix) const {
+    bool ok = obs::write_text_file(prefix + ".metrics.json",
+                                   obs::metrics_to_json(metrics));
+    ok = obs::write_text_file(prefix + ".trace.jsonl",
+                              obs::trace_to_jsonl(trace)) &&
+         ok;
+    return ok;
+  }
+};
+
 /// Runs a load sweep for one (f, protocol), printing rows as they finish.
+/// With `artifacts`, every run traces into its sink and merges its metrics
+/// snapshot (authenticator counting included, for the Table I cross-check).
 inline std::vector<SweepPoint> run_sweep(std::uint32_t f,
                                          ProtocolKind protocol,
                                          std::size_t payload_size = 150,
-                                         Duration warmup = Duration::seconds(3)) {
+                                         Duration warmup = Duration::seconds(3),
+                                         ObsArtifacts* artifacts = nullptr) {
   std::vector<SweepPoint> out;
   for (std::uint32_t outstanding : load_points(f)) {
     ClusterConfig cfg = paper_config(f, protocol);
     cfg.payload_size = payload_size;
     cfg.client_window = std::max(1u, outstanding / cfg.num_clients);
-    auto res = runtime::run_throughput_experiment(cfg, warmup, measure_for(f));
+    if (artifacts) {
+      cfg.trace = &artifacts->trace;
+      cfg.count_authenticators = true;
+    }
+    auto res = runtime::run_throughput_experiment(
+        cfg, warmup, measure_for(f),
+        artifacts ? &artifacts->metrics : nullptr);
     std::printf("%-9s f=%-3u out=%-6u  tput=%8.2f ktx/s  mean=%7.1f ms  "
                 "p50=%7.1f  p95=%7.1f  safe=%d\n",
                 protocol_name(protocol), f, outstanding,

@@ -21,6 +21,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Metrics accumulate over every run; the trace ring keeps the newest
+  // events. Dumped next to the binary for trace_inspect / plotting.
+  ObsArtifacts artifacts;
+
   const char* fig = "abcdef";
   for (std::size_t i = 0; i < fs.size(); ++i) {
     const std::uint32_t f = fs[i];
@@ -29,13 +33,23 @@ int main(int argc, char** argv) {
                   "Figure 10%c — Throughput vs latency (f = %u, n = %u)",
                   i < 6 ? fig[i] : '?', f, 3 * f + 1);
     print_header(title);
-    auto marlin = run_sweep(f, ProtocolKind::kMarlin);
-    auto hotstuff = run_sweep(f, ProtocolKind::kHotStuff);
+    auto marlin = run_sweep(f, ProtocolKind::kMarlin, 150,
+                            marlin::Duration::seconds(3), &artifacts);
+    auto hotstuff = run_sweep(f, ProtocolKind::kHotStuff, 150,
+                              marlin::Duration::seconds(3), &artifacts);
     const double m = peak_ktx(marlin);
     const double h = peak_ktx(hotstuff);
     std::printf("-- f=%u sweep peaks: marlin=%.2f ktx/s, hotstuff=%.2f ktx/s "
                 "(marlin %+.1f%%)\n",
                 f, m, h, (m / h - 1.0) * 100.0);
+  }
+
+  if (artifacts.write("bench_fig10")) {
+    std::printf("\nwrote bench_fig10.metrics.json and bench_fig10.trace.jsonl"
+                " (analyze with trace_inspect)\n");
+  } else {
+    std::fprintf(stderr, "failed to write bench_fig10 artifacts\n");
+    return 1;
   }
   return 0;
 }

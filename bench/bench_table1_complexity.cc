@@ -49,6 +49,7 @@ Measured measure_view_change(ProtocolKind protocol, std::uint32_t f,
   const ReplicaId old_leader = cluster.current_leader();
   const ViewNumber old_view = cluster.max_view();
   cluster.crash_replica(old_leader);
+  cluster.network().reset_stats();
   for (ReplicaId r = 0; r < cluster.n(); ++r) {
     cluster.replica(r).reset_traffic();
   }
@@ -72,18 +73,19 @@ Measured measure_view_change(ProtocolKind protocol, std::uint32_t f,
     }
   }
 
-  // Consensus traffic only (view-change, proposals, votes, QC notices).
+  // Consensus traffic only (view-change, proposals, votes, QC notices),
+  // counted at the wire by the network's per-kind breakdowns.
   const types::MsgKind kinds[] = {types::MsgKind::kViewChange,
                                   types::MsgKind::kProposal,
                                   types::MsgKind::kVote,
                                   types::MsgKind::kQcNotice};
   for (ReplicaId r = 0; r < cluster.n(); ++r) {
-    const auto& t = cluster.replica(r).traffic();
+    const sim::NodeNetStats& net = cluster.network().stats(r);
     for (auto k : kinds) {
-      out.messages += t.msgs_by_kind[static_cast<std::size_t>(k)];
-      out.bytes += t.bytes_by_kind[static_cast<std::size_t>(k)];
+      out.messages += net.msgs_sent_by_kind[static_cast<std::size_t>(k)];
+      out.bytes += net.bytes_sent_by_kind[static_cast<std::size_t>(k)];
     }
-    out.authenticators += t.authenticators_sent;
+    out.authenticators += cluster.replica(r).traffic().authenticators_sent;
   }
   return out;
 }

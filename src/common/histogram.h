@@ -21,17 +21,26 @@ class LatencyHistogram {
 
   std::size_t count() const { return samples_.size(); }
 
-  Duration percentile(double p) {
+  /// Linearly interpolated percentile (p in [0, 100]): rank p/100·(n−1)
+  /// falls between two sorted samples and the result blends them, so
+  /// p95/p99 are no longer biased low by flooring to the lower rank.
+  Duration percentile(double p) const {
     if (samples_.empty()) return Duration::zero();
     ensure_sorted();
     const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    const std::size_t idx = static_cast<std::size_t>(rank);
-    return samples_[std::min(idx, samples_.size() - 1)];
+    const std::size_t lo =
+        std::min(static_cast<std::size_t>(rank), samples_.size() - 1);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    const double lo_ns = static_cast<double>(samples_[lo].as_nanos());
+    const double hi_ns = static_cast<double>(samples_[hi].as_nanos());
+    return Duration::nanos(
+        static_cast<std::int64_t>(lo_ns + frac * (hi_ns - lo_ns)));
   }
 
-  Duration median() { return percentile(50); }
-  Duration min() { return percentile(0); }
-  Duration max() { return percentile(100); }
+  Duration median() const { return percentile(50); }
+  Duration min() const { return percentile(0); }
+  Duration max() const { return percentile(100); }
 
   Duration mean() const {
     if (samples_.empty()) return Duration::zero();
@@ -55,15 +64,17 @@ class LatencyHistogram {
   }
 
  private:
-  void ensure_sorted() {
+  // Lazy sort is an implementation detail, so percentile queries stay
+  // const-callable (exporters take const registries).
+  void ensure_sorted() const {
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;
     }
   }
 
-  std::vector<Duration> samples_;
-  bool sorted_ = true;
+  mutable std::vector<Duration> samples_;
+  mutable bool sorted_ = true;
 };
 
 /// Counts events inside a measurement window (e.g. committed operations),

@@ -9,6 +9,10 @@ namespace marlin {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
+// The simulator is single-threaded, so a plain function object suffices;
+// only the level threshold stays atomic (it predates the sink hook).
+LogSink g_sink;
+
 const char* level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
@@ -31,6 +35,12 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+LogSink set_log_sink(LogSink sink) {
+  LogSink prev = std::move(g_sink);
+  g_sink = std::move(sink);
+  return prev;
+}
+
 void log_message(LogLevel level, const char* file, int line, const char* fmt,
                  ...) {
   char body[1024];
@@ -38,8 +48,40 @@ void log_message(LogLevel level, const char* file, int line, const char* fmt,
   va_start(args, fmt);
   std::vsnprintf(body, sizeof body, fmt, args);
   va_end(args);
+  if (g_sink) {
+    g_sink(level, file, line, body);
+    return;
+  }
   std::fprintf(stderr, "[%s %s:%d] %s\n", level_tag(level), basename_of(file),
                line, body);
+}
+
+ScopedLogCapture::ScopedLogCapture(LogLevel capture_level)
+    : prev_level_(log_level()) {
+  prev_sink_ = set_log_sink([this](LogLevel level, const char* file, int line,
+                                   const char* body) {
+    std::string entry = level_tag(level);
+    entry += ' ';
+    entry += basename_of(file);
+    entry += ':';
+    entry += std::to_string(line);
+    entry += ' ';
+    entry += body;
+    lines_.push_back(std::move(entry));
+  });
+  set_log_level(capture_level);
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  set_log_sink(std::move(prev_sink_));
+  set_log_level(prev_level_);
+}
+
+bool ScopedLogCapture::contains(const std::string& needle) const {
+  for (const std::string& line : lines_) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
 }
 
 }  // namespace marlin

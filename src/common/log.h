@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdarg>
+#include <functional>
 #include <string>
+#include <vector>
 
 namespace marlin {
 
@@ -14,9 +16,40 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Core sink; prefer the MLOG_* macros.
+/// Where formatted messages go. `body` is the formatted text without the
+/// "[LEVEL file:line]" prefix. The default (empty) sink prints to stderr.
+using LogSink =
+    std::function<void(LogLevel level, const char* file, int line,
+                       const char* body)>;
+
+/// Replaces the sink; pass an empty function to restore stderr output.
+/// Returns the previous sink so callers can nest and restore.
+LogSink set_log_sink(LogSink sink);
+
+/// Core entry point; prefer the MLOG_* macros.
 void log_message(LogLevel level, const char* file, int line, const char* fmt,
                  ...) __attribute__((format(printf, 4, 5)));
+
+/// RAII capture of MLOG_* output for tests: installs a collecting sink and
+/// lowers the level threshold, restoring both on destruction.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(LogLevel capture_level = LogLevel::kTrace);
+  ~ScopedLogCapture();
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  /// Captured lines, formatted as "LEVEL file:line body", oldest first.
+  const std::vector<std::string>& lines() const { return lines_; }
+  /// True when any captured line contains `needle`.
+  bool contains(const std::string& needle) const;
+  void clear() { lines_.clear(); }
+
+ private:
+  std::vector<std::string> lines_;
+  LogSink prev_sink_;
+  LogLevel prev_level_;
+};
 
 }  // namespace marlin
 

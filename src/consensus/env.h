@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/ids.h"
+#include "obs/trace.h"
 #include "types/messages.h"
 
 namespace marlin::consensus {
@@ -14,6 +15,10 @@ namespace marlin::consensus {
 class ProtocolEnv {
  public:
   virtual ~ProtocolEnv() = default;
+
+  /// Structured event trace the protocol records into, or nullptr when the
+  /// host is not tracing (unit-test envs). Protocols must tolerate null.
+  virtual obs::TraceSink* trace_sink() { return nullptr; }
 
   /// Point-to-point send to another replica (authenticated channel).
   virtual void send(ReplicaId to, const types::Envelope& env) = 0;

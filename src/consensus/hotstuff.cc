@@ -72,12 +72,21 @@ void HotStuffReplica::propose(bool force) {
   env_.charge_hash_bytes(types::ops_wire_size(b.ops) + 128);
   store_.insert(b);
 
+  const Height proposed_height = b.height;
+  const std::size_t proposed_ops = b.ops.size();
+  const Hash256 proposed_hash = b.hash();
+
   types::ProposalMsg msg;
   msg.phase = Phase::kPrepare;
   msg.view = cview_;
   msg.entries.push_back(types::ProposalEntry{std::move(b), Justify{qc, {}}});
   propose_ready_ = false;
   broadcast(types::make_envelope(MsgKind::kProposal, msg));
+  trace({.type = obs::EventType::kProposalSent,
+         .phase = static_cast<std::uint8_t>(Phase::kPrepare),
+         .height = proposed_height,
+         .block = trace_block_id(proposed_hash),
+         .a = proposed_ops});
 }
 
 // ---------------------------------------------------------------------------
@@ -121,6 +130,11 @@ void HotStuffReplica::on_proposal(ReplicaId from, types::ProposalMsg msg) {
   env_.charge_hash_bytes(types::ops_wire_size(b.ops) + 128);
   const Hash256 h = b.hash();
   store_.insert(b);
+  trace({.type = obs::EventType::kProposalReceived,
+         .phase = static_cast<std::uint8_t>(Phase::kPrepare),
+         .height = b.height,
+         .block = trace_block_id(h),
+         .a = from});
 
   types::VoteMsg vote;
   vote.phase = Phase::kPrepare;
@@ -129,6 +143,11 @@ void HotStuffReplica::on_proposal(ReplicaId from, types::ProposalMsg msg) {
   vote.parsig = sign_digest(
       digest_for(QcType::kPrepare, h, b.view, b.height, b.parent_view));
   send_to(from, types::make_envelope(MsgKind::kVote, vote));
+  trace({.type = obs::EventType::kVoteSent,
+         .phase = static_cast<std::uint8_t>(Phase::kPrepare),
+         .height = b.height,
+         .block = trace_block_id(h),
+         .a = from});
 
   lb_view_ = b.view;
   lb_height_ = b.height;
@@ -140,7 +159,6 @@ void HotStuffReplica::on_proposal(ReplicaId from, types::ProposalMsg msg) {
 // ---------------------------------------------------------------------------
 
 void HotStuffReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
-  (void)from;
   if (msg.view != cview_ || leader_of(msg.view) != config_.id) return;
   const Block* b = store_.get(msg.block_hash);
   if (!b) return;
@@ -149,6 +167,12 @@ void HotStuffReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
   const Hash256 digest = digest_for(type, msg.block_hash, b->view, b->height,
                                     b->parent_view);
   if (!verify_partial(msg.parsig, digest)) return;
+  trace({.type = obs::EventType::kVoteReceived,
+         .phase = static_cast<std::uint8_t>(msg.phase),
+         .height = b->height,
+         .block = trace_block_id(msg.block_hash),
+         .a = from,
+         .b = votes_.count(msg.phase, msg.block_hash) + 1});
 
   auto group = votes_.add(msg.phase, msg.block_hash, msg.parsig);
   if (!group) return;
@@ -162,12 +186,20 @@ void HotStuffReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
   qc.pview = b->parent_view;
   qc.sigs = std::move(*group);
   finalize_qc(qc);
+  trace({.type = obs::EventType::kQcFormed,
+         .phase = static_cast<std::uint8_t>(msg.phase),
+         .height = b->height,
+         .block = trace_block_id(msg.block_hash)});
 
   switch (msg.phase) {
     case Phase::kPrepare: {
       if (qc_higher(qc, prepare_qc_high_)) prepare_qc_high_ = qc;
       types::QcNoticeMsg notice{Phase::kPreCommit, cview_, std::move(qc), {}};
       broadcast(types::make_envelope(MsgKind::kQcNotice, notice));
+      trace({.type = obs::EventType::kPhaseTransition,
+             .phase = static_cast<std::uint8_t>(Phase::kPreCommit),
+             .height = b->height,
+             .block = trace_block_id(msg.block_hash)});
       if (config_.pipelined) {
         propose_ready_ = true;
         maybe_propose();
@@ -177,11 +209,19 @@ void HotStuffReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
     case Phase::kPreCommit: {
       types::QcNoticeMsg notice{Phase::kCommit, cview_, std::move(qc), {}};
       broadcast(types::make_envelope(MsgKind::kQcNotice, notice));
+      trace({.type = obs::EventType::kPhaseTransition,
+             .phase = static_cast<std::uint8_t>(Phase::kCommit),
+             .height = b->height,
+             .block = trace_block_id(msg.block_hash)});
       return;
     }
     case Phase::kCommit: {
       types::QcNoticeMsg notice{Phase::kDecide, cview_, std::move(qc), {}};
       broadcast(types::make_envelope(MsgKind::kQcNotice, notice));
+      trace({.type = obs::EventType::kPhaseTransition,
+             .phase = static_cast<std::uint8_t>(Phase::kDecide),
+             .height = b->height,
+             .block = trace_block_id(msg.block_hash)});
       if (!config_.pipelined) {
         propose_ready_ = true;
         maybe_propose();
@@ -226,6 +266,11 @@ void HotStuffReplica::on_qc_notice(ReplicaId from, types::QcNoticeMsg msg) {
                                            qc.block_view, qc.height,
                                            qc.pview));
       send_to(from, types::make_envelope(MsgKind::kVote, vote));
+      trace({.type = obs::EventType::kVoteSent,
+             .phase = static_cast<std::uint8_t>(Phase::kPreCommit),
+             .height = qc.height,
+             .block = trace_block_id(qc.block_hash),
+             .a = from});
       return;
     }
     case Phase::kCommit: {
@@ -240,6 +285,11 @@ void HotStuffReplica::on_qc_notice(ReplicaId from, types::QcNoticeMsg msg) {
                                            qc.block_view, qc.height,
                                            qc.pview));
       send_to(from, types::make_envelope(MsgKind::kVote, vote));
+      trace({.type = obs::EventType::kVoteSent,
+             .phase = static_cast<std::uint8_t>(Phase::kCommit),
+             .height = qc.height,
+             .block = trace_block_id(qc.block_hash),
+             .a = from});
       return;
     }
     case Phase::kDecide: {
@@ -259,6 +309,7 @@ void HotStuffReplica::on_qc_notice(ReplicaId from, types::QcNoticeMsg msg) {
 
 void HotStuffReplica::on_view_timeout() {
   if (cview_ == 0) return;
+  trace({.type = obs::EventType::kTimeoutFired});
   enter_view(cview_ + 1, /*send_new_view=*/true);
 }
 
@@ -273,6 +324,7 @@ void HotStuffReplica::enter_view(ViewNumber v, bool send_new_view) {
   env_.entered_view(v);
 
   if (send_new_view && nv_sent_.insert(v).second) {
+    trace({.type = obs::EventType::kViewChangeStart});
     types::ViewChangeMsg m;
     m.view = v;
     m.last_voted = BlockRef{prepare_qc_high_.block_hash,
@@ -328,6 +380,12 @@ void HotStuffReplica::leader_check_new_view_quorum() {
       prepare_qc_high_ = *m.high_qc.qc;
     }
   }
+  // HotStuff's NEW-VIEW resolution always re-proposes from highQC —
+  // there is no happy/unhappy split, so the `a` operand is always 0.
+  trace({.type = obs::EventType::kViewChangeEnd,
+         .height = prepare_qc_high_.height,
+         .block = trace_block_id(prepare_qc_high_.block_hash),
+         .a = 0});
   propose_ready_ = true;
   propose(/*force=*/true);
 }

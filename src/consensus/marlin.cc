@@ -128,12 +128,21 @@ void MarlinReplica::propose_normal(bool force) {
   env_.charge_hash_bytes(types::ops_wire_size(b.ops) + 128);
   store_.insert(b);
 
+  const Height proposed_height = b.height;
+  const std::size_t proposed_ops = b.ops.size();
+  const Hash256 proposed_hash = b.hash();
+
   types::ProposalMsg msg;
   msg.phase = Phase::kPrepare;
   msg.view = cview_;
   msg.entries.push_back(types::ProposalEntry{std::move(b), Justify{qc, {}}});
   propose_ready_ = false;
   broadcast(types::make_envelope(MsgKind::kProposal, msg));
+  trace({.type = obs::EventType::kProposalSent,
+         .phase = static_cast<std::uint8_t>(Phase::kPrepare),
+         .height = proposed_height,
+         .block = trace_block_id(proposed_hash),
+         .a = proposed_ops});
 }
 
 // ---------------------------------------------------------------------------
@@ -186,6 +195,11 @@ void MarlinReplica::handle_prepare_proposal(ReplicaId from,
   if (!block_ref_rank_greater(b.view, b.height, b.justify)) return;
 
   store_.insert(b);
+  trace({.type = obs::EventType::kProposalReceived,
+         .phase = static_cast<std::uint8_t>(Phase::kPrepare),
+         .height = b.height,
+         .block = trace_block_id(h),
+         .a = from});
   const Hash256 digest = prepare_digest_for_block(b, h);
   types::VoteMsg vote;
   vote.phase = Phase::kPrepare;
@@ -193,6 +207,11 @@ void MarlinReplica::handle_prepare_proposal(ReplicaId from,
   vote.block_hash = h;
   vote.parsig = sign_digest(digest);
   send_to(from, types::make_envelope(MsgKind::kVote, vote));
+  trace({.type = obs::EventType::kVoteSent,
+         .phase = static_cast<std::uint8_t>(Phase::kPrepare),
+         .height = b.height,
+         .block = trace_block_id(h),
+         .a = from});
 
   lb_ = BlockRef{h, b.view, b.height, b.parent_view, false};
   update_high_qc(j);
@@ -238,6 +257,11 @@ void MarlinReplica::handle_commit_notice(ReplicaId from,
   vote.block_hash = qc.block_hash;
   vote.parsig = sign_digest(digest);
   send_to(from, types::make_envelope(MsgKind::kVote, vote));
+  trace({.type = obs::EventType::kVoteSent,
+         .phase = static_cast<std::uint8_t>(Phase::kCommit),
+         .height = qc.height,
+         .block = trace_block_id(qc.block_hash),
+         .a = from});
 
   update_high_qc(Justify{qc, {}});
   update_locked(qc);
@@ -287,6 +311,11 @@ void MarlinReplica::handle_prepare_notice(ReplicaId from,
   vote.block_hash = qc.block_hash;
   vote.parsig = sign_digest(digest);
   send_to(from, types::make_envelope(MsgKind::kVote, vote));
+  trace({.type = obs::EventType::kVoteSent,
+         .phase = static_cast<std::uint8_t>(Phase::kPrepare),
+         .height = qc.height,
+         .block = trace_block_id(qc.block_hash),
+         .a = from});
 
   lb_ = BlockRef{qc.block_hash, qc.block_view, qc.height, qc.pview,
                  qc.virtual_block};
@@ -298,7 +327,6 @@ void MarlinReplica::handle_prepare_notice(ReplicaId from,
 // ---------------------------------------------------------------------------
 
 void MarlinReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
-  (void)from;
   if (msg.view != cview_ || leader_of(msg.view) != config_.id) return;
 
   const Block* b = store_.get(msg.block_hash);
@@ -309,6 +337,12 @@ void MarlinReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
       types::vote_digest(kDomain, type, cview_, msg.block_hash, b->view,
                          b->height, b->parent_view, b->virtual_block);
   if (!verify_partial(msg.parsig, digest)) return;
+  trace({.type = obs::EventType::kVoteReceived,
+         .phase = static_cast<std::uint8_t>(msg.phase),
+         .height = b->height,
+         .block = trace_block_id(msg.block_hash),
+         .a = from,
+         .b = votes_.count(msg.phase, msg.block_hash) + 1});
 
   // R2 votes attach the voter's lockedQC — a candidate `vc`.
   if (msg.phase == Phase::kPrePrepare && msg.locked_qc) {
@@ -330,6 +364,10 @@ void MarlinReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
 
   QuorumCert qc = qc_from_block(type, cview_, *b, msg.block_hash,
                                 std::move(*group));
+  trace({.type = obs::EventType::kQcFormed,
+         .phase = static_cast<std::uint8_t>(msg.phase),
+         .height = b->height,
+         .block = trace_block_id(msg.block_hash)});
 
   switch (msg.phase) {
     case Phase::kPrepare: {
@@ -338,6 +376,10 @@ void MarlinReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
       update_locked(qc);
       types::QcNoticeMsg notice{Phase::kCommit, cview_, qc, {}};
       broadcast(types::make_envelope(MsgKind::kQcNotice, notice));
+      trace({.type = obs::EventType::kPhaseTransition,
+             .phase = static_cast<std::uint8_t>(Phase::kCommit),
+             .height = b->height,
+             .block = trace_block_id(msg.block_hash)});
       if (config_.pipelined) {
         propose_ready_ = true;
         maybe_propose();
@@ -348,6 +390,10 @@ void MarlinReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
       finalize_qc(qc);
       types::QcNoticeMsg notice{Phase::kDecide, cview_, qc, {}};
       broadcast(types::make_envelope(MsgKind::kQcNotice, notice));
+      trace({.type = obs::EventType::kPhaseTransition,
+             .phase = static_cast<std::uint8_t>(Phase::kDecide),
+             .height = b->height,
+             .block = trace_block_id(msg.block_hash)});
       if (!config_.pipelined) {
         propose_ready_ = true;
         maybe_propose();
@@ -373,6 +419,7 @@ void MarlinReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
 
 void MarlinReplica::on_view_timeout() {
   if (cview_ == 0) return;
+  trace({.type = obs::EventType::kTimeoutFired});
   enter_view(cview_ + 1, /*send_vc=*/true);
 }
 
@@ -386,6 +433,7 @@ void MarlinReplica::enter_view(ViewNumber v, bool send_vc) {
   env_.entered_view(v);
 
   if (send_vc && vc_sent_.insert(v).second) {
+    trace({.type = obs::EventType::kViewChangeStart});
     types::ViewChangeMsg m;
     m.view = v;
     m.last_voted = lb_;
@@ -484,6 +532,10 @@ void MarlinReplica::leader_act_on_snapshot(VcState& st) {
       finalize_qc(qc);
       ++happy_vcs_;
       st.prepare_started = true;
+      trace({.type = obs::EventType::kViewChangeEnd,
+             .height = lb.height,
+             .block = trace_block_id(lb.hash),
+             .a = 1});
       update_high_qc(Justify{qc, {}});
       update_locked(qc);
       propose_ready_ = true;
@@ -583,6 +635,10 @@ void MarlinReplica::leader_act_on_snapshot(VcState& st) {
   }
 
   broadcast(types::make_envelope(MsgKind::kProposal, msg));
+  trace({.type = obs::EventType::kProposalSent,
+         .phase = static_cast<std::uint8_t>(Phase::kPrePrepare),
+         .a = batch.size(),
+         .b = msg.entries.size()});
 }
 
 void MarlinReplica::handle_preprepare_proposal(ReplicaId from,
@@ -635,6 +691,11 @@ void MarlinReplica::handle_preprepare_proposal(ReplicaId from,
     env_.charge_hash_bytes(types::ops_wire_size(b.ops) + 128);
     const Hash256 h = b.hash();
     store_.insert(b);
+    trace({.type = obs::EventType::kProposalReceived,
+           .phase = static_cast<std::uint8_t>(Phase::kPrePrepare),
+           .height = b.height,
+           .block = trace_block_id(h),
+           .a = from});
 
     types::VoteMsg vm;
     vm.phase = Phase::kPrePrepare;
@@ -645,6 +706,11 @@ void MarlinReplica::handle_preprepare_proposal(ReplicaId from,
                            b.height, b.parent_view, b.virtual_block));
     if (attach_locked) vm.locked_qc = locked_qc_;
     send_to(from, types::make_envelope(MsgKind::kVote, vm));
+    trace({.type = obs::EventType::kVoteSent,
+           .phase = static_cast<std::uint8_t>(Phase::kPrePrepare),
+           .height = b.height,
+           .block = trace_block_id(h),
+           .a = from});
     // Pre-prepare votes update no replica state (lb/highQC/lockedQC).
   }
 }
@@ -687,6 +753,14 @@ void MarlinReplica::leader_check_preprepare_progress() {
                                 chosen_hash, st.formed.at(chosen_hash));
   finalize_qc(qc);
   st.prepare_started = true;
+  trace({.type = obs::EventType::kViewChangeEnd,
+         .height = chosen->height,
+         .block = trace_block_id(chosen_hash),
+         .a = 0});
+  trace({.type = obs::EventType::kPhaseTransition,
+         .phase = static_cast<std::uint8_t>(Phase::kPrepare),
+         .height = chosen->height,
+         .block = trace_block_id(chosen_hash)});
   if (aux) {
     store_.set_virtual_parent(chosen_hash, aux->block_hash);
   }

@@ -240,6 +240,11 @@ void ReplicaBase::commit_to(const Hash256& target, ReplicaId provider) {
       executable.push_back(op);
     }
     env_.deliver(*b, executable);
+    trace({.type = obs::EventType::kCommit,
+           .height = b->height,
+           .block = trace_block_id(h),
+           .a = executable.size(),
+           .b = b->ops.size()});
     committed_hash_ = h;
     committed_height_ = b->height;
     ++committed_blocks_;
@@ -293,6 +298,12 @@ void ReplicaBase::on_fetch_response(ReplicaId from,
   in_fetch_retry_ = true;
   retry_pending_commit();
   in_fetch_retry_ = false;
+}
+
+std::uint64_t ReplicaBase::trace_block_id(const Hash256& h) {
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) id = (id << 8) | h.data[i];
+  return id;
 }
 
 void ReplicaBase::retry_pending_commit() {

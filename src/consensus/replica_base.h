@@ -166,6 +166,22 @@ class ReplicaBase {
   void send_to(ReplicaId to, const Envelope& env) { env_.send(to, env); }
   void broadcast(const Envelope& env) { env_.broadcast(env); }
 
+  // -- tracing --------------------------------------------------------------
+  /// First 8 bytes of a block hash as the trace's compact block id.
+  static std::uint64_t trace_block_id(const Hash256& h);
+
+  /// Records a protocol event when the env exposes a trace sink. The
+  /// replica id is always stamped; `view` defaults to the current view
+  /// when the caller leaves it zero. Call with designated initializers:
+  ///   trace({.type = obs::EventType::kQcFormed, .phase = ..., ...});
+  void trace(obs::TraceEvent e) {
+    if (obs::TraceSink* sink = env_.trace_sink()) {
+      e.node = config_.id;
+      if (e.view == 0) e.view = cview_;
+      sink->record(e);
+    }
+  }
+
   ReplicaConfig config_;
   ProtocolEnv& env_;
   std::string domain_;

@@ -1,0 +1,320 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace marlin::obs {
+
+namespace {
+
+// Fixed-precision float formatting so exports are byte-stable across
+// runs and platforms (ostream default formatting is locale-sensitive).
+std::string fmt_f(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string fmt_hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Metric names and labels are code-controlled identifiers ("a.b{k=v}"),
+// but escape the two JSON-breaking characters anyway.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void append_latency_json(std::string& out, const LatencyHistogram& h) {
+  out += "{\"count\":" + std::to_string(h.count());
+  out += ",\"mean_ms\":" + fmt_f(h.mean().as_millis_f());
+  out += ",\"p50_ms\":" + fmt_f(h.percentile(50).as_millis_f());
+  out += ",\"p95_ms\":" + fmt_f(h.percentile(95).as_millis_f());
+  out += ",\"p99_ms\":" + fmt_f(h.percentile(99).as_millis_f());
+  out += ",\"min_ms\":" + fmt_f(h.min().as_millis_f());
+  out += ",\"max_ms\":" + fmt_f(h.max().as_millis_f());
+  out += "}";
+}
+
+void append_sizes_json(std::string& out, const ValueHistogram& h) {
+  out += "{\"count\":" + std::to_string(h.count());
+  out += ",\"sum\":" + std::to_string(h.sum());
+  out += ",\"mean\":" + fmt_f(h.mean());
+  out += ",\"p50\":" + fmt_f(h.percentile(50));
+  out += ",\"p99\":" + fmt_f(h.percentile(99));
+  out += ",\"min\":" + std::to_string(h.min());
+  out += ",\"max\":" + std::to_string(h.max());
+  out += "}";
+}
+
+}  // namespace
+
+std::string event_to_json(const TraceEvent& e) {
+  // Every field is always emitted, in a fixed order, so consumers can use
+  // the trivial extractor below instead of a full JSON parser.
+  std::string out;
+  out.reserve(192);
+  out += "{\"seq\":" + std::to_string(e.seq);
+  out += ",\"t_ns\":" + std::to_string(e.at.as_nanos());
+  out += ",\"node\":";
+  out += (e.node == kNoNode) ? "-1" : std::to_string(e.node);
+  out += ",\"type\":\"";
+  out += event_type_name(e.type);
+  out += "\",\"view\":" + std::to_string(e.view);
+  out += ",\"height\":" + std::to_string(e.height);
+  out += ",\"block\":\"" + fmt_hex64(e.block);
+  out += "\",\"phase\":\"";
+  out += trace_phase_name(e.phase);
+  out += "\",\"kind\":" + std::to_string(e.kind);
+  out += ",\"a\":" + std::to_string(e.a);
+  out += ",\"b\":" + std::to_string(e.b);
+  out += "}";
+  return out;
+}
+
+std::string trace_to_jsonl(const TraceSink& sink) {
+  std::string out;
+  for (const TraceEvent& e : sink.events()) {
+    out += event_to_json(e);
+    out += '\n';
+  }
+  return out;
+}
+
+void write_trace_jsonl(const TraceSink& sink, std::ostream& out) {
+  out << trace_to_jsonl(sink);
+}
+
+bool json_field_u64(const std::string& line, const std::string& key,
+                    std::uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  // strtoll, not strtoull: "node":-1 must round-trip to kNoNode.
+  const long long v = std::strtoll(start, &end, 10);
+  if (end == start) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool json_field_str(const std::string& line, const std::string& key,
+                    std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto begin = pos + needle.size();
+  const auto close = line.find('"', begin);
+  if (close == std::string::npos) return false;
+  *out = line.substr(begin, close - begin);
+  return true;
+}
+
+bool event_from_json(const std::string& line, TraceEvent* out) {
+  TraceEvent e;
+  std::string type_name;
+  std::uint64_t seq = 0, t_ns = 0, node = 0, view = 0, height = 0;
+  std::uint64_t kind = 0, a = 0, b = 0;
+  std::string block_hex, phase_name;
+  if (!json_field_u64(line, "seq", &seq) ||
+      !json_field_u64(line, "t_ns", &t_ns) ||
+      !json_field_u64(line, "node", &node) ||
+      !json_field_str(line, "type", &type_name) ||
+      !json_field_u64(line, "view", &view) ||
+      !json_field_u64(line, "height", &height) ||
+      !json_field_str(line, "block", &block_hex) ||
+      !json_field_str(line, "phase", &phase_name) ||
+      !json_field_u64(line, "kind", &kind) ||
+      !json_field_u64(line, "a", &a) || !json_field_u64(line, "b", &b)) {
+    return false;
+  }
+  const EventType type = event_type_from_name(type_name);
+  if (type == EventType::kCount) return false;
+  e.seq = seq;
+  e.at = TimePoint::from_nanos(static_cast<std::int64_t>(t_ns));
+  e.node = static_cast<std::uint32_t>(node);
+  e.type = type;
+  e.view = view;
+  e.height = height;
+  e.block = std::strtoull(block_hex.c_str(), nullptr, 16);
+  e.phase = kNoPhase;
+  if (phase_name != "-") {
+    for (std::uint8_t p = 0; p < 5; ++p) {
+      if (phase_name == trace_phase_name(p)) {
+        e.phase = p;
+        break;
+      }
+    }
+  }
+  e.kind = static_cast<std::uint8_t>(kind);
+  e.a = a;
+  e.b = b;
+  *out = e;
+  return true;
+}
+
+std::string metrics_to_json(const MetricsRegistry& reg) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, value] : reg.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(key.to_string()) +
+           "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [key, value] : reg.gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(key.to_string()) + "\": " + fmt_f(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"latencies\": {";
+  first = true;
+  for (const auto& [key, hist] : reg.latencies()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(key.to_string()) + "\": ";
+    append_latency_json(out, hist);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"sizes\": {";
+  first = true;
+  for (const auto& [key, hist] : reg.size_histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(key.to_string()) + "\": ";
+    append_sizes_json(out, hist);
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string metrics_to_csv(const MetricsRegistry& reg) {
+  std::string out = "metric,label,field,value\n";
+  auto row = [&out](const std::string& name, const std::string& label,
+                    const char* field, const std::string& value) {
+    out += name + "," + label + "," + field + "," + value + "\n";
+  };
+  for (const auto& [key, value] : reg.counters()) {
+    row(key.name, key.label, "count", std::to_string(value));
+  }
+  for (const auto& [key, value] : reg.gauges()) {
+    row(key.name, key.label, "value", fmt_f(value));
+  }
+  for (const auto& [key, hist] : reg.latencies()) {
+    row(key.name, key.label, "count", std::to_string(hist.count()));
+    row(key.name, key.label, "mean_ms", fmt_f(hist.mean().as_millis_f()));
+    row(key.name, key.label, "p50_ms",
+        fmt_f(hist.percentile(50).as_millis_f()));
+    row(key.name, key.label, "p95_ms",
+        fmt_f(hist.percentile(95).as_millis_f()));
+    row(key.name, key.label, "p99_ms",
+        fmt_f(hist.percentile(99).as_millis_f()));
+  }
+  for (const auto& [key, hist] : reg.size_histograms()) {
+    row(key.name, key.label, "count", std::to_string(hist.count()));
+    row(key.name, key.label, "sum", std::to_string(hist.sum()));
+    row(key.name, key.label, "mean", fmt_f(hist.mean()));
+    row(key.name, key.label, "p99", fmt_f(hist.percentile(99)));
+  }
+  return out;
+}
+
+void print_view_timeline(const std::vector<TraceEvent>& events,
+                         std::ostream& out) {
+  struct ViewStats {
+    TimePoint first = TimePoint::from_nanos(INT64_MAX);
+    TimePoint last;
+    std::uint64_t proposals = 0;
+    std::uint64_t qcs = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t committed_ops = 0;
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t timeouts = 0;
+    bool view_change = false;
+  };
+  std::map<ViewNumber, ViewStats> views;
+  for (const TraceEvent& e : events) {
+    ViewStats& v = views[e.view];
+    v.first = std::min(v.first, e.at);
+    v.last = std::max(v.last, e.at);
+    switch (e.type) {
+      case EventType::kProposalSent:
+        ++v.proposals;
+        break;
+      case EventType::kQcFormed:
+        ++v.qcs;
+        break;
+      case EventType::kCommit:
+        ++v.commits;
+        v.committed_ops += e.a;
+        break;
+      case EventType::kMsgSent:
+        ++v.msgs;
+        v.bytes += e.a;
+        break;
+      case EventType::kTimeoutFired:
+        ++v.timeouts;
+        break;
+      case EventType::kViewChangeStart:
+      case EventType::kViewChangeEnd:
+        v.view_change = true;
+        break;
+      default:
+        break;
+    }
+  }
+  out << "view        span_ms  proposals  qcs  commits  ops  msgs  kbytes"
+         "  notes\n";
+  for (const auto& [view, v] : views) {
+    const double span_ms =
+        v.last >= v.first ? (v.last - v.first).as_millis_f() : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-10llu %8.3f %10llu %4llu %8llu %4llu %5llu %7.1f",
+                  static_cast<unsigned long long>(view), span_ms,
+                  static_cast<unsigned long long>(v.proposals),
+                  static_cast<unsigned long long>(v.qcs),
+                  static_cast<unsigned long long>(v.commits),
+                  static_cast<unsigned long long>(v.committed_ops),
+                  static_cast<unsigned long long>(v.msgs),
+                  static_cast<double>(v.bytes) / 1024.0);
+    out << line;
+    if (v.view_change) out << "  view-change";
+    if (v.timeouts > 0) out << "  timeouts=" << v.timeouts;
+    out << "\n";
+  }
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f.flush());
+}
+
+}  // namespace marlin::obs

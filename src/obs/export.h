@@ -1,0 +1,50 @@
+// Exporters for the observability subsystem:
+//   - JSONL trace dump (one event per line; the trace_inspect input format)
+//   - JSON / CSV metrics snapshots
+//   - a human-readable per-view timeline printer
+// All output is deterministic: fixed field order, fixed float precision,
+// ordered-map iteration — identical runs export identical bytes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace marlin::obs {
+
+/// One event as a single-line JSON object (no trailing newline).
+std::string event_to_json(const TraceEvent& e);
+
+/// Full buffered trace, one JSON object per line.
+std::string trace_to_jsonl(const TraceSink& sink);
+void write_trace_jsonl(const TraceSink& sink, std::ostream& out);
+
+/// Minimal field extraction from an event_to_json line — the parser
+/// trace_inspect and tests use (we only ever parse our own output).
+/// Returns false when the key is absent.
+bool json_field_u64(const std::string& line, const std::string& key,
+                    std::uint64_t* out);
+bool json_field_str(const std::string& line, const std::string& key,
+                    std::string* out);
+/// Parses one JSONL line back into an event; false on malformed input.
+bool event_from_json(const std::string& line, TraceEvent* out);
+
+/// Metrics snapshot as a JSON document (counters / gauges / histograms).
+std::string metrics_to_json(const MetricsRegistry& reg);
+
+/// Metrics snapshot as CSV rows: metric,label,field,value.
+std::string metrics_to_csv(const MetricsRegistry& reg);
+
+/// Groups events by view and prints a compact human-readable timeline:
+/// per view, the span, leader traffic, phase milestones, and commits.
+void print_view_timeline(const std::vector<TraceEvent>& events,
+                         std::ostream& out);
+
+/// Writes `content` to `path`; returns false (and leaves a best-effort
+/// partial file) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace marlin::obs

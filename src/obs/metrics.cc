@@ -1,0 +1,99 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace marlin::obs {
+
+void ValueHistogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double ValueHistogram::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  const double rank =
+      p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo =
+      std::min(static_cast<std::size_t>(rank), samples_.size() - 1);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(samples_[lo]) +
+         frac * (static_cast<double>(samples_[hi]) -
+                 static_cast<double>(samples_[lo]));
+}
+
+std::uint64_t ValueHistogram::min() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+std::uint64_t ValueHistogram::max() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+namespace {
+MetricKey make_key(std::string_view name, std::string_view label) {
+  return MetricKey{std::string(name), std::string(label)};
+}
+}  // namespace
+
+std::uint64_t& MetricsRegistry::counter(std::string_view name,
+                                        std::string_view label) {
+  return counters_[make_key(name, label)];
+}
+
+double& MetricsRegistry::gauge(std::string_view name, std::string_view label) {
+  return gauges_[make_key(name, label)];
+}
+
+LatencyHistogram& MetricsRegistry::latency(std::string_view name,
+                                           std::string_view label) {
+  return latencies_[make_key(name, label)];
+}
+
+ValueHistogram& MetricsRegistry::sizes(std::string_view name,
+                                       std::string_view label) {
+  return sizes_[make_key(name, label)];
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name,
+                                             std::string_view label) const {
+  auto it = counters_.find(make_key(name, label));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name,
+                                    std::string_view label) const {
+  auto it = gauges_.find(make_key(name, label));
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [key, value] : other.counters_) counters_[key] += value;
+  for (const auto& [key, value] : other.gauges_) {
+    auto [it, inserted] = gauges_.try_emplace(key, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+  for (const auto& [key, hist] : other.latencies_) {
+    latencies_[key].merge_from(hist);
+  }
+  for (const auto& [key, hist] : other.sizes_) {
+    sizes_[key].merge_from(hist);
+  }
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  latencies_.clear();
+  sizes_.clear();
+}
+
+}  // namespace marlin::obs

@@ -1,0 +1,127 @@
+// Metrics registry: named counters, gauges, and labeled latency / size
+// histograms. Value-semantic and deterministic — every container is an
+// ordered map keyed by (name, label), so snapshots serialize in a stable
+// order and two identical runs export identical bytes.
+//
+// Scoping model: each replica process owns a registry; Cluster aggregates
+// them (counters and histograms merge additively, gauges keep the maximum)
+// and adds cluster-wide series (client latency, network traffic) under
+// per-entity labels like "replica=3" or "kind=proposal".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+
+namespace marlin::obs {
+
+/// Histogram over dimensionless values (sizes, counts); the size-domain
+/// sibling of common/histogram.h's LatencyHistogram, with the same
+/// interpolated-percentile semantics.
+class ValueHistogram {
+ public:
+  void record(std::uint64_t v) {
+    samples_.push_back(v);
+    sum_ += v;
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  std::uint64_t sum() const { return sum_; }
+
+  double mean() const {
+    if (samples_.empty()) return 0;
+    return static_cast<double>(sum_) / static_cast<double>(samples_.size());
+  }
+
+  /// Linearly interpolated percentile (p in [0, 100]).
+  double percentile(double p) const;
+
+  std::uint64_t min() const;
+  std::uint64_t max() const;
+
+  void merge_from(const ValueHistogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sum_ += other.sum_;
+    sorted_ = false;
+  }
+
+  void clear() {
+    samples_.clear();
+    sum_ = 0;
+    sorted_ = true;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<std::uint64_t> samples_;
+  mutable bool sorted_ = true;
+  std::uint64_t sum_ = 0;
+};
+
+/// A metric series identifier: dotted name plus an optional label set
+/// rendered as a single "k=v,k=v" string (kept flat for determinism).
+struct MetricKey {
+  std::string name;
+  std::string label;
+
+  auto operator<=>(const MetricKey&) const = default;
+
+  /// "name" or "name{label}" — the form exporters print.
+  std::string to_string() const {
+    return label.empty() ? name : name + "{" + label + "}";
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter; returns a reference you can `+=` into.
+  std::uint64_t& counter(std::string_view name, std::string_view label = {});
+  /// Point-in-time value (committed height, queue depth, ...).
+  double& gauge(std::string_view name, std::string_view label = {});
+  /// Duration-valued histogram.
+  LatencyHistogram& latency(std::string_view name, std::string_view label = {});
+  /// Size/count-valued histogram.
+  ValueHistogram& sizes(std::string_view name, std::string_view label = {});
+
+  /// Read accessors; zero / empty when the series does not exist.
+  std::uint64_t counter_value(std::string_view name,
+                              std::string_view label = {}) const;
+  double gauge_value(std::string_view name, std::string_view label = {}) const;
+
+  /// Counters and histograms merge additively; gauges keep the maximum
+  /// (aggregating per-replica gauges like committed height across a
+  /// cluster wants the frontier, not a sum).
+  void merge_from(const MetricsRegistry& other);
+
+  void clear();
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && latencies_.empty() &&
+           sizes_.empty();
+  }
+
+  // Ordered iteration for exporters.
+  const std::map<MetricKey, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<MetricKey, double>& gauges() const { return gauges_; }
+  const std::map<MetricKey, LatencyHistogram>& latencies() const {
+    return latencies_;
+  }
+  const std::map<MetricKey, ValueHistogram>& size_histograms() const {
+    return sizes_;
+  }
+
+ private:
+  std::map<MetricKey, std::uint64_t> counters_;
+  std::map<MetricKey, double> gauges_;
+  std::map<MetricKey, LatencyHistogram> latencies_;
+  std::map<MetricKey, ValueHistogram> sizes_;
+};
+
+}  // namespace marlin::obs

@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace marlin::obs {
+
+namespace {
+constexpr const char* kEventNames[kEventTypeCount] = {
+    "proposal_sent",  "proposal_received", "vote_sent",
+    "vote_received",  "qc_formed",         "phase_transition",
+    "commit",         "view_entered",      "view_change_start",
+    "view_change_end", "timeout_fired",    "msg_sent",
+    "msg_dropped",    "wal_write",         "sstable_write",
+    "checkpoint",     "sig_verify",
+};
+
+constexpr const char* kPhaseNames[] = {"preprepare", "prepare", "precommit",
+                                       "commit", "decide"};
+}  // namespace
+
+const char* event_type_name(EventType t) {
+  const auto i = static_cast<std::size_t>(t);
+  return i < kEventTypeCount ? kEventNames[i] : "unknown";
+}
+
+EventType event_type_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    if (name == kEventNames[i]) return static_cast<EventType>(i);
+  }
+  return EventType::kCount;
+}
+
+const char* trace_phase_name(std::uint8_t phase) {
+  if (phase == kNoPhase) return "-";
+  return phase < 5 ? kPhaseNames[phase] : "unknown";
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void TraceSink::set_enabled(EventType t, bool on) {
+  const std::uint32_t bit = 1u << static_cast<unsigned>(t);
+  if (on) {
+    disabled_mask_ &= ~bit;
+  } else {
+    disabled_mask_ |= bit;
+  }
+}
+
+std::uint64_t TraceSink::record(TraceEvent e) {
+  if (!enabled(e.type)) return next_seq_;
+  e.seq = next_seq_++;
+  if (clock_) e.at = clock_();
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+  }
+  return e.seq;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  ring_.clear();
+  head_ = 0;
+  next_seq_ = 0;
+}
+
+}  // namespace marlin::obs

@@ -1,11 +1,17 @@
 #include "runtime/cluster.h"
 
+#include <cstdio>
+
 namespace marlin::runtime {
 
 Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     : sim_(sim), config_(config) {
   const std::uint32_t n = 3 * config_.f + 1;
   net_ = std::make_unique<sim::Network>(sim_, config_.net);
+  if (config_.trace) {
+    config_.trace->set_clock([&sim] { return sim.now(); });
+    net_->set_trace(config_.trace);
+  }
 
   Bytes seed_bytes(8);
   for (int i = 0; i < 8; ++i) {
@@ -29,8 +35,10 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     rc.checkpoint_interval = config_.checkpoint_interval;
     rc.reply_size = config_.reply_size;
     rc.client_base = n;
+    rc.trace = config_.trace;
     replicas_.push_back(
         std::make_unique<ReplicaProcess>(sim_, *net_, *suite_, rc));
+    replicas_.back()->set_count_authenticators(config_.count_authenticators);
     replicas_.back()->attach();
   }
 
@@ -100,6 +108,27 @@ std::uint64_t Cluster::total_completed() const {
   std::uint64_t total = 0;
   for (const auto& c : clients_) total += c->completed().in_window();
   return total;
+}
+
+void Cluster::export_metrics(obs::MetricsRegistry& out) const {
+  char label[32];
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    const obs::MetricsRegistry& m = replicas_[r]->metrics();
+    // Cluster totals (counters add, histograms pool, gauges keep the max).
+    out.merge_from(m);
+    // Gauges are meaningless summed across replicas; re-export them with a
+    // per-replica label so snapshots keep the distinct values.
+    std::snprintf(label, sizeof label, "replica=%zu", r);
+    for (const auto& [key, value] : m.gauges()) {
+      out.gauge(key.name, label) = value;
+    }
+    out.counter("replica.authenticators_sent", label) =
+        replicas_[r]->traffic().authenticators_sent;
+  }
+  for (const auto& c : clients_) {
+    out.latency("client.latency").merge_from(c->latency());
+  }
+  net_->export_metrics(out);
 }
 
 bool Cluster::any_safety_violation() const {

@@ -34,6 +34,13 @@ struct ClusterConfig {
   std::uint64_t client_max_requests = 0;
 
   std::uint64_t seed = 42;
+
+  /// Shared protocol event trace for all replicas, the network, and
+  /// storage. The cluster binds its clock to the simulator. Optional.
+  obs::TraceSink* trace = nullptr;
+  /// Count outgoing authenticators per replica (decodes every send; used
+  /// by the Table I bench and metric snapshots that cross-check it).
+  bool count_authenticators = false;
 };
 
 class Cluster {
@@ -68,6 +75,10 @@ class Cluster {
   double mean_latency_ms() const;
   std::uint64_t total_completed() const;
   bool any_safety_violation() const;
+  /// Cluster-wide metrics snapshot: per-replica registries merged
+  /// additively (gauges re-labeled "replica=N"), aggregate client latency
+  /// ("client.latency"), and per-node / per-kind network traffic.
+  void export_metrics(obs::MetricsRegistry& out) const;
   /// All correct replicas agree on committed prefixes (checked via the
   /// committed hash of the lowest common height — cheap invariant probe).
   bool committed_heights_consistent() const;

@@ -3,8 +3,8 @@
 namespace marlin::runtime {
 
 ThroughputResult run_throughput_experiment(ClusterConfig config,
-                                           Duration warmup,
-                                           Duration measure) {
+                                           Duration warmup, Duration measure,
+                                           obs::MetricsRegistry* metrics) {
   sim::Simulator sim(config.seed);
   Cluster cluster(sim, config);
 
@@ -24,11 +24,13 @@ ThroughputResult run_throughput_experiment(ClusterConfig config,
   res.safety_ok = !cluster.any_safety_violation();
   res.consistent = cluster.committed_heights_consistent();
   res.final_view = cluster.max_view();
+  if (metrics) cluster.export_metrics(*metrics);
   return res;
 }
 
 ViewChangeResult run_view_change_experiment(ClusterConfig config,
-                                            bool force_unhappy) {
+                                            bool force_unhappy,
+                                            obs::MetricsRegistry* metrics) {
   config.disable_happy_path = force_unhappy;
   // A short, predictable timeout: the paper measures from VC start (timer
   // firing), so the timeout itself is excluded either way.
@@ -96,6 +98,7 @@ ViewChangeResult run_view_change_experiment(ClusterConfig config,
   }
   res.safety_ok = !cluster.any_safety_violation() &&
                   cluster.committed_heights_consistent();
+  if (metrics) cluster.export_metrics(*metrics);
   return res;
 }
 

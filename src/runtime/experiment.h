@@ -19,10 +19,13 @@ struct ThroughputResult {
   ViewNumber final_view = 0;
 };
 
-/// Runs warmup + measure (+ small drain), returns window metrics.
+/// Runs warmup + measure (+ small drain), returns window metrics. When
+/// `metrics` is non-null, the cluster's full metrics snapshot is exported
+/// into it after the run (pair with config.trace for the event stream).
 ThroughputResult run_throughput_experiment(ClusterConfig config,
-                                           Duration warmup,
-                                           Duration measure);
+                                           Duration warmup, Duration measure,
+                                           obs::MetricsRegistry* metrics =
+                                               nullptr);
 
 struct ViewChangeResult {
   /// Mean over correct replicas of (first commit after VC − VC start).
@@ -38,6 +41,8 @@ struct ViewChangeResult {
 /// view-change latency (paper Fig. 10i methodology). `force_unhappy`
 /// disables Marlin's happy path.
 ViewChangeResult run_view_change_experiment(ClusterConfig config,
-                                            bool force_unhappy);
+                                            bool force_unhappy,
+                                            obs::MetricsRegistry* metrics =
+                                                nullptr);
 
 }  // namespace marlin::runtime

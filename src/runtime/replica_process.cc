@@ -16,7 +16,10 @@ ReplicaProcess::ReplicaProcess(sim::Simulator& sim, sim::Network& net,
       cpu_(sim),
       pacemaker_(config_.pacemaker) {
   db_env_ = storage::make_mem_env();
-  auto db = storage::KVStore::open(*db_env_);
+  storage::KVStoreOptions db_options;
+  db_options.trace = config_.trace;
+  db_options.trace_node = config_.replica.id;
+  auto db = storage::KVStore::open(*db_env_, db_options);
   assert(db.is_ok());
   db_ = std::move(db).take();
 
@@ -144,12 +147,19 @@ std::uint32_t ReplicaProcess::count_authenticators(
 void ReplicaProcess::send(ReplicaId to, const Envelope& env) {
   Bytes wire = env.serialize();
   pending_charge_ += config_.crypto_costs.serialize_cost(wire.size());
-  const std::size_t k = static_cast<std::size_t>(env.kind);
-  traffic_.msgs_by_kind[k] += 1;
-  traffic_.bytes_by_kind[k] += wire.size();
+  std::uint32_t authenticators = 0;
   if (count_authenticators_) {
-    traffic_.authenticators_sent += count_authenticators(env);
+    authenticators = count_authenticators(env);
+    traffic_.authenticators_sent += authenticators;
   }
+  // kMsgSent is recorded here, not in the network, because only the
+  // protocol host knows the current view — what per-view leader-egress
+  // analysis (trace_inspect) attributes bytes by.
+  trace({.type = obs::EventType::kMsgSent,
+         .kind = static_cast<std::uint8_t>(env.kind),
+         .view = protocol_ ? protocol_->current_view() : 0,
+         .a = wire.size(),
+         .b = authenticators});
   if (in_task_) {
     outbox_.emplace_back(static_cast<sim::NodeId>(to), std::move(wire));
   } else {
@@ -194,6 +204,7 @@ void ReplicaProcess::deliver(const types::Block& block,
     (void)db_->checkpoint();
     blocks_since_checkpoint_ = 0;
     ++checkpoints_run_;
+    metrics_.counter("storage.checkpoints") += 1;
   }
 
   // Reply to clients: one batched message per client, padded so wire bytes
@@ -219,6 +230,11 @@ void ReplicaProcess::deliver(const types::Block& block,
     Bytes wire =
         types::make_envelope(MsgKind::kClientReply, reply).serialize();
     pending_charge_ += config_.crypto_costs.serialize_cost(wire.size());
+    trace({.type = obs::EventType::kMsgSent,
+           .kind = static_cast<std::uint8_t>(MsgKind::kClientReply),
+           .view = block.view,
+           .height = block.height,
+           .a = wire.size()});
     const sim::NodeId dest = config_.client_base + client;
     if (in_task_) {
       outbox_.emplace_back(dest, std::move(wire));
@@ -228,10 +244,16 @@ void ReplicaProcess::deliver(const types::Block& block,
   }
 
   committed_ops_.record(sim_.now(), executable.size());
+  metrics_.counter("replica.committed_blocks") += 1;
+  metrics_.counter("replica.committed_ops") += executable.size();
+  metrics_.gauge("replica.committed_height") =
+      static_cast<double>(block.height);
+  metrics_.sizes("replica.block_ops").record(executable.size());
 }
 
 void ReplicaProcess::entered_view(ViewNumber v) {
-  (void)v;
+  trace({.type = obs::EventType::kViewEntered, .view = v});
+  metrics_.gauge("replica.view") = static_cast<double>(v);
   last_view_entry_ = sim_.now();
   commit_seen_in_view_ = false;
   pacemaker_.on_view_entered();
@@ -259,26 +281,39 @@ void ReplicaProcess::arm_view_timer() {
 
 void ReplicaProcess::charge_signs(std::uint32_t count) {
   pending_charge_ += config_.crypto_costs.sign * count;
+  metrics_.counter("crypto.signs") += count;
 }
 
 void ReplicaProcess::charge_verifies(std::uint32_t count) {
   pending_charge_ += config_.crypto_costs.verify * count;
+  metrics_.counter("crypto.verifies") += count;
+  trace({.type = obs::EventType::kSigVerify,
+         .view = protocol_ ? protocol_->current_view() : 0,
+         .a = count});
 }
 
 void ReplicaProcess::charge_hash_bytes(std::size_t bytes) {
   pending_charge_ += config_.crypto_costs.hash_cost(bytes);
+  metrics_.counter("crypto.hash_bytes") += bytes;
 }
 
 void ReplicaProcess::charge_pairings(std::uint32_t count) {
   pending_charge_ += config_.crypto_costs.pairing * count;
+  metrics_.counter("crypto.pairings") += count;
+  trace({.type = obs::EventType::kSigVerify,
+         .view = protocol_ ? protocol_->current_view() : 0,
+         .a = count,
+         .b = 1});
 }
 
 void ReplicaProcess::charge_threshold_signs(std::uint32_t count) {
   pending_charge_ += config_.crypto_costs.threshold_sign_share * count;
+  metrics_.counter("crypto.threshold_signs") += count;
 }
 
 void ReplicaProcess::charge_combine_shares(std::uint32_t count) {
   pending_charge_ += config_.crypto_costs.threshold_combine_per_share * count;
+  metrics_.counter("crypto.combine_shares") += count;
 }
 
 }  // namespace marlin::runtime

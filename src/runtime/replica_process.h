@@ -11,6 +11,8 @@
 #include "consensus/hotstuff.h"
 #include "consensus/marlin.h"
 #include "crypto/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/pacemaker.h"
 #include "simnet/network.h"
 #include "simnet/processor.h"
@@ -34,12 +36,14 @@ struct ReplicaProcessConfig {
   std::size_t reply_size = 150;
   /// Node id of client #0; client c lives at node client_base + c.
   sim::NodeId client_base = 0;
+  /// Shared event trace (usually the cluster's); nullptr disables tracing.
+  obs::TraceSink* trace = nullptr;
 };
 
-/// Per-message-kind traffic counters (Table I instrumentation).
+/// Outgoing-authenticator counter (Table I instrumentation). Per-kind
+/// message/byte breakdowns live in sim::NodeNetStats — the network counts
+/// every frame once at the wire instead of a parallel path here.
 struct TrafficStats {
-  std::array<std::uint64_t, 9> msgs_by_kind{};
-  std::array<std::uint64_t, 9> bytes_by_kind{};
   std::uint64_t authenticators_sent = 0;
 
   void reset() { *this = TrafficStats{}; }
@@ -67,6 +71,7 @@ class ReplicaProcess final : public sim::NetworkNode,
                const std::vector<types::Operation>& executable) override;
   void entered_view(ViewNumber v) override;
   void progressed() override;
+  obs::TraceSink* trace_sink() override { return config_.trace; }
   void charge_signs(std::uint32_t count) override;
   void charge_verifies(std::uint32_t count) override;
   void charge_hash_bytes(std::size_t bytes) override;
@@ -83,6 +88,11 @@ class ReplicaProcess final : public sim::NetworkNode,
   WindowedCounter& committed_ops() { return committed_ops_; }
   const TrafficStats& traffic() const { return traffic_; }
   void reset_traffic() { traffic_.reset(); }
+
+  /// Per-replica metrics (crypto charge counters, commit counters,
+  /// storage gauges). Cluster::export_metrics aggregates these.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
   /// Enable per-authenticator counting (decodes outgoing messages; used by
   /// the Table I bench only).
   void set_count_authenticators(bool on) { count_authenticators_ = on; }
@@ -106,6 +116,14 @@ class ReplicaProcess final : public sim::NetworkNode,
   void arm_view_timer();
   std::uint32_t count_authenticators(const types::Envelope& env) const;
 
+  /// Records into the shared sink with this replica's node id stamped.
+  void trace(obs::TraceEvent e) {
+    if (config_.trace) {
+      e.node = config_.replica.id;
+      config_.trace->record(e);
+    }
+  }
+
   sim::Simulator& sim_;
   sim::Network& net_;
   ReplicaProcessConfig config_;
@@ -128,6 +146,7 @@ class ReplicaProcess final : public sim::NetworkNode,
   std::uint64_t checkpoints_run_ = 0;
   WindowedCounter committed_ops_;
   TrafficStats traffic_;
+  obs::MetricsRegistry metrics_;
   bool count_authenticators_ = false;
   TimePoint last_view_entry_;
   TimePoint last_commit_time_;

@@ -1,8 +1,28 @@
 #include "simnet/network.h"
 
 #include <cassert>
+#include <string>
 
 namespace marlin::sim {
+
+namespace {
+// Mirrors types::MsgKind wire values 1..8; slot 0 = unknown kind byte.
+constexpr std::string_view kKindNames[kNetKindSlots] = {
+    "unknown",      "client_request", "client_reply",
+    "proposal",     "vote",           "qc_notice",
+    "view_change",  "fetch_request",  "fetch_response",
+};
+
+std::size_t kind_slot(const Bytes& payload) {
+  if (payload.empty()) return 0;
+  const std::uint8_t kind = payload[0];
+  return kind < kNetKindSlots ? kind : 0;
+}
+}  // namespace
+
+std::string_view net_kind_name(std::size_t kind) {
+  return kind < kNetKindSlots ? kKindNames[kind] : kKindNames[0];
+}
 
 NodeId Network::add_node(NetworkNode* handler) {
   assert(handler != nullptr);
@@ -37,8 +57,40 @@ NodeNetStats Network::total_stats() const {
     total.messages_delivered += s.messages_delivered;
     total.bytes_delivered += s.bytes_delivered;
     total.messages_dropped += s.messages_dropped;
+    for (std::size_t k = 0; k < kNetKindSlots; ++k) {
+      total.msgs_sent_by_kind[k] += s.msgs_sent_by_kind[k];
+      total.bytes_sent_by_kind[k] += s.bytes_sent_by_kind[k];
+      total.msgs_delivered_by_kind[k] += s.msgs_delivered_by_kind[k];
+      total.bytes_delivered_by_kind[k] += s.bytes_delivered_by_kind[k];
+    }
   }
   return total;
+}
+
+void Network::export_metrics(obs::MetricsRegistry& reg) const {
+  for (NodeId node = 0; node < stats_.size(); ++node) {
+    const NodeNetStats& s = stats_[node];
+    const std::string label = "node=" + std::to_string(node);
+    reg.counter("net.messages_sent", label) += s.messages_sent;
+    reg.counter("net.bytes_sent", label) += s.bytes_sent;
+    reg.counter("net.messages_delivered", label) += s.messages_delivered;
+    reg.counter("net.bytes_delivered", label) += s.bytes_delivered;
+    reg.counter("net.messages_dropped", label) += s.messages_dropped;
+  }
+  const NodeNetStats total = total_stats();
+  for (std::size_t k = 0; k < kNetKindSlots; ++k) {
+    if (total.msgs_sent_by_kind[k] == 0 &&
+        total.msgs_delivered_by_kind[k] == 0) {
+      continue;
+    }
+    const std::string label = "kind=" + std::string(net_kind_name(k));
+    reg.counter("net.messages_sent", label) += total.msgs_sent_by_kind[k];
+    reg.counter("net.bytes_sent", label) += total.bytes_sent_by_kind[k];
+    reg.counter("net.messages_delivered", label) +=
+        total.msgs_delivered_by_kind[k];
+    reg.counter("net.bytes_delivered", label) +=
+        total.bytes_delivered_by_kind[k];
+  }
 }
 
 void Network::reset_stats() {
@@ -48,12 +100,20 @@ void Network::reset_stats() {
 void Network::send(NodeId from, NodeId to, Bytes payload) {
   assert(from < nodes_.size() && to < nodes_.size());
   const std::size_t size = payload.size();
+  const std::size_t kind = kind_slot(payload);
   auto& sender_stats = stats_[from];
 
   if (down_[from]) return;  // a crashed node emits nothing
 
   if (filter_ && !filter_(from, to)) {
     ++sender_stats.messages_dropped;
+    if (trace_) {
+      trace_->record({.node = from,
+                      .type = obs::EventType::kMsgDropped,
+                      .kind = static_cast<std::uint8_t>(kind),
+                      .a = to,
+                      .b = obs::kDropFilter});
+    }
     return;
   }
 
@@ -64,20 +124,31 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   if (before_gst) drop_p += config_.pre_gst_drop_probability;
   if (drop_p > 0 && rng_.next_bool(drop_p)) {
     ++sender_stats.messages_dropped;
+    if (trace_) {
+      trace_->record({.node = from,
+                      .type = obs::EventType::kMsgDropped,
+                      .kind = static_cast<std::uint8_t>(kind),
+                      .a = to,
+                      .b = obs::kDropRandom});
+    }
     return;
   }
 
   ++sender_stats.messages_sent;
   sender_stats.bytes_sent += size;
+  ++sender_stats.msgs_sent_by_kind[kind];
+  sender_stats.bytes_sent_by_kind[kind] += size;
 
   if (from == to) {
     // Loopback: skip NIC/link, deliver after a tiny local hop.
-    sim_.schedule(Duration::micros(5), [this, from, to,
+    sim_.schedule(Duration::micros(5), [this, from, to, kind,
                                         p = std::move(payload)]() mutable {
       if (down_[to]) return;
       auto& rs = stats_[to];
       ++rs.messages_delivered;
       rs.bytes_delivered += p.size();
+      ++rs.msgs_delivered_by_kind[kind];
+      rs.bytes_delivered_by_kind[kind] += p.size();
       nodes_[to]->on_message(from, std::move(p));
     });
     return;
@@ -113,11 +184,14 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   }
   const TimePoint arrival = link_end + config_.one_way_delay + extra;
 
-  sim_.schedule_at(arrival, [this, from, to, p = std::move(payload)]() mutable {
+  sim_.schedule_at(arrival, [this, from, to, kind,
+                             p = std::move(payload)]() mutable {
     if (down_[to]) return;
     auto& rs = stats_[to];
     ++rs.messages_delivered;
     rs.bytes_delivered += p.size();
+    ++rs.msgs_delivered_by_kind[kind];
+    rs.bytes_delivered_by_kind[kind] += p.size();
     nodes_[to]->on_message(from, std::move(p));
   });
 }

@@ -7,17 +7,31 @@
 // delay / loss, after GST delivery is bounded.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simnet/simulator.h"
 
 namespace marlin::sim {
 
 using NodeId = std::uint32_t;
+
+/// Per-message-type breakdown slots. Envelope wire format starts with the
+/// MsgKind byte (values 1..8), which the network reads without parsing the
+/// payload; slot 0 collects frames that don't carry a known kind byte.
+inline constexpr std::size_t kNetKindSlots = 9;
+
+/// Stable label for a kind slot ("proposal", "vote", ...), mirroring
+/// types::MsgKind wire values; simnet keeps its own table to stay below
+/// the types layer.
+std::string_view net_kind_name(std::size_t kind);
 
 struct NetConfig {
   Duration one_way_delay = Duration::millis(40);
@@ -38,6 +52,13 @@ struct NodeNetStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t bytes_delivered = 0;
   std::uint64_t messages_dropped = 0;  // counted at the sender
+
+  // Per-message-type breakdowns, indexed by the payload's leading MsgKind
+  // byte (slot 0 = unrecognized). Totals above are the sums of these.
+  std::array<std::uint64_t, kNetKindSlots> msgs_sent_by_kind{};
+  std::array<std::uint64_t, kNetKindSlots> bytes_sent_by_kind{};
+  std::array<std::uint64_t, kNetKindSlots> msgs_delivered_by_kind{};
+  std::array<std::uint64_t, kNetKindSlots> bytes_delivered_by_kind{};
 };
 
 /// Receiver interface; implemented by replica/client runtimes.
@@ -79,6 +100,15 @@ class Network {
   NodeNetStats total_stats() const;
   void reset_stats();
 
+  /// Records kMsgDropped events for filtered / randomly lost sends
+  /// (node = sender, a = destination, b = obs::kDropFilter / kDropRandom).
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Exports per-node and per-kind traffic series into `reg`:
+  ///   net.messages_sent{node=N}, net.bytes_sent{node=N}, ...
+  ///   net.messages_sent{kind=vote}, net.bytes_sent{kind=vote}, ...
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
  private:
   std::uint64_t pair_key(NodeId from, NodeId to) const {
     return static_cast<std::uint64_t>(from) << 32 | to;
@@ -94,6 +124,7 @@ class Network {
   std::vector<TimePoint> nic_free_;
   std::unordered_map<std::uint64_t, TimePoint> link_free_;
   std::function<bool(NodeId, NodeId)> filter_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace marlin::sim

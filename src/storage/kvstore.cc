@@ -89,6 +89,7 @@ Status KVStore::recover() {
     auto w = WalWriter::create(env_, wal_name(current_wal_number_));
     if (!w.is_ok()) return w.status();
     wal_ = std::make_unique<WalWriter>(std::move(w).take());
+    wal_->set_trace(options_.trace, options_.trace_node);
   }
   return Status::ok();
 }
@@ -150,8 +151,17 @@ Status KVStore::flush() {
   if (!mem_.empty()) {
     const std::uint64_t table_number = next_file_number_++;
     const std::string name = table_name(table_number);
-    if (Status s = write_sstable(env_, name, mem_.entries()); !s.is_ok()) {
+    const std::size_t entry_count = mem_.entries().size();
+    std::size_t table_bytes = 0;
+    if (Status s = write_sstable(env_, name, mem_.entries(), &table_bytes);
+        !s.is_ok()) {
       return s;
+    }
+    if (options_.trace) {
+      options_.trace->record({.node = options_.trace_node,
+                              .type = obs::EventType::kSstableWrite,
+                              .a = table_bytes,
+                              .b = entry_count});
     }
     auto table = SSTable::open(env_, name);
     if (!table.is_ok()) return table.status();
@@ -165,6 +175,7 @@ Status KVStore::flush() {
   auto w = WalWriter::create(env_, wal_name(current_wal_number_));
   if (!w.is_ok()) return w.status();
   wal_ = std::make_unique<WalWriter>(std::move(w).take());
+  wal_->set_trace(options_.trace, options_.trace_node);
   if (Status s = persist_manifest(); !s.is_ok()) return s;
   (void)env_.remove_file(wal_name(old_wal));
   return Status::ok();
@@ -172,6 +183,12 @@ Status KVStore::flush() {
 
 Status KVStore::checkpoint() {
   if (Status s = flush(); !s.is_ok()) return s;
+  const std::size_t tables_before = tables_.size();
+  if (options_.trace) {
+    options_.trace->record({.node = options_.trace_node,
+                            .type = obs::EventType::kCheckpoint,
+                            .a = tables_before});
+  }
   if (tables_.size() <= 1) return Status::ok();
 
   // Merge newest-wins: later tables shadow earlier ones.
@@ -188,7 +205,16 @@ Status KVStore::checkpoint() {
 
   const std::uint64_t table_number = next_file_number_++;
   const std::string name = table_name(table_number);
-  if (Status s = write_sstable(env_, name, merged); !s.is_ok()) return s;
+  std::size_t table_bytes = 0;
+  if (Status s = write_sstable(env_, name, merged, &table_bytes); !s.is_ok()) {
+    return s;
+  }
+  if (options_.trace) {
+    options_.trace->record({.node = options_.trace_node,
+                            .type = obs::EventType::kSstableWrite,
+                            .a = table_bytes,
+                            .b = merged.size()});
+  }
   auto table = SSTable::open(env_, name);
   if (!table.is_ok()) return table.status();
 

@@ -24,6 +24,10 @@ struct KVStoreOptions {
   std::size_t memtable_flush_bytes = 4 << 20;
   /// fsync the WAL on every write (real-disk durability; MemEnv ignores).
   bool sync_writes = false;
+  /// When set, storage events (kWalWrite / kSstableWrite / kCheckpoint)
+  /// are recorded here, attributed to `trace_node`.
+  obs::TraceSink* trace = nullptr;
+  std::uint32_t trace_node = obs::kNoNode;
 };
 
 class KVStore {

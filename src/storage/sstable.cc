@@ -14,7 +14,8 @@ constexpr std::size_t kFooterSize = 20;
 }  // namespace
 
 Status write_sstable(Env& env, const std::string& name,
-                     const std::map<std::string, ValueOrTombstone>& entries) {
+                     const std::map<std::string, ValueOrTombstone>& entries,
+                     std::size_t* bytes_written) {
   Writer data;
   Writer index;
   for (const auto& [key, vot] : entries) {
@@ -38,6 +39,7 @@ Status write_sstable(Env& env, const std::string& name,
   file.u64(entries.size());
   file.u32(crc);
 
+  if (bytes_written != nullptr) *bytes_written = file.size();
   return env.write_file_atomic(name, file.buffer());
 }
 

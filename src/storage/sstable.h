@@ -21,9 +21,11 @@
 
 namespace marlin::storage {
 
-/// Writes a memtable snapshot (already sorted) as an SSTable file.
+/// Writes a memtable snapshot (already sorted) as an SSTable file. When
+/// `bytes_written` is non-null it receives the file's total size.
 Status write_sstable(Env& env, const std::string& name,
-                     const std::map<std::string, ValueOrTombstone>& entries);
+                     const std::map<std::string, ValueOrTombstone>& entries,
+                     std::size_t* bytes_written = nullptr);
 
 class SSTable {
  public:

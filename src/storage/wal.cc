@@ -16,6 +16,11 @@ Status WalWriter::append(BytesView record) {
   w.u32(crc32c_masked(record));
   w.u32(static_cast<std::uint32_t>(record.size()));
   w.raw(record);
+  if (trace_) {
+    trace_->record({.node = trace_node_,
+                    .type = obs::EventType::kWalWrite,
+                    .a = record.size()});
+  }
   return file_->append(w.buffer());
 }
 

@@ -12,6 +12,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "storage/env.h"
 
 namespace marlin::storage {
@@ -25,11 +26,20 @@ class WalWriter {
   Status sync() { return file_->sync(); }
   std::uint64_t size() const { return file_->size(); }
 
+  /// Records a kWalWrite event (a = record payload bytes) per append,
+  /// attributed to `node`. nullptr disables tracing.
+  void set_trace(obs::TraceSink* sink, std::uint32_t node) {
+    trace_ = sink;
+    trace_node_ = node;
+  }
+
  private:
   explicit WalWriter(std::unique_ptr<AppendFile> file)
       : file_(std::move(file)) {}
 
   std::unique_ptr<AppendFile> file_;
+  obs::TraceSink* trace_ = nullptr;
+  std::uint32_t trace_node_ = obs::kNoNode;
 };
 
 /// Reads all intact records from a segment. A trailing torn record is

@@ -7,6 +7,7 @@
 #include "common/bytes.h"
 #include "common/crc32c.h"
 #include "common/histogram.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "common/sim_time.h"
@@ -359,6 +360,28 @@ TEST(Histogram, Percentiles) {
   EXPECT_NEAR(h.mean().as_millis_f(), 50.5, 0.01);
 }
 
+TEST(Histogram, PercentileInterpolatesBetweenSamples) {
+  LatencyHistogram h;
+  for (int ms : {10, 20, 30, 40}) h.record(Duration::millis(ms));
+  // rank = p/100 * (n-1); p50 over 4 samples lands halfway between the
+  // 2nd and 3rd (exactly 25 ms), p25 a quarter of the way past the 1st.
+  EXPECT_EQ(h.percentile(0), Duration::millis(10));
+  EXPECT_EQ(h.percentile(50), Duration::millis(25));
+  EXPECT_EQ(h.percentile(25), Duration::micros(17500));
+  EXPECT_EQ(h.percentile(100), Duration::millis(40));
+}
+
+TEST(Histogram, PercentileIsConstAndSortsLazily) {
+  LatencyHistogram h;
+  h.record(Duration::millis(30));
+  h.record(Duration::millis(10));
+  h.record(Duration::millis(20));
+  const LatencyHistogram& view = h;  // const access must work (exporters)
+  EXPECT_EQ(view.percentile(0), Duration::millis(10));
+  EXPECT_EQ(view.percentile(100), Duration::millis(30));
+  EXPECT_EQ(view.median(), Duration::millis(20));
+}
+
 TEST(Histogram, EmptyIsZero) {
   LatencyHistogram h;
   EXPECT_EQ(h.percentile(50), Duration::zero());
@@ -372,6 +395,48 @@ TEST(Histogram, Merge) {
   a.merge_from(b);
   EXPECT_EQ(a.count(), 2u);
   EXPECT_EQ(a.max(), Duration::millis(30));
+}
+
+// ---------------------------------------------------------------------------
+// log sink
+// ---------------------------------------------------------------------------
+
+TEST(Log, ScopedCaptureCollectsAndRestores) {
+  {
+    ScopedLogCapture capture;
+    MLOG_INFO("hello %d", 42);
+    MLOG_WARN("watch out");
+    ASSERT_EQ(capture.lines().size(), 2u);
+    EXPECT_TRUE(capture.contains("hello 42"));
+    EXPECT_TRUE(capture.contains("WARN"));
+    EXPECT_FALSE(capture.contains("absent"));
+    capture.clear();
+    EXPECT_TRUE(capture.lines().empty());
+  }
+  // After the capture's destructor, a fresh capture starts empty — the
+  // previous sink (stderr) was restored in between without leaking lines.
+  ScopedLogCapture again;
+  EXPECT_TRUE(again.lines().empty());
+}
+
+TEST(Log, CaptureHonorsItsLevel) {
+  ScopedLogCapture capture(LogLevel::kWarn);
+  MLOG_DEBUG("too quiet");
+  MLOG_ERROR("loud");
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_TRUE(capture.contains("loud"));
+}
+
+TEST(Log, NestedCapturesRestoreInner) {
+  ScopedLogCapture outer;
+  {
+    ScopedLogCapture inner;
+    MLOG_INFO("inner message");
+    EXPECT_TRUE(inner.contains("inner message"));
+    EXPECT_FALSE(outer.contains("inner message"));
+  }
+  MLOG_INFO("outer message");
+  EXPECT_TRUE(outer.contains("outer message"));
 }
 
 TEST(WindowedCounter, CountsOnlyWindow) {

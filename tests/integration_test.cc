@@ -329,13 +329,13 @@ TEST(IntegrationRuntime, TrafficCountersPopulate) {
   cluster.replica(1).set_count_authenticators(true);  // view-1 leader
   cluster.start();
   sim.run_for(Duration::seconds(3));
-  const auto& t = cluster.replica(1).traffic();
+  const auto& net = cluster.network().stats(1);
   const auto proposal_idx = static_cast<std::size_t>(types::MsgKind::kProposal);
   const auto notice_idx = static_cast<std::size_t>(types::MsgKind::kQcNotice);
-  EXPECT_GT(t.msgs_by_kind[proposal_idx], 0u);
-  EXPECT_GT(t.msgs_by_kind[notice_idx], 0u);
-  EXPECT_GT(t.bytes_by_kind[proposal_idx], 0u);
-  EXPECT_GT(t.authenticators_sent, 0u);
+  EXPECT_GT(net.msgs_sent_by_kind[proposal_idx], 0u);
+  EXPECT_GT(net.msgs_sent_by_kind[notice_idx], 0u);
+  EXPECT_GT(net.bytes_sent_by_kind[proposal_idx], 0u);
+  EXPECT_GT(cluster.replica(1).traffic().authenticators_sent, 0u);
 }
 
 }  // namespace

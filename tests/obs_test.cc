@@ -1,0 +1,234 @@
+// Unit tests for the observability subsystem: TraceSink ring semantics,
+// event-type naming, metrics registry merging, histogram interpolation,
+// and the JSONL / JSON / CSV exporters (including round-tripping).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace marlin::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------------------
+
+TEST(TraceSink, StampsSequenceAndClock) {
+  TraceSink sink(16);
+  std::int64_t now_ns = 0;
+  sink.set_clock([&] { return TimePoint::origin() + Duration::nanos(now_ns); });
+
+  now_ns = 1000;
+  EXPECT_EQ(sink.record({.type = EventType::kCommit}), 0u);
+  now_ns = 2500;
+  EXPECT_EQ(sink.record({.type = EventType::kCommit}), 1u);
+
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].at.as_nanos(), 1000);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].at.as_nanos(), 2500);
+}
+
+TEST(TraceSink, RingEvictsOldestKeepingOrder) {
+  TraceSink sink(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    sink.record({.type = EventType::kCommit, .height = i});
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.total_recorded(), 10u);
+  EXPECT_EQ(sink.evicted(), 6u);
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].height, 6 + i);
+    EXPECT_EQ(events[i].seq, 6 + i);
+    if (i > 0) {
+      EXPECT_LT(events[i - 1].seq, events[i].seq);
+    }
+  }
+}
+
+TEST(TraceSink, DisabledTypesAreSkippedWithoutSeqGaps) {
+  TraceSink sink(16);
+  sink.set_enabled(EventType::kWalWrite, false);
+  sink.record({.type = EventType::kCommit});
+  sink.record({.type = EventType::kWalWrite});
+  sink.record({.type = EventType::kCommit});
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+
+  sink.set_enabled(EventType::kWalWrite, true);
+  sink.record({.type = EventType::kWalWrite});
+  EXPECT_EQ(sink.size(), 3u);
+}
+
+TEST(TraceSink, ClearRestartsNumbering) {
+  TraceSink sink(8);
+  sink.record({.type = EventType::kCommit});
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.record({.type = EventType::kCommit}), 0u);
+}
+
+TEST(TraceNames, RoundTripAllTypes) {
+  for (std::size_t t = 0; t < kEventTypeCount; ++t) {
+    const auto type = static_cast<EventType>(t);
+    EXPECT_EQ(event_type_from_name(event_type_name(type)), type);
+  }
+  EXPECT_EQ(event_type_from_name("no_such_event"), EventType::kCount);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CountersAndGaugesByLabel) {
+  MetricsRegistry reg;
+  reg.counter("commits") += 3;
+  reg.counter("commits", "replica=1") += 2;
+  reg.gauge("height") = 17;
+  EXPECT_EQ(reg.counter_value("commits"), 3u);
+  EXPECT_EQ(reg.counter_value("commits", "replica=1"), 2u);
+  EXPECT_EQ(reg.counter_value("commits", "replica=2"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("height"), 17);
+}
+
+TEST(Metrics, MergeAddsCountersAndMaxesGauges) {
+  MetricsRegistry a, b;
+  a.counter("ops") = 5;
+  b.counter("ops") = 7;
+  b.counter("only_b") = 1;
+  a.gauge("view") = 3;
+  b.gauge("view") = 9;
+  a.latency("lat").record(Duration::millis(10));
+  b.latency("lat").record(Duration::millis(30));
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("ops"), 12u);
+  EXPECT_EQ(a.counter_value("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge_value("view"), 9);
+  EXPECT_EQ(a.latencies().at({"lat", ""}).count(), 2u);
+}
+
+TEST(ValueHistogramTest, InterpolatedPercentiles) {
+  ValueHistogram h;
+  for (std::uint64_t v : {10u, 20u, 30u, 40u}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 10);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 40);
+  // rank = 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 25);
+  EXPECT_DOUBLE_EQ(h.percentile(25), 17.5);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(Export, EventJsonRoundTrip) {
+  TraceEvent e;
+  e.seq = 42;
+  e.at = TimePoint::origin() + Duration::micros(1234);
+  e.node = 3;
+  e.type = EventType::kQcFormed;
+  e.phase = 1;  // prepare
+  e.kind = 4;
+  e.view = 7;
+  e.height = 19;
+  e.block = 0xdeadbeefcafef00dull;
+  e.a = 11;
+  e.b = 22;
+
+  const std::string line = event_to_json(e);
+  TraceEvent back;
+  ASSERT_TRUE(event_from_json(line, &back)) << line;
+  EXPECT_EQ(back, e);
+}
+
+TEST(Export, EventJsonRoundTripsSentinels) {
+  TraceEvent e;  // node = kNoNode, phase = kNoPhase, everything else zero
+  e.type = EventType::kMsgDropped;
+  const std::string line = event_to_json(e);
+  TraceEvent back;
+  ASSERT_TRUE(event_from_json(line, &back)) << line;
+  EXPECT_EQ(back.node, kNoNode);
+  EXPECT_EQ(back.phase, kNoPhase);
+  EXPECT_EQ(back, e);
+}
+
+TEST(Export, RejectsMalformedLines) {
+  TraceEvent out;
+  EXPECT_FALSE(event_from_json("", &out));
+  EXPECT_FALSE(event_from_json("{\"type\":\"bogus_event\"}", &out));
+}
+
+TEST(Export, JsonlOneLinePerEvent) {
+  TraceSink sink(8);
+  sink.record({.type = EventType::kCommit, .height = 1});
+  sink.record({.type = EventType::kCommit, .height = 2});
+  const std::string jsonl = trace_to_jsonl(sink);
+  std::istringstream in(jsonl);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    TraceEvent e;
+    EXPECT_TRUE(event_from_json(line, &e));
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(Export, MetricsJsonAndCsvAreDeterministic) {
+  MetricsRegistry reg;
+  reg.counter("z.last") = 1;
+  reg.counter("a.first") = 2;
+  reg.gauge("g", "replica=0") = 0.5;
+  reg.latency("lat").record(Duration::millis(3));
+  reg.sizes("sz").record(100);
+
+  const std::string json = metrics_to_json(reg);
+  const std::string csv = metrics_to_csv(reg);
+  // Ordered maps: a.first serializes before z.last.
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(csv.find("metric,label,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("g,replica=0,value,0.500"), std::string::npos);
+  // Re-exporting the same registry is byte-identical.
+  EXPECT_EQ(json, metrics_to_json(reg));
+  EXPECT_EQ(csv, metrics_to_csv(reg));
+}
+
+TEST(Export, ViewTimelineGroupsByView) {
+  TraceSink sink(32);
+  std::int64_t t = 0;
+  sink.set_clock([&] { return TimePoint::origin() + Duration::millis(t); });
+  t = 5;
+  sink.record({.node = 1, .type = EventType::kViewEntered, .view = 1});
+  t = 10;
+  sink.record(
+      {.node = 1, .type = EventType::kProposalSent, .view = 1, .height = 1});
+  t = 90;
+  sink.record({.node = 1,
+               .type = EventType::kCommit,
+               .view = 1,
+               .height = 1,
+               .a = 4,
+               .b = 4});
+  std::ostringstream out;
+  print_view_timeline(sink.events(), out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("view"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace marlin::obs

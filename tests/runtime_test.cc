@@ -227,14 +227,11 @@ TEST(Traffic, ResetClearsCounters) {
   Cluster cluster(sim, cfg);
   cluster.start();
   sim.run_for(Duration::seconds(3));
-  auto& leader = cluster.replica(1);
-  EXPECT_GT(leader.traffic()
-                .msgs_by_kind[static_cast<std::size_t>(types::MsgKind::kProposal)],
-            0u);
-  leader.reset_traffic();
-  EXPECT_EQ(leader.traffic()
-                .msgs_by_kind[static_cast<std::size_t>(types::MsgKind::kProposal)],
-            0u);
+  const auto proposal_idx =
+      static_cast<std::size_t>(types::MsgKind::kProposal);
+  EXPECT_GT(cluster.network().stats(1).msgs_sent_by_kind[proposal_idx], 0u);
+  cluster.network().reset_stats();
+  EXPECT_EQ(cluster.network().stats(1).msgs_sent_by_kind[proposal_idx], 0u);
 }
 
 TEST(Traffic, ViewChangeBytesScaleLinearlyPerReplica) {
@@ -253,17 +250,15 @@ TEST(Traffic, ViewChangeBytesScaleLinearlyPerReplica) {
     cluster.start();
     sim.run_for(Duration::seconds(2));
     cluster.crash_replica(cluster.current_leader());
-    for (ReplicaId r = 0; r < cluster.n(); ++r) {
-      cluster.replica(r).reset_traffic();
-    }
+    cluster.network().reset_stats();
     sim.run_for(Duration::seconds(5));
     std::uint64_t vc_bytes = 0;
     for (ReplicaId r = 0; r < cluster.n(); ++r) {
-      const auto& t = cluster.replica(r).traffic();
-      vc_bytes +=
-          t.bytes_by_kind[static_cast<std::size_t>(types::MsgKind::kViewChange)];
-      vc_bytes +=
-          t.bytes_by_kind[static_cast<std::size_t>(types::MsgKind::kQcNotice)];
+      const auto& t = cluster.network().stats(r);
+      vc_bytes += t.bytes_sent_by_kind[static_cast<std::size_t>(
+          types::MsgKind::kViewChange)];
+      vc_bytes += t.bytes_sent_by_kind[static_cast<std::size_t>(
+          types::MsgKind::kQcNotice)];
     }
     return static_cast<double>(vc_bytes) / cluster.n();
   };

@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
+#include "obs/export.h"
 #include "runtime/cluster.h"
 
 using namespace marlin;
@@ -27,6 +29,10 @@ struct Options {
   double seconds = 20;
   double crash_leader_at = -1;  // seconds; <0 = never
   std::uint32_t crashes = 0;    // random-ish replicas crashed at start
+  std::string trace_out;        // JSONL protocol trace path
+  std::string metrics_out;      // JSON metrics snapshot path
+  std::string metrics_csv;      // CSV metrics snapshot path
+  bool timeline = false;        // print per-view timeline
   bool help = false;
 };
 
@@ -51,7 +57,11 @@ void usage() {
       "  --rotate=MS                  rotating-leader mode, interval in ms\n"
       "  --timeout-ms=N               view-change timeout (2000)\n"
       "  --crash-leader-at=S          crash the current leader at time S\n"
-      "  --crashes=N                  crash N replicas at start\n");
+      "  --crashes=N                  crash N replicas at start\n"
+      "  --trace-out=PATH             dump the protocol trace as JSONL\n"
+      "  --metrics-out=PATH           dump a metrics snapshot as JSON\n"
+      "  --metrics-csv=PATH           dump a metrics snapshot as CSV\n"
+      "  --timeline                   print a per-view activity timeline\n");
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* value) {
@@ -123,6 +133,14 @@ bool parse_options(int argc, char** argv, Options* opt) {
       opt->crash_leader_at = std::atof(v.c_str());
     } else if (parse_flag(argv[i], "--crashes", &v)) {
       opt->crashes = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+    } else if (parse_flag(argv[i], "--trace-out", &v)) {
+      opt->trace_out = v;
+    } else if (parse_flag(argv[i], "--metrics-out", &v)) {
+      opt->metrics_out = v;
+    } else if (parse_flag(argv[i], "--metrics-csv", &v)) {
+      opt->metrics_csv = v;
+    } else if (parse_flag(argv[i], "--timeline", &v)) {
+      opt->timeline = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       return false;
@@ -139,6 +157,15 @@ int main(int argc, char** argv) {
   if (opt.help) {
     usage();
     return 0;
+  }
+
+  obs::TraceSink trace{1 << 18};
+  const bool want_obs = !opt.trace_out.empty() || opt.timeline;
+  if (want_obs) {
+    opt.cluster.trace = &trace;
+    // Authenticator counting only reads outgoing messages — it never
+    // changes simulated behavior — so traced runs get it for free.
+    opt.cluster.count_authenticators = true;
   }
 
   sim::Simulator sim(opt.cluster.seed);
@@ -204,5 +231,43 @@ int main(int argc, char** argv) {
   const bool safe = !cluster.any_safety_violation() &&
                     cluster.committed_heights_consistent();
   std::printf("  safety: %s\n", safe ? "ok" : "VIOLATED");
+
+  if (opt.timeline) {
+    std::printf("\n");
+    obs::print_view_timeline(trace.events(), std::cout);
+  }
+  if (!opt.trace_out.empty()) {
+    if (trace.evicted() > 0) {
+      std::fprintf(stderr,
+                   "warning: trace ring overflowed; oldest %llu events lost\n",
+                   static_cast<unsigned long long>(trace.evicted()));
+    }
+    if (!obs::write_text_file(opt.trace_out, obs::trace_to_jsonl(trace))) {
+      std::fprintf(stderr, "failed to write %s\n", opt.trace_out.c_str());
+      return 2;
+    }
+    std::printf("  trace:   %zu events -> %s\n", trace.size(),
+                opt.trace_out.c_str());
+  }
+  if (!opt.metrics_out.empty() || !opt.metrics_csv.empty()) {
+    obs::MetricsRegistry metrics;
+    cluster.export_metrics(metrics);
+    if (!opt.metrics_out.empty()) {
+      if (!obs::write_text_file(opt.metrics_out,
+                                obs::metrics_to_json(metrics))) {
+        std::fprintf(stderr, "failed to write %s\n", opt.metrics_out.c_str());
+        return 2;
+      }
+      std::printf("  metrics: %s\n", opt.metrics_out.c_str());
+    }
+    if (!opt.metrics_csv.empty()) {
+      if (!obs::write_text_file(opt.metrics_csv,
+                                obs::metrics_to_csv(metrics))) {
+        std::fprintf(stderr, "failed to write %s\n", opt.metrics_csv.c_str());
+        return 2;
+      }
+      std::printf("  metrics: %s\n", opt.metrics_csv.c_str());
+    }
+  }
   return safe ? 0 : 1;
 }

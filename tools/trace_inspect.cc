@@ -1,0 +1,308 @@
+// trace_inspect — offline analyzer for JSONL protocol traces produced by
+// marlin_sim / the benches (obs::trace_to_jsonl format).
+//
+//   trace_inspect trace.jsonl                 # all reports
+//   trace_inspect --report=phases trace.jsonl # per-phase latency only
+//   trace_inspect --report=egress --n=4 ...   # per-view leader egress
+//
+// Reports:
+//   summary  — event counts by type, time span, nodes, views
+//   phases   — per-block latency from proposal to each QC and to commit
+//   egress   — per-view leader egress: messages, bytes, authenticators
+//   kinds    — per-kind traffic with authenticators/message (Table I check)
+//   timeline — the per-view activity timeline (same as marlin_sim --timeline)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "simnet/network.h"
+
+using namespace marlin;
+using obs::EventType;
+using obs::TraceEvent;
+
+namespace {
+
+double ms(std::uint64_t nanos) { return static_cast<double>(nanos) / 1e6; }
+
+/// n inferred from the protocol events only — kMsgDropped may carry client
+/// node ids, which would overestimate the replica count.
+std::uint32_t infer_n(const std::vector<TraceEvent>& events) {
+  std::uint32_t max_node = 0;
+  bool any = false;
+  for (const TraceEvent& e : events) {
+    if (e.node == obs::kNoNode) continue;
+    if (e.type == EventType::kViewEntered || e.type == EventType::kVoteSent ||
+        e.type == EventType::kProposalSent) {
+      max_node = std::max(max_node, e.node);
+      any = true;
+    }
+  }
+  return any ? max_node + 1 : 0;
+}
+
+void print_summary(const std::vector<TraceEvent>& events) {
+  std::uint64_t by_type[obs::kEventTypeCount] = {};
+  std::uint64_t min_ns = ~0ull, max_ns = 0;
+  ViewNumber max_view = 0;
+  for (const TraceEvent& e : events) {
+    const auto t = static_cast<std::size_t>(e.type);
+    if (t < obs::kEventTypeCount) ++by_type[t];
+    const std::uint64_t ns = static_cast<std::uint64_t>(e.at.as_nanos());
+    min_ns = std::min(min_ns, ns);
+    max_ns = std::max(max_ns, ns);
+    max_view = std::max(max_view, e.view);
+  }
+  std::printf("summary\n");
+  std::printf("  events: %zu   span: %.3f ms .. %.3f ms   max view: %llu   "
+              "replicas: %u\n",
+              events.size(), ms(min_ns), ms(max_ns),
+              static_cast<unsigned long long>(max_view), infer_n(events));
+  for (std::size_t t = 0; t < obs::kEventTypeCount; ++t) {
+    if (by_type[t] == 0) continue;
+    std::printf("  %-20s %10llu\n",
+                obs::event_type_name(static_cast<EventType>(t)),
+                static_cast<unsigned long long>(by_type[t]));
+  }
+}
+
+/// Per-block milestones: proposal broadcast, each phase's QC, first commit.
+struct BlockTiming {
+  std::uint64_t propose_ns = 0;
+  bool proposed = false;
+  std::map<std::uint8_t, std::uint64_t> qc_ns;  // phase -> first QC time
+  std::uint64_t commit_ns = 0;
+  bool committed = false;
+};
+
+void print_phase_latency(const std::vector<TraceEvent>& events) {
+  std::map<std::uint64_t, BlockTiming> blocks;
+  for (const TraceEvent& e : events) {
+    if (e.block == 0) continue;
+    const std::uint64_t ns = static_cast<std::uint64_t>(e.at.as_nanos());
+    BlockTiming& bt = blocks[e.block];
+    switch (e.type) {
+      case EventType::kProposalSent:
+        if (!bt.proposed || ns < bt.propose_ns) bt.propose_ns = ns;
+        bt.proposed = true;
+        break;
+      case EventType::kQcFormed:
+        if (!bt.qc_ns.count(e.phase)) bt.qc_ns[e.phase] = ns;
+        break;
+      case EventType::kCommit:
+        if (!bt.committed || ns < bt.commit_ns) bt.commit_ns = ns;
+        bt.committed = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Latency distributions from the proposal broadcast to each milestone.
+  std::map<std::uint8_t, obs::ValueHistogram> to_qc;
+  obs::ValueHistogram to_commit;
+  for (const auto& [block, bt] : blocks) {
+    if (!bt.proposed) continue;
+    for (const auto& [phase, qc_at] : bt.qc_ns) {
+      if (qc_at >= bt.propose_ns) to_qc[phase].record(qc_at - bt.propose_ns);
+    }
+    if (bt.committed && bt.commit_ns >= bt.propose_ns) {
+      to_commit.record(bt.commit_ns - bt.propose_ns);
+    }
+  }
+
+  std::printf("phase latency (proposal broadcast -> milestone, per block)\n");
+  std::printf("  %-22s %7s %9s %9s %9s\n", "milestone", "blocks", "mean_ms",
+              "p50_ms", "p95_ms");
+  for (const auto& [phase, h] : to_qc) {
+    char label[40];
+    std::snprintf(label, sizeof label, "qc[%s]",
+                  obs::trace_phase_name(phase));
+    std::printf("  %-22s %7zu %9.3f %9.3f %9.3f\n", label, h.count(),
+                ms(static_cast<std::uint64_t>(h.mean())),
+                ms(static_cast<std::uint64_t>(h.percentile(50))),
+                ms(static_cast<std::uint64_t>(h.percentile(95))));
+  }
+  std::printf("  %-22s %7zu %9.3f %9.3f %9.3f\n", "commit", to_commit.count(),
+              ms(static_cast<std::uint64_t>(to_commit.mean())),
+              ms(static_cast<std::uint64_t>(to_commit.percentile(50))),
+              ms(static_cast<std::uint64_t>(to_commit.percentile(95))));
+}
+
+struct ViewEgress {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t authenticators = 0;
+};
+
+void print_leader_egress(const std::vector<TraceEvent>& events,
+                         std::uint32_t n) {
+  if (n == 0) n = infer_n(events);
+  if (n == 0) {
+    std::printf("leader egress: no replica events in trace\n");
+    return;
+  }
+  std::map<ViewNumber, ViewEgress> by_view;
+  for (const TraceEvent& e : events) {
+    if (e.type != EventType::kMsgSent) continue;
+    if (e.node != e.view % n) continue;  // leader of that view only
+    ViewEgress& v = by_view[e.view];
+    ++v.msgs;
+    v.bytes += e.a;
+    v.authenticators += e.b;
+  }
+  std::printf("leader egress per view (n=%u, leader = view %% n)\n", n);
+  std::printf("  %-8s %-7s %8s %12s %8s\n", "view", "leader", "msgs",
+              "bytes", "auths");
+  ViewEgress total;
+  for (const auto& [view, v] : by_view) {
+    std::printf("  %-8llu %-7llu %8llu %12llu %8llu\n",
+                static_cast<unsigned long long>(view),
+                static_cast<unsigned long long>(view % n),
+                static_cast<unsigned long long>(v.msgs),
+                static_cast<unsigned long long>(v.bytes),
+                static_cast<unsigned long long>(v.authenticators));
+    total.msgs += v.msgs;
+    total.bytes += v.bytes;
+    total.authenticators += v.authenticators;
+  }
+  std::printf("  %-8s %-7s %8llu %12llu %8llu\n", "total", "",
+              static_cast<unsigned long long>(total.msgs),
+              static_cast<unsigned long long>(total.bytes),
+              static_cast<unsigned long long>(total.authenticators));
+}
+
+void print_kind_breakdown(const std::vector<TraceEvent>& events) {
+  ViewEgress by_kind[sim::kNetKindSlots] = {};
+  for (const TraceEvent& e : events) {
+    if (e.type != EventType::kMsgSent) continue;
+    const std::size_t slot = e.kind < sim::kNetKindSlots ? e.kind : 0;
+    ++by_kind[slot].msgs;
+    by_kind[slot].bytes += e.a;
+    by_kind[slot].authenticators += e.b;
+  }
+  std::printf("traffic by message kind (authenticators: Table I check)\n");
+  std::printf("  %-15s %8s %12s %8s %9s\n", "kind", "msgs", "bytes", "auths",
+              "auth/msg");
+  for (std::size_t k = 0; k < sim::kNetKindSlots; ++k) {
+    const ViewEgress& v = by_kind[k];
+    if (v.msgs == 0) continue;
+    std::printf("  %-15s %8llu %12llu %8llu %9.2f\n",
+                std::string(sim::net_kind_name(k)).c_str(),
+                static_cast<unsigned long long>(v.msgs),
+                static_cast<unsigned long long>(v.bytes),
+                static_cast<unsigned long long>(v.authenticators),
+                static_cast<double>(v.authenticators) /
+                    static_cast<double>(v.msgs));
+  }
+}
+
+void usage() {
+  std::printf(
+      "trace_inspect — analyze a JSONL protocol trace\n\n"
+      "  trace_inspect [--report=summary|phases|egress|kinds|timeline|all]\n"
+      "                [--n=N] trace.jsonl\n\n"
+      "  --report=R   which report to print (default all)\n"
+      "  --n=N        replica count for leader attribution (default: infer)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report = "all";
+  std::string path;
+  std::uint32_t n = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0) {
+      usage();
+      return 0;
+    } else if (std::strncmp(arg, "--report=", 9) == 0) {
+      report = arg + 9;
+    } else if (std::strncmp(arg, "--n=", 4) == 0) {
+      n = static_cast<std::uint32_t>(std::atoi(arg + 4));
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t lineno = 0, bad = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    TraceEvent e;
+    if (!obs::event_from_json(line, &e)) {
+      ++bad;
+      continue;
+    }
+    events.push_back(e);
+  }
+  if (bad > 0) {
+    std::fprintf(stderr, "warning: %zu of %zu lines unparseable\n", bad,
+                 lineno);
+  }
+  if (events.empty()) {
+    std::fprintf(stderr, "no events in %s\n", path.c_str());
+    return 1;
+  }
+  // Traces are written in seq order, but be robust to concatenated files.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.seq < b.seq;
+                   });
+
+  const bool all = report == "all";
+  bool matched = false;
+  if (all || report == "summary") {
+    print_summary(events);
+    matched = true;
+  }
+  if (all || report == "phases") {
+    if (matched) std::printf("\n");
+    print_phase_latency(events);
+    matched = true;
+  }
+  if (all || report == "egress") {
+    if (matched) std::printf("\n");
+    print_leader_egress(events, n);
+    matched = true;
+  }
+  if (all || report == "kinds") {
+    if (matched) std::printf("\n");
+    print_kind_breakdown(events);
+    matched = true;
+  }
+  if (all || report == "timeline") {
+    if (matched) std::printf("\n");
+    obs::print_view_timeline(events, std::cout);
+    matched = true;
+  }
+  if (!matched) {
+    std::fprintf(stderr, "unknown report '%s' (try --help)\n",
+                 report.c_str());
+    return 2;
+  }
+  return 0;
+}
