@@ -10,6 +10,46 @@
 // EXPERIMENTS.md).
 #include "bench_common.h"
 
+#include "obs/critical_path.h"
+
+namespace {
+
+// One dedicated f = 1 default-seed run per protocol, traced into a fresh
+// sink, so the critical-path attribution is over a clean single-run trace
+// (the sweep's shared ring interleaves runs and overflows).
+std::string critical_path_artifact() {
+  using namespace marlin::bench;
+  std::string out;
+  std::vector<marlin::obs::CriticalPathBreakdown> breakdowns;
+  for (ProtocolKind protocol :
+       {ProtocolKind::kMarlin, ProtocolKind::kHotStuff}) {
+    ClusterConfig cfg = paper_config(1, protocol);
+    cfg.client_window = 4;  // light load: commit latency, not queueing
+    marlin::obs::TraceSink sink{1u << 17};
+    cfg.trace = &sink;
+    marlin::runtime::run_throughput_experiment(
+        cfg, marlin::Duration::seconds(3), marlin::Duration::seconds(5),
+        nullptr);
+    const auto paths = marlin::obs::critical_paths(sink.events());
+    const bool three = protocol == ProtocolKind::kHotStuff;
+    for (const auto& p : paths) {
+      if (p.complete && p.three_phase == three) {
+        out += std::string("== ") + protocol_name(protocol) +
+               (three ? " (three-phase) ==\n" : " (two-phase) ==\n");
+        out += marlin::obs::critical_path_to_text(p);
+        break;
+      }
+    }
+    breakdowns.push_back(marlin::obs::aggregate_critical_paths(paths, three));
+    out += marlin::obs::breakdown_to_text(breakdowns.back());
+    out += "\n";
+  }
+  out += marlin::obs::breakdown_comparison(breakdowns[0], breakdowns[1]);
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace marlin::bench;
   // Optional: pass a subset of f values (e.g. "1 2" for a quick run).
@@ -49,6 +89,20 @@ int main(int argc, char** argv) {
                 " (analyze with trace_inspect)\n");
   } else {
     std::fprintf(stderr, "failed to write bench_fig10 artifacts\n");
+    return 1;
+  }
+
+  // Where does the commit latency go? Two dedicated light-load f = 1 runs
+  // feed the per-edge critical-path breakdown — Marlin vs HotStuff side by
+  // side, one network round trip apart.
+  print_header("Critical-path latency attribution (f = 1, light load)");
+  const std::string breakdown = critical_path_artifact();
+  std::fputs(breakdown.c_str(), stdout);
+  if (marlin::obs::write_text_file("bench_fig10.critical_path.txt",
+                                   breakdown)) {
+    std::printf("\nwrote bench_fig10.critical_path.txt\n");
+  } else {
+    std::fprintf(stderr, "failed to write bench_fig10.critical_path.txt\n");
     return 1;
   }
   return 0;

@@ -54,6 +54,9 @@ class TimePoint {
   constexpr TimePoint operator+(Duration d) const {
     return TimePoint(ns_ + d.as_nanos());
   }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(ns_ - d.as_nanos());
+  }
   constexpr Duration operator-(TimePoint o) const {
     return Duration::nanos(ns_ - o.ns_);
   }

@@ -20,6 +20,11 @@ class ProtocolEnv {
   /// host is not tracing (unit-test envs). Protocols must tolerate null.
   virtual obs::TraceSink* trace_sink() { return nullptr; }
 
+  /// Simulation time of the event being handled; origin outside a timed
+  /// host (unit-test envs). Used only for observability (txpool wait
+  /// attribution), never for protocol decisions.
+  virtual TimePoint now() const { return TimePoint::origin(); }
+
   /// Point-to-point send to another replica (authenticated channel).
   virtual void send(ReplicaId to, const types::Envelope& env) = 0;
   /// Send to every replica except self.

@@ -138,6 +138,13 @@ void MarlinReplica::propose_normal(bool force) {
   msg.entries.push_back(types::ProposalEntry{std::move(b), Justify{qc, {}}});
   propose_ready_ = false;
   broadcast(types::make_envelope(MsgKind::kProposal, msg));
+  if (proposed_ops > 0) {
+    trace({.type = obs::EventType::kBatchDequeued,
+           .height = proposed_height,
+           .block = trace_block_id(proposed_hash),
+           .a = proposed_ops,
+           .b = static_cast<std::uint64_t>(last_batch_wait_.as_nanos())});
+  }
   trace({.type = obs::EventType::kProposalSent,
          .phase = static_cast<std::uint8_t>(Phase::kPrepare),
          .height = proposed_height,

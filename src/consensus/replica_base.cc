@@ -42,7 +42,9 @@ void ReplicaBase::handle_message(ReplicaId from, const Envelope& envelope) {
     case MsgKind::kClientRequest: {
       auto msg = types::open_envelope<types::ClientRequestMsg>(envelope);
       if (msg.is_ok()) {
-        for (types::Operation& op : msg.value().ops) pool_.add(std::move(op));
+        for (types::Operation& op : msg.value().ops) {
+          pool_.add(std::move(op), env_.now());
+        }
         maybe_propose();
       }
       return;
@@ -83,7 +85,7 @@ void ReplicaBase::handle_message(ReplicaId from, const Envelope& envelope) {
 }
 
 void ReplicaBase::submit(types::Operation op) {
-  pool_.add(std::move(op));
+  pool_.add(std::move(op), env_.now());
   maybe_propose();
 }
 
@@ -150,7 +152,12 @@ bool ReplicaBase::verify_partial(const crypto::PartialSig& sig,
 
 std::vector<types::Operation> ReplicaBase::make_batch(bool force) {
   auto batch = pool_.next_batch(config_.max_batch_ops);
-  if (batch.empty() && !force && !config_.allow_empty_blocks) return {};
+  if (batch.empty()) {
+    last_batch_wait_ = Duration::zero();
+    if (!force && !config_.allow_empty_blocks) return {};
+    return batch;
+  }
+  last_batch_wait_ = env_.now() - pool_.last_batch_oldest_enqueue();
   return batch;
 }
 

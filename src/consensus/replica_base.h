@@ -192,6 +192,10 @@ class ReplicaBase {
   types::BlockStore store_;
   TxPool pool_;
 
+  /// Pool wait of the oldest op in the last non-empty make_batch() result
+  /// (observability: kBatchDequeued's b operand).
+  Duration last_batch_wait_ = Duration::zero();
+
   ViewNumber cview_ = 0;  // 0 until start(); views begin at 1
   Hash256 committed_hash_;
   Height committed_height_ = 0;

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/sim_time.h"
 #include "types/block.h"
 
 namespace marlin::consensus {
@@ -15,13 +16,14 @@ namespace marlin::consensus {
 class TxPool {
  public:
   /// Adds an operation; ignored when already pooled or already executed.
-  void add(types::Operation op) {
+  /// `at` is the enqueue time, kept only for pool-wait attribution.
+  void add(types::Operation op, TimePoint at = TimePoint::origin()) {
     const std::uint64_t key = op_key(op);
     if (pooled_.count(key) > 0) return;
     auto it = executed_.find(op.client);
     if (it != executed_.end() && op.request <= it->second) return;
     pooled_.insert(key);
-    queue_.push_back(std::move(op));
+    queue_.push_back({std::move(op), at});
   }
 
   /// Pops up to `max_ops` operations for a new proposal, skipping any that
@@ -29,16 +31,26 @@ class TxPool {
   std::vector<types::Operation> next_batch(std::size_t max_ops) {
     std::vector<types::Operation> batch;
     batch.reserve(std::min(max_ops, queue_.size()));
+    bool first = true;
     while (batch.size() < max_ops && !queue_.empty()) {
-      types::Operation op = std::move(queue_.front());
+      Entry entry = std::move(queue_.front());
       queue_.pop_front();
-      pooled_.erase(op_key(op));
-      auto it = executed_.find(op.client);
-      if (it != executed_.end() && op.request <= it->second) continue;
-      batch.push_back(std::move(op));
+      pooled_.erase(op_key(entry.op));
+      auto it = executed_.find(entry.op.client);
+      if (it != executed_.end() && entry.op.request <= it->second) continue;
+      if (first) {
+        // FIFO order: the first surviving op has waited the longest.
+        last_batch_oldest_ = entry.at;
+        first = false;
+      }
+      batch.push_back(std::move(entry.op));
     }
     return batch;
   }
+
+  /// Enqueue time of the oldest op in the last non-empty next_batch()
+  /// result (origin before any batch was drained).
+  TimePoint last_batch_oldest_enqueue() const { return last_batch_oldest_; }
 
   /// Marks a committed operation: advances the executed watermark and
   /// drops the pooled copy lazily (skipped at pop time).
@@ -65,9 +77,14 @@ class TxPool {
   }
 
  private:
+  struct Entry {
+    types::Operation op;
+    TimePoint at;  // enqueue time (observability only)
+  };
+
   void purge_front() {
     while (!queue_.empty()) {
-      const types::Operation& op = queue_.front();
+      const types::Operation& op = queue_.front().op;
       if (!executed(op.client, op.request)) break;
       pooled_.erase(op_key(op));
       queue_.pop_front();
@@ -80,9 +97,10 @@ class TxPool {
     return static_cast<std::uint64_t>(op.client) << 40 | op.request;
   }
 
-  std::deque<types::Operation> queue_;
+  std::deque<Entry> queue_;
   std::unordered_set<std::uint64_t> pooled_;
   std::unordered_map<ClientId, RequestId> executed_;
+  TimePoint last_batch_oldest_;
 };
 
 }  // namespace marlin::consensus

@@ -1,0 +1,90 @@
+// Critical-path extraction: the longest dependency chain behind each
+// committed block, reconstructed from the trace. The chain alternates
+// leader->replica "out" legs (proposal / QC notices) with the
+// quorum-completing replica->leader "back" legs (the vote that formed
+// each QC), ending at the first commit. Each network edge is decomposed
+// into queueing, wire, and CPU time using the kMsgDelivered attribution
+// events, and the per-edge durations aggregate into mean/p50/p99
+// breakdown tables — Marlin (two vote round trips) vs HotStuff (three)
+// side by side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace marlin::obs {
+
+struct CriticalPathEdge {
+  std::string label;  // "proposal.out", "vote[prepare].back", ...
+  std::uint32_t from = kNoNode;
+  std::uint32_t to = kNoNode;
+  TimePoint begin;
+  TimePoint end;
+  bool network = false;   // traversed a network hop
+  bool response = false;  // replica->leader vote leg (a round-trip return)
+  // Decomposition of network edges (zero when unmatched / local):
+  Duration queue;  // busy NIC / link at the sender
+  Duration wire;   // serialization + propagation (+ jitter)
+  Duration cpu;    // charged CPU before departure + after arrival
+  CostKind dominant = CostKind::kUnattributed;
+
+  Duration duration() const { return end - begin; }
+};
+
+struct CriticalPath {
+  std::uint64_t block = 0;
+  ViewNumber view = 0;
+  Height height = 0;
+  /// All milestones present (proposal, every QC's completing vote, commit).
+  bool complete = false;
+  /// Saw a precommit-phase QC — the HotStuff shape; Marlin has none.
+  bool three_phase = false;
+  std::vector<CriticalPathEdge> edges;
+  Duration total;
+  /// Number of response edges: vote legs back to the leader. Two for
+  /// Marlin's two-phase commit, three for HotStuff.
+  std::uint32_t round_trips = 0;
+};
+
+/// Extracts one path per proposed-and-committed block, in first-touch
+/// order. Paths missing a milestone come back with complete = false.
+std::vector<CriticalPath> critical_paths(const std::vector<TraceEvent>& events);
+
+/// Aggregate over the complete paths of one protocol shape.
+struct CriticalPathBreakdown {
+  bool three_phase = false;
+  std::uint64_t blocks = 0;   // complete paths aggregated
+  std::uint64_t skipped = 0;  // incomplete paths excluded (reported, not hidden)
+  std::uint32_t round_trips = 0;
+  std::map<std::string, ValueHistogram> edge_ns;  // per-label durations
+  ValueHistogram total_ns;
+  ValueHistogram queue_ns;  // per-path sums of each component
+  ValueHistogram wire_ns;
+  ValueHistogram cpu_ns;
+};
+
+CriticalPathBreakdown aggregate_critical_paths(
+    const std::vector<CriticalPath>& paths, bool three_phase);
+
+/// One path as a per-edge table, ending with "network round trips: N".
+std::string critical_path_to_text(const CriticalPath& p);
+
+/// One shape's aggregate as a mean/p50/p99 table.
+std::string breakdown_to_text(const CriticalPathBreakdown& b);
+
+/// Marlin and HotStuff breakdowns side by side (canonical edge order).
+std::string breakdown_comparison(const CriticalPathBreakdown& marlin,
+                                 const CriticalPathBreakdown& hotstuff);
+
+/// Full report for a trace: splits paths by protocol shape, shows the
+/// first complete path of each shape in detail, each shape's breakdown,
+/// and the side-by-side comparison when both shapes are present.
+std::string critical_path_report(const std::vector<TraceEvent>& events);
+
+}  // namespace marlin::obs

@@ -83,6 +83,7 @@ std::string event_to_json(const TraceEvent& e) {
   out += "\",\"kind\":" + std::to_string(e.kind);
   out += ",\"a\":" + std::to_string(e.a);
   out += ",\"b\":" + std::to_string(e.b);
+  out += ",\"c\":" + std::to_string(e.c);
   out += "}";
   return out;
 }
@@ -144,6 +145,10 @@ bool event_from_json(const std::string& line, TraceEvent* out) {
       !json_field_u64(line, "a", &a) || !json_field_u64(line, "b", &b)) {
     return false;
   }
+  // `c` was added after the first trace format; default 0 keeps old
+  // traces parseable.
+  std::uint64_t c = 0;
+  json_field_u64(line, "c", &c);
   const EventType type = event_type_from_name(type_name);
   if (type == EventType::kCount) return false;
   e.seq = seq;
@@ -165,6 +170,7 @@ bool event_from_json(const std::string& line, TraceEvent* out) {
   e.kind = static_cast<std::uint8_t>(kind);
   e.a = a;
   e.b = b;
+  e.c = c;
   *out = e;
   return true;
 }

@@ -11,7 +11,8 @@ constexpr const char* kEventNames[kEventTypeCount] = {
     "commit",         "view_entered",      "view_change_start",
     "view_change_end", "timeout_fired",    "msg_sent",
     "msg_dropped",    "wal_write",         "sstable_write",
-    "checkpoint",     "sig_verify",
+    "checkpoint",     "sig_verify",        "msg_delivered",
+    "client_submit",  "reply_accepted",    "batch_dequeued",
 };
 
 constexpr const char* kPhaseNames[] = {"preprepare", "prepare", "precommit",
@@ -41,7 +42,7 @@ TraceSink::TraceSink(std::size_t capacity)
 }
 
 void TraceSink::set_enabled(EventType t, bool on) {
-  const std::uint32_t bit = 1u << static_cast<unsigned>(t);
+  const std::uint64_t bit = 1ull << static_cast<unsigned>(t);
   if (on) {
     disabled_mask_ &= ~bit;
   } else {

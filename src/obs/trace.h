@@ -37,12 +37,22 @@ enum class EventType : std::uint8_t {
   kWalWrite,           // WAL append (a = record bytes)
   kSstableWrite,       // memtable flush / compaction output (a = bytes, b = entries)
   kCheckpoint,         // storage checkpoint ran (a = tables merged)
-  kSigVerify,          // signature verification charged (a = count, b = 1 if pairing)
+  kSigVerify,          // signature verification charged (a = count, b = 1 if pairing, c = charge ns)
+  kMsgDelivered,       // network dequeued a frame at the receiver (kind set;
+                       // a = sender, b = NIC/link queueing ns, c = total transit ns)
+  kClientSubmit,       // client issued a new request (a = request id, b = client id)
+  kReplyAccepted,      // client reached its reply quorum (block = committed
+                       // block id from the reply; a = request id, b = client id)
+  kBatchDequeued,      // leader drained a proposal batch from its txpool
+                       // (a = ops in batch, b = oldest op's pool wait ns)
   kCount,              // sentinel — number of event types
 };
 
 inline constexpr std::size_t kEventTypeCount =
     static_cast<std::size_t>(EventType::kCount);
+// The per-type enable filter is a 64-bit mask; growing the taxonomy past
+// that needs a wider representation, not a silent shift overflow.
+static_assert(kEventTypeCount <= 64);
 
 /// Stable snake_case name used by the JSONL exporter and trace_inspect.
 const char* event_type_name(EventType t);
@@ -73,6 +83,7 @@ struct TraceEvent {
   std::uint64_t block = 0;  // first 8 bytes of the block hash (0 = none)
   std::uint64_t a = 0;      // per-type operand (see taxonomy above)
   std::uint64_t b = 0;      // per-type operand
+  std::uint64_t c = 0;      // per-type operand (durations/charges in ns)
 
   bool operator==(const TraceEvent&) const = default;
 };
@@ -93,7 +104,7 @@ class TraceSink {
   /// sequence numbering of the events that are kept.
   void set_enabled(EventType t, bool on);
   bool enabled(EventType t) const {
-    return (disabled_mask_ & (1u << static_cast<unsigned>(t))) == 0;
+    return (disabled_mask_ & (1ull << static_cast<unsigned>(t))) == 0;
   }
 
   /// Stamps seq + time and stores the event (evicting the oldest past
@@ -118,7 +129,7 @@ class TraceSink {
   std::vector<TraceEvent> ring_;  // grows to capacity, then wraps at head_
   std::size_t head_ = 0;          // next overwrite position once full
   std::uint64_t next_seq_ = 0;
-  std::uint32_t disabled_mask_ = 0;
+  std::uint64_t disabled_mask_ = 0;
   std::function<TimePoint()> clock_;
 };
 

@@ -1,5 +1,7 @@
 #include "runtime/client_process.h"
 
+#include <algorithm>
+
 namespace marlin::runtime {
 
 ClientProcess::ClientProcess(sim::Simulator& sim, sim::Network& net,
@@ -31,6 +33,13 @@ void ClientProcess::issue_next() {
   Pending& p = pending_[id];
   p.first_sent = sim_.now();
   burst_.push_back(types::Operation{config_.id, id, payload});
+  if (config_.trace) {
+    // First issue only; retransmissions reuse the original submit time.
+    config_.trace->record({.node = node_id_,
+                           .type = obs::EventType::kClientSubmit,
+                           .a = id,
+                           .b = config_.id});
+  }
   arm_retransmit(id);
 }
 
@@ -81,6 +90,22 @@ void ClientProcess::on_message(sim::NodeId from, Bytes payload) {
 
     latency_.record(sim_.now() - it->second.first_sent);
     completed_.record(sim_.now());
+    if (config_.trace) {
+      // The reply result carries the committing block's leading 8 hash
+      // bytes — the same compact id replicas stamp on their trace events.
+      std::uint64_t block_id = 0;
+      const std::size_t n = std::min<std::size_t>(m.result.size(), 8);
+      for (std::size_t i = 0; i < n; ++i) {
+        block_id = (block_id << 8) | m.result[i];
+      }
+      config_.trace->record({.node = node_id_,
+                             .type = obs::EventType::kReplyAccepted,
+                             .view = m.view,
+                             .height = m.height,
+                             .block = block_id,
+                             .a = id,
+                             .b = config_.id});
+    }
     it->second.retransmit.cancel();
     pending_.erase(it);
     payloads_.erase(id);

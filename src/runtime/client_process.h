@@ -9,6 +9,7 @@
 
 #include "common/histogram.h"
 #include "common/ids.h"
+#include "obs/trace.h"
 #include "simnet/network.h"
 #include "types/messages.h"
 
@@ -24,6 +25,8 @@ struct ClientConfig {
   Duration retransmit_timeout = Duration::seconds(4);
   /// Stop issuing new requests after this many (0 = unlimited).
   std::uint64_t max_requests = 0;
+  /// Records kClientSubmit / kReplyAccepted when set (non-owning).
+  obs::TraceSink* trace = nullptr;
 };
 
 class ClientProcess final : public sim::NetworkNode {

@@ -50,6 +50,7 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     cc.payload_size = config_.payload_size;
     cc.retransmit_timeout = config_.client_timeout;
     cc.max_requests = config_.client_max_requests;
+    cc.trace = config_.trace;
     clients_.push_back(std::make_unique<ClientProcess>(sim_, *net_, cc));
     clients_.back()->attach();
   }

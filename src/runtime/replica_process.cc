@@ -289,7 +289,9 @@ void ReplicaProcess::charge_verifies(std::uint32_t count) {
   metrics_.counter("crypto.verifies") += count;
   trace({.type = obs::EventType::kSigVerify,
          .view = protocol_ ? protocol_->current_view() : 0,
-         .a = count});
+         .a = count,
+         .c = static_cast<std::uint64_t>(
+             (config_.crypto_costs.verify * count).as_nanos())});
 }
 
 void ReplicaProcess::charge_hash_bytes(std::size_t bytes) {
@@ -303,7 +305,9 @@ void ReplicaProcess::charge_pairings(std::uint32_t count) {
   trace({.type = obs::EventType::kSigVerify,
          .view = protocol_ ? protocol_->current_view() : 0,
          .a = count,
-         .b = 1});
+         .b = 1,
+         .c = static_cast<std::uint64_t>(
+             (config_.crypto_costs.pairing * count).as_nanos())});
 }
 
 void ReplicaProcess::charge_threshold_signs(std::uint32_t count) {

@@ -72,6 +72,7 @@ class ReplicaProcess final : public sim::NetworkNode,
   void entered_view(ViewNumber v) override;
   void progressed() override;
   obs::TraceSink* trace_sink() override { return config_.trace; }
+  TimePoint now() const override { return sim_.now(); }
   void charge_signs(std::uint32_t count) override;
   void charge_verifies(std::uint32_t count) override;
   void charge_hash_bytes(std::size_t bytes) override;

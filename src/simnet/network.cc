@@ -141,14 +141,24 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
 
   if (from == to) {
     // Loopback: skip NIC/link, deliver after a tiny local hop.
-    sim_.schedule(Duration::micros(5), [this, from, to, kind,
-                                        p = std::move(payload)]() mutable {
+    constexpr Duration kLocalHop = Duration::micros(5);
+    const auto hop_ns = static_cast<std::uint64_t>(kLocalHop.as_nanos());
+    sim_.schedule(kLocalHop, [this, from, to, kind, hop_ns,
+                              p = std::move(payload)]() mutable {
       if (down_[to]) return;
       auto& rs = stats_[to];
       ++rs.messages_delivered;
       rs.bytes_delivered += p.size();
       ++rs.msgs_delivered_by_kind[kind];
       rs.bytes_delivered_by_kind[kind] += p.size();
+      if (trace_) {
+        trace_->record({.node = to,
+                        .type = obs::EventType::kMsgDelivered,
+                        .kind = static_cast<std::uint8_t>(kind),
+                        .a = from,
+                        .b = 0,
+                        .c = hop_ns});
+      }
       nodes_[to]->on_message(from, std::move(p));
     });
     return;
@@ -184,7 +194,13 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   }
   const TimePoint arrival = link_end + config_.one_way_delay + extra;
 
-  sim_.schedule_at(arrival, [this, from, to, kind,
+  // Queueing vs transit split for the dequeue-side attribution event:
+  // waiting for a busy NIC or link is queueing; serialization + propagation
+  // (+ jitter / pre-GST chaos) is wire transit.
+  const Duration queue_delay = (nic_start - now) + (link_start - nic_end);
+  const Duration transit = arrival - now;
+
+  sim_.schedule_at(arrival, [this, from, to, kind, queue_delay, transit,
                              p = std::move(payload)]() mutable {
     if (down_[to]) return;
     auto& rs = stats_[to];
@@ -192,6 +208,14 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     rs.bytes_delivered += p.size();
     ++rs.msgs_delivered_by_kind[kind];
     rs.bytes_delivered_by_kind[kind] += p.size();
+    if (trace_) {
+      trace_->record({.node = to,
+                      .type = obs::EventType::kMsgDelivered,
+                      .kind = static_cast<std::uint8_t>(kind),
+                      .a = from,
+                      .b = static_cast<std::uint64_t>(queue_delay.as_nanos()),
+                      .c = static_cast<std::uint64_t>(transit.as_nanos())});
+    }
     nodes_[to]->on_message(from, std::move(p));
   });
 }

@@ -101,7 +101,9 @@ class Network {
   void reset_stats();
 
   /// Records kMsgDropped events for filtered / randomly lost sends
-  /// (node = sender, a = destination, b = obs::kDropFilter / kDropRandom).
+  /// (node = sender, a = destination, b = obs::kDropFilter / kDropRandom)
+  /// and kMsgDelivered events at dequeue time (node = receiver, a = sender,
+  /// b = NIC/link queueing ns, c = total send-to-arrival transit ns).
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
   /// Exports per-node and per-kind traffic series into `reg`:

@@ -77,6 +77,89 @@ TEST(TraceSink, ClearRestartsNumbering) {
   EXPECT_EQ(sink.record({.type = EventType::kCommit}), 0u);
 }
 
+TEST(TraceSink, RingSurvivesManyWraps) {
+  TraceSink sink(4);
+  for (std::uint64_t i = 0; i < 103; ++i) {
+    sink.record({.type = EventType::kCommit, .height = i});
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.total_recorded(), 103u);
+  EXPECT_EQ(sink.evicted(), 99u);
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The survivors are the newest 4, oldest first, regardless of how many
+  // times the head wrapped around in between.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].height, 99 + i);
+    EXPECT_EQ(events[i].seq, 99 + i);
+  }
+}
+
+TEST(TraceSink, ExactCapacityDoesNotEvict) {
+  TraceSink sink(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    sink.record({.type = EventType::kCommit, .height = i});
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.evicted(), 0u);
+  EXPECT_EQ(sink.events().front().seq, 0u);
+  // The very next record is the first eviction.
+  sink.record({.type = EventType::kCommit, .height = 4});
+  EXPECT_EQ(sink.evicted(), 1u);
+  EXPECT_EQ(sink.events().front().seq, 1u);
+}
+
+TEST(TraceSink, CapacityOneKeepsOnlyTheNewest) {
+  TraceSink sink(1);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    sink.record({.type = EventType::kCommit, .height = i});
+  }
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.evicted(), 4u);
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].height, 4u);
+  EXPECT_EQ(events[0].seq, 4u);
+}
+
+TEST(TraceSink, ClearAfterWrapResetsEvictionAccounting) {
+  TraceSink sink(2);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    sink.record({.type = EventType::kCommit, .height = i});
+  }
+  EXPECT_EQ(sink.evicted(), 5u);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.total_recorded(), 0u);
+  EXPECT_EQ(sink.evicted(), 0u);
+  // Numbering and eviction both restart from scratch.
+  EXPECT_EQ(sink.record({.type = EventType::kCommit, .height = 100}), 0u);
+  sink.record({.type = EventType::kCommit, .height = 101});
+  sink.record({.type = EventType::kCommit, .height = 102});
+  EXPECT_EQ(sink.evicted(), 1u);
+  EXPECT_EQ(sink.events().front().height, 101u);
+}
+
+TEST(TraceSink, FilterMaskCoversTypesPastBit31) {
+  // The taxonomy has grown past 16 entries; the enable mask must be
+  // 64-bit so high-numbered types can be disabled (a 32-bit `1u << t`
+  // would overflow for t >= 32 and silently disable the wrong type).
+  static_assert(kEventTypeCount <= 64);
+  TraceSink sink(16);
+  const auto last = static_cast<EventType>(kEventTypeCount - 1);
+  sink.set_enabled(last, false);
+  EXPECT_FALSE(sink.enabled(last));
+  // No other type was affected.
+  for (std::size_t t = 0; t + 1 < kEventTypeCount; ++t) {
+    EXPECT_TRUE(sink.enabled(static_cast<EventType>(t))) << t;
+  }
+  sink.record({.type = last});
+  EXPECT_EQ(sink.size(), 0u);
+  sink.set_enabled(last, true);
+  sink.record({.type = last});
+  EXPECT_EQ(sink.size(), 1u);
+}
+
 TEST(TraceNames, RoundTripAllTypes) {
   for (std::size_t t = 0; t < kEventTypeCount; ++t) {
     const auto type = static_cast<EventType>(t);
@@ -147,6 +230,7 @@ TEST(Export, EventJsonRoundTrip) {
   e.block = 0xdeadbeefcafef00dull;
   e.a = 11;
   e.b = 22;
+  e.c = 33;
 
   const std::string line = event_to_json(e);
   TraceEvent back;

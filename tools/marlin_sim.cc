@@ -16,7 +16,9 @@
 #include <iostream>
 #include <string>
 
+#include "obs/critical_path.h"
 #include "obs/export.h"
+#include "obs/span.h"
 #include "runtime/cluster.h"
 
 using namespace marlin;
@@ -32,6 +34,8 @@ struct Options {
   std::string trace_out;        // JSONL protocol trace path
   std::string metrics_out;      // JSON metrics snapshot path
   std::string metrics_csv;      // CSV metrics snapshot path
+  std::string spans_out;        // Chrome trace-event JSON (Perfetto) path
+  bool critical_path = false;   // print the critical-path report
   bool timeline = false;        // print per-view timeline
   bool help = false;
 };
@@ -61,6 +65,9 @@ void usage() {
       "  --trace-out=PATH             dump the protocol trace as JSONL\n"
       "  --metrics-out=PATH           dump a metrics snapshot as JSON\n"
       "  --metrics-csv=PATH           dump a metrics snapshot as CSV\n"
+      "  --spans-out=PATH             dump per-block lifecycle spans as\n"
+      "                               Chrome trace-event JSON (Perfetto)\n"
+      "  --critical-path              print per-block critical-path report\n"
       "  --timeline                   print a per-view activity timeline\n");
 }
 
@@ -139,6 +146,10 @@ bool parse_options(int argc, char** argv, Options* opt) {
       opt->metrics_out = v;
     } else if (parse_flag(argv[i], "--metrics-csv", &v)) {
       opt->metrics_csv = v;
+    } else if (parse_flag(argv[i], "--spans-out", &v)) {
+      opt->spans_out = v;
+    } else if (parse_flag(argv[i], "--critical-path", &v)) {
+      opt->critical_path = true;
     } else if (parse_flag(argv[i], "--timeline", &v)) {
       opt->timeline = true;
     } else {
@@ -160,7 +171,8 @@ int main(int argc, char** argv) {
   }
 
   obs::TraceSink trace{1 << 18};
-  const bool want_obs = !opt.trace_out.empty() || opt.timeline;
+  const bool want_obs = !opt.trace_out.empty() || opt.timeline ||
+                        !opt.spans_out.empty() || opt.critical_path;
   if (want_obs) {
     opt.cluster.trace = &trace;
     // Authenticator counting only reads outgoing messages — it never
@@ -235,6 +247,19 @@ int main(int argc, char** argv) {
   if (opt.timeline) {
     std::printf("\n");
     obs::print_view_timeline(trace.events(), std::cout);
+  }
+  if (!opt.spans_out.empty()) {
+    const auto spans = obs::build_spans(trace.events());
+    if (!obs::write_text_file(opt.spans_out,
+                              obs::spans_to_chrome_json(spans))) {
+      std::fprintf(stderr, "failed to write %s\n", opt.spans_out.c_str());
+      return 2;
+    }
+    std::printf("  spans:   %zu blocks -> %s\n", spans.size(),
+                opt.spans_out.c_str());
+  }
+  if (opt.critical_path) {
+    std::printf("\n%s", obs::critical_path_report(trace.events()).c_str());
   }
   if (!opt.trace_out.empty()) {
     if (trace.evicted() > 0) {

@@ -11,7 +11,18 @@
 //   egress   — per-view leader egress: messages, bytes, authenticators
 //   kinds    — per-kind traffic with authenticators/message (Table I check)
 //   timeline — the per-view activity timeline (same as marlin_sim --timeline)
+//
+// Extra outputs:
+//   --critical-path      per-block critical-path report (round-trip count,
+//                        per-edge queue/wire/cpu attribution)
+//   --spans-out=PATH     per-block lifecycle spans as Chrome trace-event
+//                        JSON, loadable in Perfetto
+//
+// Filters (applied before any report):
+//   --block=HEXPREFIX    only events whose block id starts with the prefix
+//   --view=N             only events of view N
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,8 +31,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/critical_path.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "simnet/network.h"
 
@@ -209,9 +222,23 @@ void usage() {
   std::printf(
       "trace_inspect — analyze a JSONL protocol trace\n\n"
       "  trace_inspect [--report=summary|phases|egress|kinds|timeline|all]\n"
-      "                [--n=N] trace.jsonl\n\n"
-      "  --report=R   which report to print (default all)\n"
-      "  --n=N        replica count for leader attribution (default: infer)\n");
+      "                [--n=N] [--block=HEXPREFIX] [--view=N]\n"
+      "                [--critical-path] [--spans-out=PATH] trace.jsonl\n\n"
+      "  --report=R        which report to print (default all)\n"
+      "  --n=N             replica count for leader attribution (default:"
+      " infer)\n"
+      "  --block=HEX       keep only events whose 16-hex block id starts"
+      " with HEX\n"
+      "  --view=N          keep only events of view N\n"
+      "  --critical-path   print the per-block critical-path report\n"
+      "  --spans-out=PATH  write lifecycle spans as Chrome trace-event JSON\n");
+}
+
+std::string block_hex(std::uint64_t block) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(block));
+  return buf;
 }
 
 }  // namespace
@@ -219,6 +246,11 @@ void usage() {
 int main(int argc, char** argv) {
   std::string report = "all";
   std::string path;
+  std::string block_prefix;
+  std::string spans_out;
+  bool critical_path = false;
+  bool have_view_filter = false;
+  ViewNumber view_filter = 0;
   std::uint32_t n = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -229,6 +261,16 @@ int main(int argc, char** argv) {
       report = arg + 9;
     } else if (std::strncmp(arg, "--n=", 4) == 0) {
       n = static_cast<std::uint32_t>(std::atoi(arg + 4));
+    } else if (std::strncmp(arg, "--block=", 8) == 0) {
+      block_prefix = arg + 8;
+      for (char& ch : block_prefix) ch = static_cast<char>(std::tolower(ch));
+    } else if (std::strncmp(arg, "--view=", 7) == 0) {
+      have_view_filter = true;
+      view_filter = static_cast<ViewNumber>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--spans-out=", 12) == 0) {
+      spans_out = arg + 12;
+    } else if (std::strcmp(arg, "--critical-path") == 0) {
+      critical_path = true;
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return 2;
@@ -273,6 +315,20 @@ int main(int argc, char** argv) {
                      return a.seq < b.seq;
                    });
 
+  if (!block_prefix.empty() || have_view_filter) {
+    std::erase_if(events, [&](const TraceEvent& e) {
+      if (!block_prefix.empty() &&
+          block_hex(e.block).rfind(block_prefix, 0) != 0) {
+        return true;
+      }
+      return have_view_filter && e.view != view_filter;
+    });
+    if (events.empty()) {
+      std::fprintf(stderr, "no events match the filters\n");
+      return 1;
+    }
+  }
+
   const bool all = report == "all";
   bool matched = false;
   if (all || report == "summary") {
@@ -297,6 +353,21 @@ int main(int argc, char** argv) {
   if (all || report == "timeline") {
     if (matched) std::printf("\n");
     obs::print_view_timeline(events, std::cout);
+    matched = true;
+  }
+  if (critical_path) {
+    if (matched) std::printf("\n");
+    std::printf("%s", obs::critical_path_report(events).c_str());
+    matched = true;
+  }
+  if (!spans_out.empty()) {
+    const auto spans = obs::build_spans(events);
+    if (!obs::write_text_file(spans_out, obs::spans_to_chrome_json(spans))) {
+      std::fprintf(stderr, "failed to write %s\n", spans_out.c_str());
+      return 2;
+    }
+    std::printf("%sspans: %zu blocks -> %s\n", matched ? "\n" : "",
+                spans.size(), spans_out.c_str());
     matched = true;
   }
   if (!matched) {
