@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10g_peak.dir/bench_fig10g_peak.cc.o"
+  "CMakeFiles/bench_fig10g_peak.dir/bench_fig10g_peak.cc.o.d"
+  "bench_fig10g_peak"
+  "bench_fig10g_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10g_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10g_peak.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10h_noop.dir/bench_fig10h_noop.cc.o"
+  "CMakeFiles/bench_fig10h_noop.dir/bench_fig10h_noop.cc.o.d"
+  "bench_fig10h_noop"
+  "bench_fig10h_noop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10h_noop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

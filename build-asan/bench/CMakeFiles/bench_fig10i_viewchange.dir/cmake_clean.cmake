@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10i_viewchange.dir/bench_fig10i_viewchange.cc.o"
+  "CMakeFiles/bench_fig10i_viewchange.dir/bench_fig10i_viewchange.cc.o.d"
+  "bench_fig10i_viewchange"
+  "bench_fig10i_viewchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10i_viewchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

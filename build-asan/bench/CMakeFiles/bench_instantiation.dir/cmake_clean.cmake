@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instantiation.dir/bench_instantiation.cc.o"
+  "CMakeFiles/bench_instantiation.dir/bench_instantiation.cc.o.d"
+  "bench_instantiation"
+  "bench_instantiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instantiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_leader.dir/byzantine_leader.cpp.o"
+  "CMakeFiles/byzantine_leader.dir/byzantine_leader.cpp.o.d"
+  "byzantine_leader"
+  "byzantine_leader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_leader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_service.dir/kv_service.cpp.o"
+  "CMakeFiles/kv_service.dir/kv_service.cpp.o.d"
+  "kv_service"
+  "kv_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

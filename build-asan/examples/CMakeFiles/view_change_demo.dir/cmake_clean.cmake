@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_change_demo.dir/view_change_demo.cpp.o"
+  "CMakeFiles/view_change_demo.dir/view_change_demo.cpp.o.d"
+  "view_change_demo"
+  "view_change_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_change_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cc" "src/common/CMakeFiles/marlin_common.dir/bytes.cc.o" "gcc" "src/common/CMakeFiles/marlin_common.dir/bytes.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "src/common/CMakeFiles/marlin_common.dir/crc32c.cc.o" "gcc" "src/common/CMakeFiles/marlin_common.dir/crc32c.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/common/CMakeFiles/marlin_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/marlin_common.dir/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/marlin_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/marlin_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/serialize.cc" "src/common/CMakeFiles/marlin_common.dir/serialize.cc.o" "gcc" "src/common/CMakeFiles/marlin_common.dir/serialize.cc.o.d"
+  "/root/repo/src/common/sim_time.cc" "src/common/CMakeFiles/marlin_common.dir/sim_time.cc.o" "gcc" "src/common/CMakeFiles/marlin_common.dir/sim_time.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/marlin_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/marlin_common.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

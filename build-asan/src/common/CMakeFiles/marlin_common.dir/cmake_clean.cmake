@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_common.dir/bytes.cc.o"
+  "CMakeFiles/marlin_common.dir/bytes.cc.o.d"
+  "CMakeFiles/marlin_common.dir/crc32c.cc.o"
+  "CMakeFiles/marlin_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/marlin_common.dir/log.cc.o"
+  "CMakeFiles/marlin_common.dir/log.cc.o.d"
+  "CMakeFiles/marlin_common.dir/rng.cc.o"
+  "CMakeFiles/marlin_common.dir/rng.cc.o.d"
+  "CMakeFiles/marlin_common.dir/serialize.cc.o"
+  "CMakeFiles/marlin_common.dir/serialize.cc.o.d"
+  "CMakeFiles/marlin_common.dir/sim_time.cc.o"
+  "CMakeFiles/marlin_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/marlin_common.dir/status.cc.o"
+  "CMakeFiles/marlin_common.dir/status.cc.o.d"
+  "libmarlin_common.a"
+  "libmarlin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_consensus.dir/hotstuff.cc.o"
+  "CMakeFiles/marlin_consensus.dir/hotstuff.cc.o.d"
+  "CMakeFiles/marlin_consensus.dir/marlin.cc.o"
+  "CMakeFiles/marlin_consensus.dir/marlin.cc.o.d"
+  "CMakeFiles/marlin_consensus.dir/replica_base.cc.o"
+  "CMakeFiles/marlin_consensus.dir/replica_base.cc.o.d"
+  "libmarlin_consensus.a"
+  "libmarlin_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

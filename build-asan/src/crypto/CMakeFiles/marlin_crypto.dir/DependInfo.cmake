@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aggregate.cc" "src/crypto/CMakeFiles/marlin_crypto.dir/aggregate.cc.o" "gcc" "src/crypto/CMakeFiles/marlin_crypto.dir/aggregate.cc.o.d"
+  "/root/repo/src/crypto/bigint.cc" "src/crypto/CMakeFiles/marlin_crypto.dir/bigint.cc.o" "gcc" "src/crypto/CMakeFiles/marlin_crypto.dir/bigint.cc.o.d"
+  "/root/repo/src/crypto/ecdsa.cc" "src/crypto/CMakeFiles/marlin_crypto.dir/ecdsa.cc.o" "gcc" "src/crypto/CMakeFiles/marlin_crypto.dir/ecdsa.cc.o.d"
+  "/root/repo/src/crypto/secp256k1.cc" "src/crypto/CMakeFiles/marlin_crypto.dir/secp256k1.cc.o" "gcc" "src/crypto/CMakeFiles/marlin_crypto.dir/secp256k1.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/marlin_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/marlin_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/signer.cc" "src/crypto/CMakeFiles/marlin_crypto.dir/signer.cc.o" "gcc" "src/crypto/CMakeFiles/marlin_crypto.dir/signer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/marlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_crypto.dir/aggregate.cc.o"
+  "CMakeFiles/marlin_crypto.dir/aggregate.cc.o.d"
+  "CMakeFiles/marlin_crypto.dir/bigint.cc.o"
+  "CMakeFiles/marlin_crypto.dir/bigint.cc.o.d"
+  "CMakeFiles/marlin_crypto.dir/ecdsa.cc.o"
+  "CMakeFiles/marlin_crypto.dir/ecdsa.cc.o.d"
+  "CMakeFiles/marlin_crypto.dir/secp256k1.cc.o"
+  "CMakeFiles/marlin_crypto.dir/secp256k1.cc.o.d"
+  "CMakeFiles/marlin_crypto.dir/sha256.cc.o"
+  "CMakeFiles/marlin_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/marlin_crypto.dir/signer.cc.o"
+  "CMakeFiles/marlin_crypto.dir/signer.cc.o.d"
+  "libmarlin_crypto.a"
+  "libmarlin_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_obs.dir/critical_path.cc.o"
+  "CMakeFiles/marlin_obs.dir/critical_path.cc.o.d"
+  "CMakeFiles/marlin_obs.dir/export.cc.o"
+  "CMakeFiles/marlin_obs.dir/export.cc.o.d"
+  "CMakeFiles/marlin_obs.dir/metrics.cc.o"
+  "CMakeFiles/marlin_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/marlin_obs.dir/span.cc.o"
+  "CMakeFiles/marlin_obs.dir/span.cc.o.d"
+  "CMakeFiles/marlin_obs.dir/trace.cc.o"
+  "CMakeFiles/marlin_obs.dir/trace.cc.o.d"
+  "libmarlin_obs.a"
+  "libmarlin_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

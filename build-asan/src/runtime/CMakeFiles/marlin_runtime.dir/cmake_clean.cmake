@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_runtime.dir/client_process.cc.o"
+  "CMakeFiles/marlin_runtime.dir/client_process.cc.o.d"
+  "CMakeFiles/marlin_runtime.dir/cluster.cc.o"
+  "CMakeFiles/marlin_runtime.dir/cluster.cc.o.d"
+  "CMakeFiles/marlin_runtime.dir/experiment.cc.o"
+  "CMakeFiles/marlin_runtime.dir/experiment.cc.o.d"
+  "CMakeFiles/marlin_runtime.dir/replica_process.cc.o"
+  "CMakeFiles/marlin_runtime.dir/replica_process.cc.o.d"
+  "libmarlin_runtime.a"
+  "libmarlin_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/network.cc" "src/simnet/CMakeFiles/marlin_simnet.dir/network.cc.o" "gcc" "src/simnet/CMakeFiles/marlin_simnet.dir/network.cc.o.d"
+  "/root/repo/src/simnet/simulator.cc" "src/simnet/CMakeFiles/marlin_simnet.dir/simulator.cc.o" "gcc" "src/simnet/CMakeFiles/marlin_simnet.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/marlin_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/marlin_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_simnet.dir/network.cc.o"
+  "CMakeFiles/marlin_simnet.dir/network.cc.o.d"
+  "CMakeFiles/marlin_simnet.dir/simulator.cc.o"
+  "CMakeFiles/marlin_simnet.dir/simulator.cc.o.d"
+  "libmarlin_simnet.a"
+  "libmarlin_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmarlin_simnet.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_storage.dir/env.cc.o"
+  "CMakeFiles/marlin_storage.dir/env.cc.o.d"
+  "CMakeFiles/marlin_storage.dir/kvstore.cc.o"
+  "CMakeFiles/marlin_storage.dir/kvstore.cc.o.d"
+  "CMakeFiles/marlin_storage.dir/sstable.cc.o"
+  "CMakeFiles/marlin_storage.dir/sstable.cc.o.d"
+  "CMakeFiles/marlin_storage.dir/wal.cc.o"
+  "CMakeFiles/marlin_storage.dir/wal.cc.o.d"
+  "libmarlin_storage.a"
+  "libmarlin_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/block.cc" "src/types/CMakeFiles/marlin_types.dir/block.cc.o" "gcc" "src/types/CMakeFiles/marlin_types.dir/block.cc.o.d"
+  "/root/repo/src/types/block_store.cc" "src/types/CMakeFiles/marlin_types.dir/block_store.cc.o" "gcc" "src/types/CMakeFiles/marlin_types.dir/block_store.cc.o.d"
+  "/root/repo/src/types/messages.cc" "src/types/CMakeFiles/marlin_types.dir/messages.cc.o" "gcc" "src/types/CMakeFiles/marlin_types.dir/messages.cc.o.d"
+  "/root/repo/src/types/quorum_cert.cc" "src/types/CMakeFiles/marlin_types.dir/quorum_cert.cc.o" "gcc" "src/types/CMakeFiles/marlin_types.dir/quorum_cert.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/marlin_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/marlin_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_types.dir/block.cc.o"
+  "CMakeFiles/marlin_types.dir/block.cc.o.d"
+  "CMakeFiles/marlin_types.dir/block_store.cc.o"
+  "CMakeFiles/marlin_types.dir/block_store.cc.o.d"
+  "CMakeFiles/marlin_types.dir/messages.cc.o"
+  "CMakeFiles/marlin_types.dir/messages.cc.o.d"
+  "CMakeFiles/marlin_types.dir/quorum_cert.cc.o"
+  "CMakeFiles/marlin_types.dir/quorum_cert.cc.o.d"
+  "libmarlin_types.a"
+  "libmarlin_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotstuff_protocol_test.dir/hotstuff_protocol_test.cc.o"
+  "CMakeFiles/hotstuff_protocol_test.dir/hotstuff_protocol_test.cc.o.d"
+  "hotstuff_protocol_test"
+  "hotstuff_protocol_test.pdb"
+  "hotstuff_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotstuff_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_protocol_test.dir/marlin_protocol_test.cc.o"
+  "CMakeFiles/marlin_protocol_test.dir/marlin_protocol_test.cc.o.d"
+  "marlin_protocol_test"
+  "marlin_protocol_test.pdb"
+  "marlin_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simnet_test.cc" "tests/CMakeFiles/simnet_test.dir/simnet_test.cc.o" "gcc" "tests/CMakeFiles/simnet_test.dir/simnet_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/obs/CMakeFiles/marlin_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/runtime/CMakeFiles/marlin_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/consensus/CMakeFiles/marlin_consensus.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/types/CMakeFiles/marlin_types.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/marlin_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/simnet/CMakeFiles/marlin_simnet.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/crypto/CMakeFiles/marlin_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/marlin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/span_test.dir/span_test.cc.o"
+  "CMakeFiles/span_test.dir/span_test.cc.o.d"
+  "span_test"
+  "span_test.pdb"
+  "span_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/span_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

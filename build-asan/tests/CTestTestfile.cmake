@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/storage_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/types_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/marlin_protocol_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/hotstuff_protocol_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/threshold_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/wire_golden_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/obs_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/span_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/trace_golden_test[1]_include.cmake")
+add_test(example_quickstart "/root/repo/build-asan/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_kv_service "/root/repo/build-asan/examples/kv_service")
+set_tests_properties(example_kv_service PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;38;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_view_change_demo "/root/repo/build-asan/examples/view_change_demo")
+set_tests_properties(example_view_change_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_byzantine_leader "/root/repo/build-asan/examples/byzantine_leader")
+set_tests_properties(example_byzantine_leader PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool_marlin_sim "/root/repo/build-asan/tools/marlin_sim" "--f=1" "--seconds=6" "--window=8")
+set_tests_properties(tool_marlin_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")

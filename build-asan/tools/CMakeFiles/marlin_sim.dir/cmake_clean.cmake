@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marlin_sim.dir/marlin_sim.cc.o"
+  "CMakeFiles/marlin_sim.dir/marlin_sim.cc.o.d"
+  "marlin_sim"
+  "marlin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marlin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_schema_check.dir/trace_schema_check.cc.o"
+  "CMakeFiles/trace_schema_check.dir/trace_schema_check.cc.o.d"
+  "trace_schema_check"
+  "trace_schema_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_schema_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-asan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_sim_trace_dump "/root/repo/build-asan/tools/marlin_sim" "--f=1" "--clients=2" "--window=4" "--seconds=2" "--trace-out=/root/repo/build-asan/tools/smoke.trace.jsonl" "--metrics-out=/root/repo/build-asan/tools/smoke.metrics.json" "--spans-out=/root/repo/build-asan/tools/smoke.spans.json" "--timeline")
+set_tests_properties(tools_sim_trace_dump PROPERTIES  FIXTURES_SETUP "obs_trace" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_trace_inspect "/root/repo/build-asan/tools/trace_inspect" "/root/repo/build-asan/tools/smoke.trace.jsonl")
+set_tests_properties(tools_trace_inspect PROPERTIES  FIXTURES_REQUIRED "obs_trace" PASS_REGULAR_EXPRESSION "leader egress per view" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_span_schema "/root/repo/build-asan/tools/trace_schema_check" "/root/repo/build-asan/tools/smoke.spans.json")
+set_tests_properties(tools_span_schema PROPERTIES  FIXTURES_REQUIRED "obs_trace" PASS_REGULAR_EXPRESSION "^ok: " _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_critical_path_marlin "/root/repo/build-asan/tools/trace_inspect" "--critical-path" "--report=none" "/root/repo/build-asan/tools/smoke.trace.jsonl")
+set_tests_properties(tools_critical_path_marlin PROPERTIES  FIXTURES_REQUIRED "obs_trace" PASS_REGULAR_EXPRESSION "network round trips: 2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;39;add_test;/root/repo/tools/CMakeLists.txt;0;")
