@@ -31,10 +31,10 @@ void ablation_pipelining() {
     for (ProtocolKind protocol :
          {ProtocolKind::kMarlin, ProtocolKind::kHotStuff}) {
       ClusterConfig cfg = paper_config(1, protocol);
-      cfg.pipelined = pipelined;
-      cfg.client_window = 32000 / cfg.num_clients;
-      auto res = runtime::run_throughput_experiment(cfg, Duration::seconds(3),
-                                                    Duration::seconds(5));
+      cfg.consensus.pipelined = pipelined;
+      cfg.clients.window = 32000 / cfg.clients.count;
+      auto res = runtime::run_experiment(runtime::throughput_options(
+          cfg, Duration::seconds(3), Duration::seconds(5)));
       tput[pi][qi] = res.throughput_ops / 1000.0;
       std::printf("%-10s %-14s %-12.2f %-12.1f\n", protocol_name(protocol),
                   pipelined ? "chained" : "one-at-a-time",
@@ -93,13 +93,15 @@ void ablation_happy_path() {
   std::printf("%-24s %-14s\n", "view-change mode", "latency (ms)");
   for (bool force_unhappy : {false, true}) {
     ClusterConfig cfg = paper_config(1, ProtocolKind::kMarlin);
-    cfg.num_clients = 8;
-    cfg.client_window = 16;
-    cfg.max_batch_ops = 2000;
-    auto res = runtime::run_view_change_experiment(cfg, force_unhappy);
+    cfg.clients.count = 8;
+    cfg.clients.window = 16;
+    cfg.consensus.max_batch_ops = 2000;
+    auto res = runtime::run_experiment(
+        runtime::view_change_options(cfg, force_unhappy));
     std::printf("%-24s %-14.1f %s\n",
                 force_unhappy ? "pre-prepare (3-phase)" : "combined (2-phase)",
-                res.mean_latency_ms, res.resolved ? "" : "(!! unresolved)");
+                res.view_change.mean_latency_ms,
+                res.view_change.resolved ? "" : "(!! unresolved)");
   }
 }
 
@@ -108,10 +110,10 @@ void ablation_batch_size() {
   std::printf("%-12s %-12s %-12s\n", "max batch", "tput ktx/s", "mean ms");
   for (std::size_t batch : {1000u, 4000u, 16000u, 32000u, 64000u}) {
     ClusterConfig cfg = paper_config(1, ProtocolKind::kMarlin);
-    cfg.max_batch_ops = batch;
-    cfg.client_window = 32000 / cfg.num_clients;
-    auto res = runtime::run_throughput_experiment(cfg, Duration::seconds(3),
-                                                  Duration::seconds(5));
+    cfg.consensus.max_batch_ops = batch;
+    cfg.clients.window = 32000 / cfg.clients.count;
+    auto res = runtime::run_experiment(runtime::throughput_options(
+        cfg, Duration::seconds(3), Duration::seconds(5)));
     std::printf("%-12zu %-12.2f %-12.1f\n", batch, res.throughput_ops / 1000.0,
                 res.mean_latency_ms);
     std::fflush(stdout);

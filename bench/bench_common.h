@@ -26,22 +26,22 @@ inline const char* protocol_name(ProtocolKind p) {
 inline ClusterConfig paper_config(std::uint32_t f, ProtocolKind protocol) {
   ClusterConfig cfg;
   cfg.f = f;
-  cfg.protocol = protocol;
+  cfg.consensus.protocol = protocol;
   cfg.net.one_way_delay = Duration::millis(40);
   cfg.net.link_bandwidth_bps = 200e6;
   cfg.net.nic_bandwidth_bps = 1e9;
-  cfg.max_batch_ops = 32000;
+  cfg.consensus.max_batch_ops = 32000;
   // One consensus instance at a time (propose after decide). This is the
   // operating mode whose throughput ratios match the paper's measurements;
   // fully-chained pipelining (pipelined = true, the library default)
   // equalizes both protocols' block rates at saturation — shown explicitly
   // by bench_ablations.
-  cfg.pipelined = false;
-  cfg.checkpoint_interval = 5000;
-  cfg.payload_size = 150;
-  cfg.reply_size = 150;
-  cfg.num_clients = 32;
-  cfg.pacemaker.base_timeout = Duration::seconds(3);
+  cfg.consensus.pipelined = false;
+  cfg.consensus.checkpoint_interval = 5000;
+  cfg.clients.payload_size = 150;
+  cfg.consensus.reply_size = 150;
+  cfg.clients.count = 32;
+  cfg.consensus.pacemaker.base_timeout = Duration::seconds(3);
   cfg.seed = 20220701;
   return cfg;
 }
@@ -64,7 +64,7 @@ inline Duration measure_for(std::uint32_t f) {
 
 struct SweepPoint {
   std::uint32_t outstanding;
-  runtime::ThroughputResult result;
+  runtime::ExperimentReport result;
 };
 
 /// Observability artifacts a bench can accumulate across runs and dump at
@@ -98,15 +98,15 @@ inline std::vector<SweepPoint> run_sweep(std::uint32_t f,
   std::vector<SweepPoint> out;
   for (std::uint32_t outstanding : load_points(f)) {
     ClusterConfig cfg = paper_config(f, protocol);
-    cfg.payload_size = payload_size;
-    cfg.client_window = std::max(1u, outstanding / cfg.num_clients);
+    cfg.clients.payload_size = payload_size;
+    cfg.clients.window = std::max(1u, outstanding / cfg.clients.count);
     if (artifacts) {
       cfg.trace = &artifacts->trace;
       cfg.count_authenticators = true;
     }
-    auto res = runtime::run_throughput_experiment(
-        cfg, warmup, measure_for(f),
-        artifacts ? &artifacts->metrics : nullptr);
+    auto opt = runtime::throughput_options(cfg, warmup, measure_for(f));
+    opt.metrics = artifacts ? &artifacts->metrics : nullptr;
+    auto res = runtime::run_experiment(opt);
     std::printf("%-9s f=%-3u out=%-6u  tput=%8.2f ktx/s  mean=%7.1f ms  "
                 "p50=%7.1f  p95=%7.1f  safe=%d\n",
                 protocol_name(protocol), f, outstanding,

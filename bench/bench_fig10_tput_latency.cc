@@ -24,12 +24,11 @@ std::string critical_path_artifact() {
   for (ProtocolKind protocol :
        {ProtocolKind::kMarlin, ProtocolKind::kHotStuff}) {
     ClusterConfig cfg = paper_config(1, protocol);
-    cfg.client_window = 4;  // light load: commit latency, not queueing
+    cfg.clients.window = 4;  // light load: commit latency, not queueing
     marlin::obs::TraceSink sink{1u << 17};
     cfg.trace = &sink;
-    marlin::runtime::run_throughput_experiment(
-        cfg, marlin::Duration::seconds(3), marlin::Duration::seconds(5),
-        nullptr);
+    marlin::runtime::run_experiment(marlin::runtime::throughput_options(
+        cfg, marlin::Duration::seconds(3), marlin::Duration::seconds(5)));
     const auto paths = marlin::obs::critical_paths(sink.events());
     const bool three = protocol == ProtocolKind::kHotStuff;
     for (const auto& p : paths) {

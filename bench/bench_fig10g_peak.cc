@@ -31,9 +31,10 @@ int main() {
          {ProtocolKind::kMarlin, ProtocolKind::kHotStuff}) {
       for (std::uint32_t outstanding : peak_loads(f)) {
         ClusterConfig cfg = paper_config(f, protocol);
-        cfg.client_window = std::max(1u, outstanding / cfg.num_clients);
-        auto res = marlin::runtime::run_throughput_experiment(
-            cfg, marlin::Duration::seconds(3), measure_for(f));
+        cfg.clients.window = std::max(1u, outstanding / cfg.clients.count);
+        auto res = marlin::runtime::run_experiment(
+            marlin::runtime::throughput_options(
+                cfg, marlin::Duration::seconds(3), measure_for(f)));
         best[idx] = std::max(best[idx], res.throughput_ops / 1000.0);
       }
       ++idx;

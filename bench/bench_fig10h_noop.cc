@@ -29,11 +29,13 @@ int main() {
            {ProtocolKind::kMarlin, ProtocolKind::kHotStuff}) {
         for (std::uint32_t outstanding : noop_loads(f)) {
           ClusterConfig cfg = paper_config(f, protocol);
-          cfg.payload_size = payload;
-          cfg.reply_size = payload == 0 ? 80 : 150;  // sigs/metadata only
-          cfg.client_window = std::max(1u, outstanding / cfg.num_clients);
-          auto res = marlin::runtime::run_throughput_experiment(
-              cfg, marlin::Duration::seconds(3), marlin::Duration::seconds(4));
+          cfg.clients.payload_size = payload;
+          cfg.consensus.reply_size = payload == 0 ? 80 : 150;  // sigs only
+          cfg.clients.window = std::max(1u, outstanding / cfg.clients.count);
+          auto res = marlin::runtime::run_experiment(
+              marlin::runtime::throughput_options(
+                  cfg, marlin::Duration::seconds(3),
+                  marlin::Duration::seconds(4)));
           best[idx] = std::max(best[idx], res.throughput_ops / 1000.0);
         }
         ++idx;

@@ -10,7 +10,6 @@
 
 int main() {
   using namespace marlin::bench;
-  using marlin::runtime::run_view_change_experiment;
   print_header("Figure 10i — View-change latency (leader crash), f ∈ {1,10}");
 
   std::printf("%-4s %-18s %-12s %-12s %-8s\n", "f", "case", "mean (ms)",
@@ -28,14 +27,16 @@ int main() {
     };
     for (const Case& c : cases) {
       ClusterConfig cfg = paper_config(f, c.protocol);
-      cfg.num_clients = 8;
-      cfg.client_window = 16;
-      cfg.max_batch_ops = 2000;
-      auto res = run_view_change_experiment(cfg, c.force_unhappy);
+      cfg.clients.count = 8;
+      cfg.clients.window = 16;
+      cfg.consensus.max_batch_ops = 2000;
+      auto res = marlin::runtime::run_experiment(
+          marlin::runtime::view_change_options(cfg, c.force_unhappy));
+      const auto& vc = res.view_change;
       std::printf("%-4u %-18s %-12.1f %-12.1f %-8s %s\n", f, c.name,
-                  res.mean_latency_ms, res.leader_latency_ms,
-                  res.unhappy_path ? "unhappy" : "happy",
-                  res.resolved && res.safety_ok ? "" : "(!! unresolved)");
+                  vc.mean_latency_ms, vc.leader_latency_ms,
+                  vc.unhappy_path ? "unhappy" : "happy",
+                  vc.resolved && res.safety_ok ? "" : "(!! unresolved)");
       std::fflush(stdout);
     }
   }

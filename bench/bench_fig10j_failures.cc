@@ -15,29 +15,26 @@ double rotating_throughput(marlin::bench::ProtocolKind protocol,
   using namespace marlin;
   using namespace marlin::bench;
   ClusterConfig cfg = paper_config(3, protocol);
-  cfg.pacemaker.rotate_on_timer = true;
-  cfg.pacemaker.rotation_interval = Duration::seconds(1);
-  cfg.client_window = 12000 / cfg.num_clients;
-  cfg.max_batch_ops = 12000;
-  cfg.client_timeout = Duration::seconds(3);
+  cfg.consensus.pacemaker.rotate_on_timer = true;
+  cfg.consensus.pacemaker.rotation_interval = Duration::seconds(1);
+  cfg.clients.window = 12000 / cfg.clients.count;
+  cfg.consensus.max_batch_ops = 12000;
+  cfg.clients.retransmit_timeout = Duration::seconds(3);
 
-  sim::Simulator sim(cfg.seed);
-  runtime::Cluster cluster(sim, cfg);
   // Crash replicas at the start of the run (paper methodology). Avoid the
   // view-1 leader so the run can bootstrap, as the paper's setup implies.
   const ReplicaId victims[] = {3, 6, 9};
-  for (std::uint32_t i = 0; i < crashes; ++i) cluster.crash_replica(victims[i]);
+  for (std::uint32_t i = 0; i < crashes; ++i) {
+    cfg.faults.actions.push_back(
+        faults::FaultAction::crash(Duration::zero(), victims[i]));
+  }
 
-  const TimePoint start = TimePoint::origin() + Duration::seconds(4);
-  const TimePoint end = start + Duration::seconds(26);  // ~2 full rotations
-  cluster.set_measurement_window(start, end);
-  cluster.start();
-  sim.run_until(end + Duration::seconds(2));
-  if (cluster.any_safety_violation() ||
-      !cluster.committed_heights_consistent()) {
+  auto res = runtime::run_experiment(runtime::throughput_options(
+      cfg, Duration::seconds(4), Duration::seconds(26)));  // ~2 rotations
+  if (!res.safety_ok || !res.consistent) {
     std::fprintf(stderr, "!! safety check failed\n");
   }
-  return cluster.client_throughput() / 1000.0;
+  return res.throughput_ops / 1000.0;
 }
 
 }  // namespace

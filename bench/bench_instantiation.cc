@@ -18,23 +18,23 @@ using namespace marlin::bench;
 
 double run(std::uint32_t f, bool threshold, bool skinny_network) {
   ClusterConfig cfg = paper_config(f, ProtocolKind::kMarlin);
-  cfg.use_threshold_sigs = threshold;
-  cfg.max_batch_ops = 500;   // small blocks → QC size/cost visible
-  cfg.num_clients = 16;
-  cfg.client_window = 3000 / cfg.num_clients;
+  cfg.consensus.use_threshold_sigs = threshold;
+  cfg.consensus.max_batch_ops = 500;  // small blocks → QC size/cost visible
+  cfg.clients.count = 16;
+  cfg.clients.window = 3000 / cfg.clients.count;
   if (skinny_network) {
     // WAN-class: the paper's "significant network latency, low bandwidth"
     // regime where n-signature QCs stop being bandwidth-negligible.
     cfg.net.one_way_delay = Duration::millis(200);
     cfg.net.link_bandwidth_bps = 1e6;                // 1 Mbps links
     cfg.net.nic_bandwidth_bps = 20e6;                // 20 Mbps NIC
-    cfg.payload_size = 0;                            // no-op requests
-    cfg.reply_size = 80;
-    cfg.max_batch_ops = 100;                         // QC bytes dominate
-    cfg.client_window = 400 / cfg.num_clients;
+    cfg.clients.payload_size = 0;                    // no-op requests
+    cfg.consensus.reply_size = 80;
+    cfg.consensus.max_batch_ops = 100;               // QC bytes dominate
+    cfg.clients.window = 400 / cfg.clients.count;
   }
-  auto res = runtime::run_throughput_experiment(cfg, Duration::seconds(4),
-                                                Duration::seconds(6));
+  auto res = runtime::run_experiment(runtime::throughput_options(
+      cfg, Duration::seconds(4), Duration::seconds(6)));
   return res.throughput_ops / 1000.0;
 }
 

@@ -32,11 +32,11 @@ struct Measured {
 Measured measure_view_change(ProtocolKind protocol, std::uint32_t f,
                              bool force_unhappy) {
   ClusterConfig cfg = paper_config(f, protocol);
-  cfg.disable_happy_path = force_unhappy;
-  cfg.num_clients = 2;
-  cfg.client_window = 4;
-  cfg.max_batch_ops = 64;
-  cfg.pacemaker.base_timeout = Duration::millis(600);
+  cfg.consensus.disable_happy_path = force_unhappy;
+  cfg.clients.count = 2;
+  cfg.clients.window = 4;
+  cfg.consensus.max_batch_ops = 64;
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(600);
 
   sim::Simulator sim(cfg.seed);
   runtime::Cluster cluster(sim, cfg);

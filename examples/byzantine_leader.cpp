@@ -4,6 +4,10 @@
 // followed by its crash. Marlin's view change — virtual blocks and all —
 // must recover without ever violating safety.
 //
+// The faults are declared up front as a FaultPlan (faults/fault_plan.h)
+// and executed by the cluster's FaultController; the same scenario can be
+// replayed from JSON via `marlin_sim --faults <plan.json>`.
+//
 //   ./build/examples/byzantine_leader
 #include <cstdio>
 
@@ -15,32 +19,40 @@ using namespace marlin::runtime;
 int main() {
   std::printf("Byzantine-leader pressure demo (Marlin, f=1, n=4)\n\n");
 
-  sim::Simulator sim(99);
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.protocol = ProtocolKind::kMarlin;
-  cfg.disable_happy_path = true;  // make the view change do real work
-  cfg.num_clients = 4;
-  cfg.client_window = 8;
-  cfg.pacemaker.base_timeout = Duration::millis(600);
+  cfg.consensus.protocol = ProtocolKind::kMarlin;
+  cfg.consensus.disable_happy_path = true;  // make the view change do real work
+  cfg.clients.count = 4;
+  cfg.clients.window = 8;
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(600);
+
+  // View 1's leader is replica 1 (leader = view mod n). The plan: at t=2s
+  // it turns "half-silent" — its messages reach only replica 0 — and at
+  // t=4s the silence heals and whoever leads then crashes for good.
+  const ReplicaId leader = 1;
+  cfg.faults.name = "qc-hiding-leader-then-crash";
+  cfg.faults.actions = {
+      faults::FaultAction::silence(Duration::seconds(2), leader, {0}),
+      faults::FaultAction::heal(Duration::seconds(4)),
+      faults::FaultAction::crash(Duration::seconds(4), leader),
+  };
+  std::printf("fault plan:\n%s\n", cfg.faults.to_json().c_str());
+
+  sim::Simulator sim(99);
   Cluster cluster(sim, cfg);
   cluster.start();
 
   sim.run_for(Duration::seconds(2));
-  const ReplicaId leader = cluster.current_leader();
   std::printf("t=2.0s  view 1 leader is replica %u; committed height %llu\n",
-              leader,
+              cluster.current_leader(),
               static_cast<unsigned long long>(
                   cluster.replica(0).protocol().committed_height()));
-
-  // Phase 1: the leader turns "half-silent": its messages reach only
-  // replica 0. Replicas 2 and 3 stall; replica 0 may advance further.
   std::printf("t=2.0s  leader %u now reaches ONLY replica 0 "
               "(QC-hiding behaviour)\n", leader);
-  cluster.network().set_filter([leader](sim::NodeId from, sim::NodeId to) {
-    if (from == leader) return to == 0u || to == leader;
-    return true;
-  });
+
+  // Phase 1: silence active. Replicas 2 and 3 stall; replica 0 may advance
+  // further.
   sim.run_for(Duration::seconds(2));
   for (ReplicaId r = 0; r < cluster.n(); ++r) {
     std::printf("        replica %u: height %llu, locked view %llu\n", r,
@@ -50,12 +62,10 @@ int main() {
                     cluster.replica(r).marlin()->locked_qc().view));
   }
 
-  // Phase 2: the leader dies entirely. The remaining replicas hold
+  // Phase 2: the leader died at t=4s. The remaining replicas hold
   // different locks/highQCs — the interesting view-change snapshots.
-  std::printf("t=4.0s  leader %u crashes; survivors run the view change\n",
+  std::printf("t=4.0s  leader %u crashed; survivors run the view change\n",
               leader);
-  cluster.network().set_filter(nullptr);
-  cluster.crash_replica(leader);
   sim.run_for(Duration::seconds(8));
 
   const ReplicaId new_leader = cluster.current_leader();

@@ -22,11 +22,11 @@ int main() {
   //    four closed-loop clients issuing 150-byte requests.
   ClusterConfig config;
   config.f = 1;
-  config.protocol = ProtocolKind::kMarlin;
-  config.num_clients = 4;
-  config.client_window = 4;       // 4 outstanding requests per client
-  config.payload_size = 150;
-  config.client_max_requests = 25;  // each client stops after 25 ops
+  config.consensus.protocol = ProtocolKind::kMarlin;
+  config.clients.count = 4;
+  config.clients.window = 4;       // 4 outstanding requests per client
+  config.clients.payload_size = 150;
+  config.clients.max_requests = 25;  // each client stops after 25 ops
 
   Cluster cluster(sim, config);
   cluster.start();
@@ -46,7 +46,7 @@ int main() {
   }
   std::uint64_t completed = 0;
   double worst_ms = 0;
-  for (ClientId c = 0; c < config.num_clients; ++c) {
+  for (ClientId c = 0; c < config.clients.count; ++c) {
     completed += cluster.client(c).latency().count();
     worst_ms = std::max(worst_ms,
                         cluster.client(c).latency().max().as_millis_f());

@@ -22,11 +22,11 @@ void run_once(bool force_unhappy) {
   sim::Simulator sim(7);
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.protocol = ProtocolKind::kMarlin;
-  cfg.disable_happy_path = force_unhappy;
-  cfg.num_clients = 4;
-  cfg.client_window = 8;
-  cfg.pacemaker.base_timeout = Duration::millis(600);
+  cfg.consensus.protocol = ProtocolKind::kMarlin;
+  cfg.consensus.disable_happy_path = force_unhappy;
+  cfg.clients.count = 4;
+  cfg.clients.window = 8;
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(600);
   Cluster cluster(sim, cfg);
   cluster.start();
 

@@ -121,9 +121,14 @@ void HotStuffReplica::on_proposal(ReplicaId from, types::ProposalMsg msg) {
   if (b.justify.qc != j.qc) return;
   if (!verify_qc(qc)) return;
 
-  // safeNode: the branch extends the locked block, or the justify is from
-  // a later view than the lock (liveness rule).
-  const bool live_rule = qc.view > locked_qc_.view;
+  // safeNode: the branch extends the locked block, or the justify ranks
+  // above the lock (liveness rule). Rank is (view, height), not view
+  // alone: many blocks certify per view here, and same-view prepareQCs
+  // form a single chain (honest replicas vote once per (view, height) and
+  // quorums intersect in an honest replica), so a same-view justify above
+  // the lock's height extends it even when this replica is missing the
+  // intermediate bodies and extends() cannot walk the branch.
+  const bool live_rule = qc_higher(qc, locked_qc_);
   const bool safe_rule =
       store_.extends(qc.block_hash, locked_qc_.block_hash);
   if (!live_rule && !safe_rule) return;

@@ -216,11 +216,11 @@ void ReplicaBase::commit_to(const Hash256& target, ReplicaId provider) {
         if (parent.is_zero() || parent == committed_hash_) break;
         down = parent;
       }
-      const Hash256 parent = store_.parent_of(down);
-      if (!parent.is_zero() && parent != committed_hash_ &&
-          !store_.get(parent)) {
-        request_hash = parent;
-      }
+      // When the walk stopped on a hash with no body, that hash is the
+      // bottom of the gap: request it so successive batches extend the
+      // known range downward. Re-requesting the target instead would chase
+      // the advancing tip forever once the gap outgrows one fetch batch.
+      if (!store_.get(down)) request_hash = down;
     }
 
     if (in_fetch_retry_) return;           // a batch is still streaming in

@@ -1,0 +1,129 @@
+#include "faults/chaos.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace marlin::faults {
+
+namespace {
+
+/// Uniform whole-millisecond instant in [lo, hi] — plans stay in human
+/// units and round-trip exactly through JSON.
+Duration ms_between(Rng& rng, Duration lo, Duration hi) {
+  const std::int64_t lo_ms = lo.as_nanos() / 1000000;
+  const std::int64_t hi_ms = std::max(lo_ms, hi.as_nanos() / 1000000);
+  return Duration::millis(static_cast<std::int64_t>(
+      rng.next_in(static_cast<std::uint64_t>(lo_ms),
+                  static_cast<std::uint64_t>(hi_ms))));
+}
+
+/// Probability quantized to percent (JSON-friendly, exact round trip).
+double pct_between(Rng& rng, std::uint64_t lo, std::uint64_t hi) {
+  return static_cast<double>(rng.next_in(lo, hi)) / 100.0;
+}
+
+}  // namespace
+
+FaultPlan random_plan(Rng& rng, const ChaosOptions& opt) {
+  const std::uint32_t n = 3 * opt.f + 1;
+  FaultPlan plan;
+
+  // Pick the faulty set up front: a shuffled prefix of the replicas, at
+  // most f strong, shared by crash and Byzantine draws.
+  std::vector<ReplicaId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.next_below(i)]);
+  }
+  const std::uint32_t faulty =
+      opt.f == 0 ? 0 : static_cast<std::uint32_t>(rng.next_in(0, opt.f));
+
+  bool any_cut = false;  // partitions/silences needing a heal
+  for (std::uint32_t i = 0; i < faulty; ++i) {
+    const ReplicaId r = ids[i];
+    const bool crash = opt.allow_crashes &&
+                       (!opt.allow_byzantine || rng.next_bool(0.5));
+    if (crash) {
+      const Duration at = ms_between(rng, opt.earliest, opt.horizon);
+      plan.actions.push_back(FaultAction::crash(at, r));
+      if (rng.next_bool(0.4)) {
+        plan.actions.push_back(
+            FaultAction::recover(ms_between(rng, at, opt.horizon), r));
+      }
+    } else if (opt.allow_byzantine) {
+      const ByzantineMode modes[] = {
+          ByzantineMode::kEquivocate,
+          ByzantineMode::kSilentVoter,
+          ByzantineMode::kStaleVoteReplayer,
+          ByzantineMode::kInvalidSigSender,
+      };
+      plan.actions.push_back(FaultAction::byzantine(
+          ms_between(rng, opt.earliest, opt.horizon), r,
+          modes[rng.next_below(4)]));
+    }
+  }
+
+  if (opt.allow_partitions && n >= 2 && rng.next_bool(0.6)) {
+    // Random two-way split: a shuffled prefix of size [1, n-1] secedes.
+    std::vector<ReplicaId> split(ids);
+    for (std::size_t i = split.size(); i > 1; --i) {
+      std::swap(split[i - 1], split[rng.next_below(i)]);
+    }
+    const auto cut = static_cast<std::size_t>(rng.next_in(1, n - 1));
+    std::vector<std::vector<ReplicaId>> groups(2);
+    groups[0].assign(split.begin(), split.begin() + cut);
+    groups[1].assign(split.begin() + cut, split.end());
+    std::sort(groups[0].begin(), groups[0].end());
+    std::sort(groups[1].begin(), groups[1].end());
+    plan.actions.push_back(FaultAction::partition(
+        ms_between(rng, opt.earliest, opt.horizon), std::move(groups)));
+    any_cut = true;
+  }
+
+  if (opt.allow_silence && faulty > 0 && rng.next_bool(0.4)) {
+    // A QC-hiding replica: its messages reach only one allowed peer.
+    const ReplicaId victim = ids[rng.next_below(faulty)];
+    const ReplicaId confidant = ids[faulty % n] == victim
+                                    ? ids[(faulty + 1) % n]
+                                    : ids[faulty % n];
+    plan.actions.push_back(
+        FaultAction::silence(ms_between(rng, opt.earliest, opt.horizon),
+                             victim, {confidant}));
+    any_cut = true;
+  }
+
+  if (opt.allow_link_faults && rng.next_bool(0.5)) {
+    const Duration at = ms_between(rng, opt.earliest, opt.horizon);
+    const Duration dur = ms_between(rng, Duration::millis(200),
+                                    std::max(Duration::millis(200),
+                                             opt.horizon - at));
+    if (rng.next_bool(0.5)) {
+      plan.actions.push_back(
+          FaultAction::drop_burst(at, pct_between(rng, 5, 40), dur));
+    } else {
+      plan.actions.push_back(FaultAction::slow_links(
+          at, Duration::millis(static_cast<std::int64_t>(rng.next_in(20, 150))),
+          dur));
+    }
+  }
+
+  if (opt.allow_gst && rng.next_bool(0.3)) {
+    plan.actions.push_back(FaultAction::gst(
+        ms_between(rng, opt.earliest, opt.horizon),
+        Duration::millis(static_cast<std::int64_t>(rng.next_in(50, 300))),
+        pct_between(rng, 0, 15)));
+  }
+
+  if (any_cut) {
+    // One final heal guarantees the fault-free tail liveness checks need.
+    plan.actions.push_back(FaultAction::heal(opt.horizon));
+  }
+
+  std::stable_sort(plan.actions.begin(), plan.actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace marlin::faults

@@ -1,0 +1,40 @@
+// Seeded random fault-plan generation for chaos sweeps. Plans are drawn so
+// that the two protocol invariants remain *checkable*:
+//
+//  * safety must always hold — at most f replicas are ever faulty (crashed
+//    or Byzantine), so any violation a run exhibits is a protocol bug, not
+//    an over-budget adversary;
+//  * liveness must resume — every transient disruption (partition,
+//    silence, loss/delay window, pre-GST chaos) ends by `horizon`, so
+//    commits are required to advance in the fault-free tail after
+//    FaultPlan::quiesce_time().
+//
+// Generation is a pure function of the Rng stream: the same seed yields
+// the same plan, which is what makes every chaos verdict replayable.
+#pragma once
+
+#include "common/rng.h"
+#include "faults/fault_plan.h"
+
+namespace marlin::faults {
+
+struct ChaosOptions {
+  std::uint32_t f = 1;  // n = 3f + 1
+  /// Disruptive actions fire within [earliest, horizon]; everything
+  /// transient has quiesced by `horizon`.
+  Duration earliest = Duration::millis(500);
+  Duration horizon = Duration::seconds(8);
+  // Fault classes to draw from (all on by default).
+  bool allow_crashes = true;
+  bool allow_byzantine = true;
+  bool allow_partitions = true;
+  bool allow_silence = true;
+  bool allow_link_faults = true;
+  bool allow_gst = true;
+};
+
+/// Draws one plan from the rng stream. Crash + Byzantine targets together
+/// never exceed f distinct replicas; partitions/silences always heal.
+FaultPlan random_plan(Rng& rng, const ChaosOptions& opt);
+
+}  // namespace marlin::faults

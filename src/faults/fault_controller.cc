@@ -1,0 +1,144 @@
+#include "faults/fault_controller.h"
+
+#include <cassert>
+
+namespace marlin::faults {
+
+FaultController::FaultController(sim::Simulator& sim, sim::Network& net,
+                                 FaultPlan plan, FaultHooks hooks,
+                                 std::uint32_t num_replicas,
+                                 obs::TraceSink* trace)
+    : sim_(sim),
+      net_(net),
+      plan_(std::move(plan)),
+      hooks_(std::move(hooks)),
+      n_(num_replicas),
+      trace_(trace) {}
+
+void FaultController::arm() {
+  assert(!armed_ && "a FaultController arms exactly once");
+  armed_ = true;
+  for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
+    const FaultAction& a = plan_.actions[i];
+    if (a.kind == FaultKind::kGst) {
+      // Pre-GST chaos must hold from t=0; the action's `at` is the GST.
+      net_.set_pre_gst(a.extra_delay, a.probability);
+      net_.set_gst(TimePoint::origin() + a.at);
+      record(i, a.kind, kNoReplica);
+      continue;
+    }
+    sim_.schedule_at(TimePoint::origin() + a.at, [this, i] { execute(i); });
+  }
+}
+
+const ExecutedAction* FaultController::first_crash() const {
+  for (const ExecutedAction& e : log_) {
+    if (e.kind == FaultKind::kCrash || e.kind == FaultKind::kCrashLeader) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+void FaultController::record(std::size_t index, FaultKind kind,
+                             ReplicaId target) {
+  ExecutedAction e;
+  e.index = index;
+  e.kind = kind;
+  e.target = target;
+  e.at = sim_.now();
+  e.view = hooks_.max_view ? hooks_.max_view() : 0;
+  if (trace_) {
+    trace_->record({.node = target,
+                    .type = obs::EventType::kFaultInjected,
+                    .view = e.view,
+                    .a = static_cast<std::uint64_t>(kind),
+                    .b = index});
+  }
+  log_.push_back(std::move(e));
+}
+
+void FaultController::execute(std::size_t index) {
+  const FaultAction& a = plan_.actions[index];
+  ReplicaId target = kNoReplica;
+  switch (a.kind) {
+    case FaultKind::kCrash:
+      target = a.replica;
+      if (target < n_) net_.set_node_down(target, true);
+      break;
+    case FaultKind::kCrashLeader:
+      target = hooks_.current_leader ? hooks_.current_leader() : 0;
+      if (target < n_) net_.set_node_down(target, true);
+      break;
+    case FaultKind::kRecover:
+      target = a.replica;
+      if (target < n_) net_.set_node_down(target, false);
+      break;
+    case FaultKind::kPartition:
+      group_of_.clear();
+      for (std::uint32_t g = 0; g < a.groups.size(); ++g) {
+        for (ReplicaId r : a.groups[g]) group_of_[r] = g;
+      }
+      install_filter();
+      break;
+    case FaultKind::kHeal:
+      group_of_.clear();
+      silenced_.clear();
+      install_filter();
+      break;
+    case FaultKind::kSilence:
+      target = a.replica;
+      silenced_[a.replica] =
+          std::set<ReplicaId>(a.allowed.begin(), a.allowed.end());
+      install_filter();
+      break;
+    case FaultKind::kDropBurst:
+      net_.set_extra_drop(a.probability);
+      sim_.schedule(a.duration, [this] { net_.set_extra_drop(0.0); });
+      break;
+    case FaultKind::kSlowLinks:
+      net_.set_extra_delay(a.extra_delay);
+      sim_.schedule(a.duration,
+                    [this] { net_.set_extra_delay(Duration::zero()); });
+      break;
+    case FaultKind::kGst:
+      break;  // handled at arm() time
+    case FaultKind::kByzantine:
+      target = a.replica;
+      if (hooks_.set_byzantine && a.replica < n_) {
+        hooks_.set_byzantine(a.replica, a.mode);
+      }
+      break;
+  }
+  record(index, a.kind, target);
+}
+
+void FaultController::install_filter() {
+  if (group_of_.empty() && silenced_.empty()) {
+    net_.set_filter(nullptr);
+    return;
+  }
+  // Copy the state so a later action can rebuild without invalidating the
+  // closure the network currently holds.
+  auto groups = group_of_;
+  auto silenced = silenced_;
+  const std::uint32_t n = n_;
+  net_.set_filter([groups = std::move(groups), silenced = std::move(silenced),
+                   n](sim::NodeId from, sim::NodeId to) {
+    if (from >= n || to >= n || from == to) return true;  // client edges pass
+    if (!groups.empty()) {
+      // Unlisted replicas ride with group 0.
+      auto g = [&](sim::NodeId x) {
+        auto it = groups.find(x);
+        return it == groups.end() ? 0u : it->second;
+      };
+      if (g(from) != g(to)) return false;
+    }
+    if (auto it = silenced.find(from); it != silenced.end()) {
+      if (!it->second.count(to)) return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace marlin::faults

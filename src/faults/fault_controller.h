@@ -1,0 +1,82 @@
+// Executes a FaultPlan against a simulated deployment. The controller
+// schedules every action on the deterministic simulator at arm() time, so
+// a run with a plan is exactly as replayable as a run without one; each
+// executed action is recorded both in an in-memory log (with its resolved
+// target and the view it fired in) and as a kFaultInjected trace event.
+//
+// The controller owns the network's fault surface: it composes partitions
+// and silences into the single reachability filter, drives the extra
+// drop/delay windows, and sets GST. Replica-level effects (crash/recover,
+// Byzantine modes, leader resolution) go through FaultHooks so this layer
+// depends only on simnet — the runtime's Cluster provides the hooks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "faults/fault_plan.h"
+#include "obs/trace.h"
+#include "simnet/network.h"
+
+namespace marlin::faults {
+
+struct FaultHooks {
+  /// Resolves kCrashLeader when it fires.
+  std::function<ReplicaId()> current_leader;
+  /// Highest view any live replica is in (log/trace annotation).
+  std::function<ViewNumber()> max_view;
+  /// Installs a ByzantineMode on a replica's outbound box.
+  std::function<void(ReplicaId, ByzantineMode)> set_byzantine;
+};
+
+/// One plan action that actually fired, with its runtime resolution.
+struct ExecutedAction {
+  std::size_t index = 0;       // position in plan.actions
+  FaultKind kind = FaultKind::kCrash;
+  ReplicaId target = kNoReplica;  // resolved replica (kCrashLeader included)
+  TimePoint at;
+  ViewNumber view = 0;  // max view when the action fired
+};
+
+class FaultController {
+ public:
+  /// `num_replicas` bounds the node ids the plan may touch; the filter
+  /// composed from partitions/silences constrains only replica↔replica
+  /// edges (clients always reach every live replica).
+  FaultController(sim::Simulator& sim, sim::Network& net, FaultPlan plan,
+                  FaultHooks hooks, std::uint32_t num_replicas,
+                  obs::TraceSink* trace = nullptr);
+
+  /// Schedules every plan action; call exactly once, before the sim runs.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  const std::vector<ExecutedAction>& log() const { return log_; }
+  /// First executed crash (kCrash or kCrashLeader), if any — the anchor
+  /// for view-change latency measurements.
+  const ExecutedAction* first_crash() const;
+  TimePoint quiesce_time() const {
+    return TimePoint::origin() + plan_.quiesce_time();
+  }
+
+ private:
+  void execute(std::size_t index);
+  void install_filter();
+  void record(std::size_t index, FaultKind kind, ReplicaId target);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  FaultPlan plan_;
+  FaultHooks hooks_;
+  std::uint32_t n_;
+  obs::TraceSink* trace_;
+  bool armed_ = false;
+
+  // Composite network-fault state.
+  std::map<ReplicaId, std::uint32_t> group_of_;  // partition membership
+  std::map<ReplicaId, std::set<ReplicaId>> silenced_;  // node -> allowed
+  std::vector<ExecutedAction> log_;
+};
+
+}  // namespace marlin::faults

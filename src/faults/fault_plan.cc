@@ -1,0 +1,615 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <variant>
+
+namespace marlin::faults {
+
+namespace {
+constexpr std::string_view kKindNames[] = {
+    "crash",      "crash_leader", "recover",    "partition", "heal",
+    "silence",    "drop_burst",   "slow_links", "gst",       "byzantine",
+};
+constexpr std::size_t kKindCount = sizeof kKindNames / sizeof kKindNames[0];
+
+std::optional<FaultKind> kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    if (name == kKindNames[i]) return static_cast<FaultKind>(i);
+  }
+  return std::nullopt;
+}
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  const auto i = static_cast<std::size_t>(k);
+  return i < kKindCount ? kKindNames[i].data() : "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+FaultAction FaultAction::crash(Duration at, ReplicaId r) {
+  FaultAction a;
+  a.kind = FaultKind::kCrash;
+  a.at = at;
+  a.replica = r;
+  return a;
+}
+
+FaultAction FaultAction::crash_leader(Duration at) {
+  FaultAction a;
+  a.kind = FaultKind::kCrashLeader;
+  a.at = at;
+  return a;
+}
+
+FaultAction FaultAction::recover(Duration at, ReplicaId r) {
+  FaultAction a;
+  a.kind = FaultKind::kRecover;
+  a.at = at;
+  a.replica = r;
+  return a;
+}
+
+FaultAction FaultAction::partition(Duration at,
+                                   std::vector<std::vector<ReplicaId>> groups) {
+  FaultAction a;
+  a.kind = FaultKind::kPartition;
+  a.at = at;
+  a.groups = std::move(groups);
+  return a;
+}
+
+FaultAction FaultAction::heal(Duration at) {
+  FaultAction a;
+  a.kind = FaultKind::kHeal;
+  a.at = at;
+  return a;
+}
+
+FaultAction FaultAction::silence(Duration at, ReplicaId r,
+                                 std::vector<ReplicaId> allowed) {
+  FaultAction a;
+  a.kind = FaultKind::kSilence;
+  a.at = at;
+  a.replica = r;
+  a.allowed = std::move(allowed);
+  return a;
+}
+
+FaultAction FaultAction::drop_burst(Duration at, double probability,
+                                    Duration duration) {
+  FaultAction a;
+  a.kind = FaultKind::kDropBurst;
+  a.at = at;
+  a.probability = probability;
+  a.duration = duration;
+  return a;
+}
+
+FaultAction FaultAction::slow_links(Duration at, Duration extra_delay,
+                                    Duration duration) {
+  FaultAction a;
+  a.kind = FaultKind::kSlowLinks;
+  a.at = at;
+  a.extra_delay = extra_delay;
+  a.duration = duration;
+  return a;
+}
+
+FaultAction FaultAction::gst(Duration at, Duration extra_delay_max,
+                             double probability) {
+  FaultAction a;
+  a.kind = FaultKind::kGst;
+  a.at = at;
+  a.extra_delay = extra_delay_max;
+  a.probability = probability;
+  return a;
+}
+
+FaultAction FaultAction::byzantine(Duration at, ReplicaId r,
+                                   ByzantineMode mode) {
+  FaultAction a;
+  a.kind = FaultKind::kByzantine;
+  a.at = at;
+  a.replica = r;
+  a.mode = mode;
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Plan analysis
+// ---------------------------------------------------------------------------
+
+Duration FaultPlan::quiesce_time() const {
+  Duration q = Duration::zero();
+  for (const FaultAction& a : actions) {
+    Duration end = a.at;
+    if (a.kind == FaultKind::kDropBurst || a.kind == FaultKind::kSlowLinks) {
+      end = a.at + a.duration;
+    }
+    q = std::max(q, end);
+  }
+  return q;
+}
+
+std::vector<ReplicaId> FaultPlan::crashed_at_end() const {
+  std::map<ReplicaId, bool> down;  // ordered for a stable result
+  for (const FaultAction& a : actions) {
+    if (a.kind == FaultKind::kCrash) down[a.replica] = true;
+    if (a.kind == FaultKind::kRecover) down[a.replica] = false;
+  }
+  std::vector<ReplicaId> out;
+  for (const auto& [r, d] : down) {
+    if (d) out.push_back(r);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Durations are written as whole milliseconds when exact, nanoseconds
+/// otherwise, so any plan round-trips losslessly while hand-written plans
+/// stay in human units.
+void append_duration(std::string& out, const char* ms_key, Duration d) {
+  char buf[64];
+  const std::int64_t ns = d.as_nanos();
+  if (ns % 1000000 == 0) {
+    std::snprintf(buf, sizeof buf, "\"%s_ms\":%" PRId64, ms_key,
+                  ns / 1000000);
+  } else {
+    std::snprintf(buf, sizeof buf, "\"%s_ns\":%" PRId64, ms_key, ns);
+  }
+  out += buf;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that parses back exactly.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[48];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) {
+      out += shorter;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void append_id_list(std::string& out, const std::vector<ReplicaId>& ids) {
+  out += '[';
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string FaultPlan::to_json() const {
+  std::string out = "{\n  \"name\": \"";
+  append_escaped(out, name);
+  out += "\",\n  \"actions\": [";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const FaultAction& a = actions[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"kind\":\"";
+    out += fault_kind_name(a.kind);
+    out += "\",";
+    append_duration(out, "at", a.at);
+    switch (a.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRecover:
+        out += ",\"replica\":" + std::to_string(a.replica);
+        break;
+      case FaultKind::kCrashLeader:
+      case FaultKind::kHeal:
+        break;
+      case FaultKind::kPartition:
+        out += ",\"groups\":[";
+        for (std::size_t g = 0; g < a.groups.size(); ++g) {
+          if (g) out += ',';
+          append_id_list(out, a.groups[g]);
+        }
+        out += ']';
+        break;
+      case FaultKind::kSilence:
+        out += ",\"replica\":" + std::to_string(a.replica) + ",\"allowed\":";
+        append_id_list(out, a.allowed);
+        break;
+      case FaultKind::kDropBurst:
+        out += ",\"probability\":";
+        append_number(out, a.probability);
+        out += ',';
+        append_duration(out, "duration", a.duration);
+        break;
+      case FaultKind::kSlowLinks:
+        out += ',';
+        append_duration(out, "extra_delay", a.extra_delay);
+        out += ',';
+        append_duration(out, "duration", a.duration);
+        break;
+      case FaultKind::kGst:
+        out += ',';
+        append_duration(out, "extra_delay", a.extra_delay);
+        out += ",\"probability\":";
+        append_number(out, a.probability);
+        break;
+      case FaultKind::kByzantine:
+        out += ",\"replica\":" + std::to_string(a.replica);
+        out += ",\"mode\":\"";
+        out += byzantine_mode_name(a.mode);
+        out += '"';
+        break;
+    }
+    out += '}';
+  }
+  out += actions.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser — a minimal recursive-descent parser covering the plan
+// schema (objects, arrays, strings, numbers, true/false/null). Kept
+// private here; the repo intentionally has no general JSON dependency.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  const JsonObject* object() const { return std::get_if<JsonObject>(&v); }
+  const JsonArray* array() const { return std::get_if<JsonArray>(&v); }
+  const std::string* str() const { return std::get_if<std::string>(&v); }
+  const double* num() const { return std::get_if<double>(&v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  Result<JsonValue> parse() {
+    auto v = value();
+    if (!v.is_ok()) return v;
+    skip_ws();
+    if (pos_ != s_.size()) {
+      return fail("trailing content after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status fail(const std::string& what) {
+    return error(ErrorCode::kInvalidArgument,
+                 what + " (at byte " + std::to_string(pos_) + ")");
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto s = string();
+      if (!s.is_ok()) return s.status();
+      return JsonValue{std::move(s).take()};
+    }
+    if (c == 't' || c == 'f' || c == 'n') return literal();
+    return number();
+  }
+
+  Result<JsonValue> literal() {
+    auto match = [&](std::string_view word) {
+      if (s_.substr(pos_, word.size()) != word) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (match("true")) return JsonValue{true};
+    if (match("false")) return JsonValue{false};
+    if (match("null")) return JsonValue{nullptr};
+    return fail("unknown literal");
+  }
+
+  Result<JsonValue> number() {
+    const char* start = s_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return fail("expected a number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return JsonValue{v};
+  }
+
+  Result<std::string> string() {
+    if (!eat('"')) return fail("expected '\"'");
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(std::string(s_.substr(pos_, 4)).c_str(),
+                             nullptr, 16));
+            pos_ += 4;
+            // Plan strings are ASCII names; map non-ASCII to '?'.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<JsonValue> array() {
+    if (!eat('[')) return fail("expected '['");
+    JsonArray out;
+    if (eat(']')) return JsonValue{std::move(out)};
+    while (true) {
+      auto v = value();
+      if (!v.is_ok()) return v;
+      out.push_back(std::move(v).take());
+      if (eat(']')) return JsonValue{std::move(out)};
+      if (!eat(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> object() {
+    if (!eat('{')) return fail("expected '{'");
+    JsonObject out;
+    if (eat('}')) return JsonValue{std::move(out)};
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key.is_ok()) return key.status();
+      if (!eat(':')) return fail("expected ':'");
+      auto v = value();
+      if (!v.is_ok()) return v;
+      out.emplace(std::move(key).take(), std::move(v).take());
+      if (eat('}')) return JsonValue{std::move(out)};
+      if (!eat(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+Status plan_error(std::size_t index, const std::string& what) {
+  return error(ErrorCode::kInvalidArgument,
+               "action " + std::to_string(index) + ": " + what);
+}
+
+/// Reads "<key>_ms" (number) or "<key>_ns" (number) from an action object.
+std::optional<Duration> read_duration(const JsonObject& o,
+                                      const std::string& key) {
+  if (auto it = o.find(key + "_ms"); it != o.end()) {
+    if (const double* n = it->second.num()) {
+      return Duration::nanos(static_cast<std::int64_t>(*n * 1e6));
+    }
+    return std::nullopt;
+  }
+  if (auto it = o.find(key + "_ns"); it != o.end()) {
+    if (const double* n = it->second.num()) {
+      return Duration::nanos(static_cast<std::int64_t>(*n));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ReplicaId> read_replica(const JsonObject& o, const char* key) {
+  auto it = o.find(key);
+  if (it == o.end()) return std::nullopt;
+  const double* n = it->second.num();
+  if (!n || *n < 0) return std::nullopt;
+  return static_cast<ReplicaId>(*n);
+}
+
+std::optional<std::vector<ReplicaId>> read_id_list(const JsonValue& v) {
+  const JsonArray* arr = v.array();
+  if (!arr) return std::nullopt;
+  std::vector<ReplicaId> out;
+  for (const JsonValue& e : *arr) {
+    const double* n = e.num();
+    if (!n || *n < 0) return std::nullopt;
+    out.push_back(static_cast<ReplicaId>(*n));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::from_json(std::string_view json) {
+  auto doc = JsonParser(json).parse();
+  if (!doc.is_ok()) return doc.status();
+  const JsonObject* root = doc.value().object();
+  if (!root) {
+    return error(ErrorCode::kInvalidArgument, "plan must be a JSON object");
+  }
+
+  FaultPlan plan;
+  if (auto it = root->find("name"); it != root->end()) {
+    if (const std::string* s = it->second.str()) plan.name = *s;
+  }
+  auto actions_it = root->find("actions");
+  if (actions_it == root->end()) return plan;  // an empty plan is valid
+  const JsonArray* actions = actions_it->second.array();
+  if (!actions) {
+    return error(ErrorCode::kInvalidArgument, "\"actions\" must be an array");
+  }
+
+  for (std::size_t i = 0; i < actions->size(); ++i) {
+    const JsonObject* o = (*actions)[i].object();
+    if (!o) return plan_error(i, "must be an object");
+    auto kind_it = o->find("kind");
+    const std::string* kind_name =
+        kind_it != o->end() ? kind_it->second.str() : nullptr;
+    if (!kind_name) return plan_error(i, "missing \"kind\"");
+    auto kind = kind_from_name(*kind_name);
+    if (!kind) return plan_error(i, "unknown kind \"" + *kind_name + "\"");
+
+    FaultAction a;
+    a.kind = *kind;
+    auto at = read_duration(*o, "at");
+    if (!at) return plan_error(i, "missing \"at_ms\"/\"at_ns\"");
+    a.at = *at;
+
+    switch (a.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRecover: {
+        auto r = read_replica(*o, "replica");
+        if (!r) return plan_error(i, "missing \"replica\"");
+        a.replica = *r;
+        break;
+      }
+      case FaultKind::kCrashLeader:
+      case FaultKind::kHeal:
+        break;
+      case FaultKind::kPartition: {
+        auto it = o->find("groups");
+        const JsonArray* groups = it != o->end() ? it->second.array() : nullptr;
+        if (!groups || groups->empty()) {
+          return plan_error(i, "partition needs non-empty \"groups\"");
+        }
+        for (const JsonValue& g : *groups) {
+          auto ids = read_id_list(g);
+          if (!ids) return plan_error(i, "groups must be arrays of ids");
+          a.groups.push_back(std::move(*ids));
+        }
+        break;
+      }
+      case FaultKind::kSilence: {
+        auto r = read_replica(*o, "replica");
+        if (!r) return plan_error(i, "missing \"replica\"");
+        a.replica = *r;
+        if (auto it = o->find("allowed"); it != o->end()) {
+          auto ids = read_id_list(it->second);
+          if (!ids) return plan_error(i, "\"allowed\" must be an id array");
+          a.allowed = std::move(*ids);
+        }
+        break;
+      }
+      case FaultKind::kDropBurst: {
+        auto it = o->find("probability");
+        const double* p = it != o->end() ? it->second.num() : nullptr;
+        if (!p || *p < 0 || *p > 1) {
+          return plan_error(i, "needs \"probability\" in [0,1]");
+        }
+        a.probability = *p;
+        auto dur = read_duration(*o, "duration");
+        if (!dur) return plan_error(i, "missing \"duration_ms\"");
+        a.duration = *dur;
+        break;
+      }
+      case FaultKind::kSlowLinks: {
+        auto delay = read_duration(*o, "extra_delay");
+        if (!delay) return plan_error(i, "missing \"extra_delay_ms\"");
+        a.extra_delay = *delay;
+        auto dur = read_duration(*o, "duration");
+        if (!dur) return plan_error(i, "missing \"duration_ms\"");
+        a.duration = *dur;
+        break;
+      }
+      case FaultKind::kGst: {
+        if (auto delay = read_duration(*o, "extra_delay")) {
+          a.extra_delay = *delay;
+        }
+        if (auto it = o->find("probability"); it != o->end()) {
+          const double* p = it->second.num();
+          if (!p || *p < 0 || *p > 1) {
+            return plan_error(i, "\"probability\" must be in [0,1]");
+          }
+          a.probability = *p;
+        }
+        break;
+      }
+      case FaultKind::kByzantine: {
+        auto r = read_replica(*o, "replica");
+        if (!r) return plan_error(i, "missing \"replica\"");
+        a.replica = *r;
+        auto it = o->find("mode");
+        const std::string* mode = it != o->end() ? it->second.str() : nullptr;
+        if (!mode) return plan_error(i, "missing \"mode\"");
+        auto m = byzantine_mode_from_name(*mode);
+        if (!m) return plan_error(i, "unknown mode \"" + *mode + "\"");
+        a.mode = *m;
+        break;
+      }
+    }
+    plan.actions.push_back(std::move(a));
+  }
+  return plan;
+}
+
+}  // namespace marlin::faults

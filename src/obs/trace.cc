@@ -13,6 +13,7 @@ constexpr const char* kEventNames[kEventTypeCount] = {
     "msg_dropped",    "wal_write",         "sstable_write",
     "checkpoint",     "sig_verify",        "msg_delivered",
     "client_submit",  "reply_accepted",    "batch_dequeued",
+    "fault_injected",
 };
 
 constexpr const char* kPhaseNames[] = {"preprepare", "prepare", "precommit",

@@ -45,6 +45,9 @@ enum class EventType : std::uint8_t {
                        // block id from the reply; a = request id, b = client id)
   kBatchDequeued,      // leader drained a proposal batch from its txpool
                        // (a = ops in batch, b = oldest op's pool wait ns)
+  kFaultInjected,      // fault controller executed a plan action (node =
+                       // resolved target replica or kNoNode, a = FaultKind,
+                       // b = index of the action in its plan)
   kCount,              // sentinel — number of event types
 };
 
@@ -70,6 +73,7 @@ inline constexpr std::uint8_t kNoPhase = 0xff;
 /// kMsgDropped reasons (the `b` operand).
 inline constexpr std::uint64_t kDropFilter = 0;  // partition / filter
 inline constexpr std::uint64_t kDropRandom = 1;  // loss model
+inline constexpr std::uint64_t kDropFault = 2;   // injected drop-burst window
 
 struct TraceEvent {
   std::uint64_t seq = 0;        // assigned by the sink, dense and monotonic

@@ -5,7 +5,7 @@
 namespace marlin::runtime {
 
 ClientProcess::ClientProcess(sim::Simulator& sim, sim::Network& net,
-                             ClientConfig config)
+                             ClientProcessConfig config)
     : sim_(sim), net_(net), config_(config), rng_(sim.rng().fork()) {}
 
 sim::NodeId ClientProcess::attach() {

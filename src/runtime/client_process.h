@@ -15,7 +15,9 @@
 
 namespace marlin::runtime {
 
-struct ClientConfig {
+/// Per-process client wiring (one instance per client). The cluster-level
+/// knobs shared by all clients live in runtime::ClientConfig (cluster.h).
+struct ClientProcessConfig {
   ClientId id = 0;
   QuorumParams quorum;
   /// Outstanding requests kept in flight (closed loop).
@@ -31,7 +33,8 @@ struct ClientConfig {
 
 class ClientProcess final : public sim::NetworkNode {
  public:
-  ClientProcess(sim::Simulator& sim, sim::Network& net, ClientConfig config);
+  ClientProcess(sim::Simulator& sim, sim::Network& net,
+                ClientProcessConfig config);
 
   sim::NodeId attach();
   void start();
@@ -58,7 +61,7 @@ class ClientProcess final : public sim::NetworkNode {
 
   sim::Simulator& sim_;
   sim::Network& net_;
-  ClientConfig config_;
+  ClientProcessConfig config_;
   sim::NodeId node_id_ = 0;
   RequestId next_request_ = 1;
   std::map<RequestId, Pending> pending_;

@@ -19,21 +19,22 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
   }
   suite_ = crypto::make_fast_suite(n, seed_bytes);
 
+  const ConsensusConfig& cons = config_.consensus;
   for (ReplicaId r = 0; r < n; ++r) {
     ReplicaProcessConfig rc;
     rc.replica.id = r;
     rc.replica.quorum = QuorumParams::for_f(config_.f);
-    rc.replica.max_batch_ops = config_.max_batch_ops;
-    rc.replica.pipelined = config_.pipelined;
-    rc.replica.allow_empty_blocks = config_.allow_empty_blocks;
-    rc.replica.disable_happy_path = config_.disable_happy_path;
-    rc.replica.use_threshold_sigs = config_.use_threshold_sigs;
-    rc.protocol = config_.protocol;
+    rc.replica.max_batch_ops = cons.max_batch_ops;
+    rc.replica.pipelined = cons.pipelined;
+    rc.replica.allow_empty_blocks = cons.allow_empty_blocks;
+    rc.replica.disable_happy_path = cons.disable_happy_path;
+    rc.replica.use_threshold_sigs = cons.use_threshold_sigs;
+    rc.protocol = cons.protocol;
     rc.crypto_costs = config_.crypto_costs;
     rc.storage_costs = config_.storage_costs;
-    rc.pacemaker = config_.pacemaker;
-    rc.checkpoint_interval = config_.checkpoint_interval;
-    rc.reply_size = config_.reply_size;
+    rc.pacemaker = cons.pacemaker;
+    rc.checkpoint_interval = cons.checkpoint_interval;
+    rc.reply_size = cons.reply_size;
     rc.client_base = n;
     rc.trace = config_.trace;
     replicas_.push_back(
@@ -42,21 +43,31 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     replicas_.back()->attach();
   }
 
-  for (ClientId c = 0; c < config_.num_clients; ++c) {
-    ClientConfig cc;
+  for (ClientId c = 0; c < config_.clients.count; ++c) {
+    ClientProcessConfig cc;
     cc.id = c;
     cc.quorum = QuorumParams::for_f(config_.f);
-    cc.window = config_.client_window;
-    cc.payload_size = config_.payload_size;
-    cc.retransmit_timeout = config_.client_timeout;
-    cc.max_requests = config_.client_max_requests;
+    cc.window = config_.clients.window;
+    cc.payload_size = config_.clients.payload_size;
+    cc.retransmit_timeout = config_.clients.retransmit_timeout;
+    cc.max_requests = config_.clients.max_requests;
     cc.trace = config_.trace;
     clients_.push_back(std::make_unique<ClientProcess>(sim_, *net_, cc));
     clients_.back()->attach();
   }
+
+  faults::FaultHooks hooks;
+  hooks.current_leader = [this] { return current_leader(); };
+  hooks.max_view = [this] { return max_view(); };
+  hooks.set_byzantine = [this](ReplicaId r, faults::ByzantineMode m) {
+    set_byzantine(r, m);
+  };
+  faults_ = std::make_unique<faults::FaultController>(
+      sim_, *net_, config_.faults, std::move(hooks), n, config_.trace);
 }
 
 void Cluster::start() {
+  faults_->arm();
   for (auto& r : replicas_) r->start();
   // Clients begin shortly after the replicas have entered view 1, with
   // staggered starts: synchronized closed-loop clients otherwise refill in

@@ -1,24 +1,22 @@
 // Full simulated deployment: n replicas + m closed-loop clients over one
-// simnet Network, sharing a signature suite. This is the testbed every
-// integration test, example, and benchmark drives.
+// simnet Network, sharing a signature suite, with an optional declarative
+// fault plan executed by a faults::FaultController. This is the testbed
+// every integration test, example, and benchmark drives.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "faults/fault_controller.h"
 #include "runtime/client_process.h"
 #include "runtime/replica_process.h"
 
 namespace marlin::runtime {
 
-struct ClusterConfig {
-  std::uint32_t f = 1;
+/// Protocol-level knobs applied uniformly to every replica.
+struct ConsensusConfig {
   ProtocolKind protocol = ProtocolKind::kMarlin;
-  sim::NetConfig net;
-  crypto::CostModel crypto_costs;
-  storage::CostModel storage_costs;
   PacemakerConfig pacemaker;
-
   std::size_t max_batch_ops = 4000;
   bool pipelined = true;
   bool allow_empty_blocks = false;
@@ -26,14 +24,30 @@ struct ClusterConfig {
   bool use_threshold_sigs = false;
   std::uint64_t checkpoint_interval = 5000;
   std::size_t reply_size = 150;
+};
 
-  std::uint32_t num_clients = 8;
-  std::uint32_t client_window = 16;
+/// Workload knobs applied uniformly to every closed-loop client.
+struct ClientConfig {
+  std::uint32_t count = 8;
+  std::uint32_t window = 16;
   std::size_t payload_size = 150;
-  Duration client_timeout = Duration::seconds(4);
-  std::uint64_t client_max_requests = 0;
+  Duration retransmit_timeout = Duration::seconds(4);
+  /// Stop issuing new requests after this many per client (0 = unlimited).
+  std::uint64_t max_requests = 0;
+};
 
+struct ClusterConfig {
+  std::uint32_t f = 1;
   std::uint64_t seed = 42;
+
+  ConsensusConfig consensus;
+  ClientConfig clients;
+  sim::NetConfig net;
+  crypto::CostModel crypto_costs;
+  storage::CostModel storage_costs;
+
+  /// Declarative fault timeline, armed at start(). Empty = fault-free run.
+  faults::FaultPlan faults;
 
   /// Shared protocol event trace for all replicas, the network, and
   /// storage. The cluster binds its clock to the simulator. Optional.
@@ -47,7 +61,7 @@ class Cluster {
  public:
   Cluster(sim::Simulator& sim, ClusterConfig config);
 
-  /// Starts all replicas, then all clients.
+  /// Arms the fault plan, then starts all replicas, then all clients.
   void start();
 
   std::uint32_t n() const { return config_.f * 3 + 1; }
@@ -55,12 +69,24 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
 
   ReplicaProcess& replica(ReplicaId i) { return *replicas_[i]; }
+  const ReplicaProcess& replica(ReplicaId i) const { return *replicas_[i]; }
   ClientProcess& client(ClientId i) { return *clients_[i]; }
   sim::Network& network() { return *net_; }
   std::size_t client_count() const { return clients_.size(); }
 
   /// Crash-stop a replica (it neither sends nor receives from now on).
+  /// Prefer expressing faults in the config's FaultPlan; these imperative
+  /// hooks remain for interactive exploration.
   void crash_replica(ReplicaId i) { net_->set_node_down(i, true); }
+  void recover_replica(ReplicaId i) { net_->set_node_down(i, false); }
+  /// Switches a replica's outbound wire behaviour (kHonest reverts).
+  void set_byzantine(ReplicaId i, faults::ByzantineMode mode) {
+    replicas_[i]->set_byzantine_mode(mode);
+  }
+
+  /// The controller executing this run's fault plan (always present; a
+  /// fault-free cluster simply holds an empty plan).
+  const faults::FaultController& faults() const { return *faults_; }
 
   /// The leader of the highest view any live replica is currently in.
   ReplicaId current_leader() const;
@@ -90,6 +116,7 @@ class Cluster {
   std::unique_ptr<crypto::SignatureSuite> suite_;
   std::vector<std::unique_ptr<ReplicaProcess>> replicas_;
   std::vector<std::unique_ptr<ClientProcess>> clients_;
+  std::unique_ptr<faults::FaultController> faults_;
 };
 
 }  // namespace marlin::runtime

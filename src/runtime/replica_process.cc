@@ -145,6 +145,18 @@ std::uint32_t ReplicaProcess::count_authenticators(
 }
 
 void ReplicaProcess::send(ReplicaId to, const Envelope& env) {
+  if (byzantine_.active()) {
+    // The box may mutate (equivocation, corrupted sigs), replace (stale
+    // replay), or suppress (silence) the envelope, per destination.
+    auto out = byzantine_.transform(env, config_.replica.id, to);
+    if (!out) return;
+    send_wire(to, *out);
+    return;
+  }
+  send_wire(to, env);
+}
+
+void ReplicaProcess::send_wire(ReplicaId to, const Envelope& env) {
   Bytes wire = env.serialize();
   pending_charge_ += config_.crypto_costs.serialize_cost(wire.size());
   std::uint32_t authenticators = 0;

@@ -9,6 +9,7 @@
 
 #include "common/histogram.h"
 #include "consensus/hotstuff.h"
+#include "faults/byzantine.h"
 #include "consensus/marlin.h"
 #include "crypto/cost_model.h"
 #include "obs/metrics.h"
@@ -98,6 +99,15 @@ class ReplicaProcess final : public sim::NetworkNode,
   /// the Table I bench only).
   void set_count_authenticators(bool on) { count_authenticators_ = on; }
 
+  /// Routes every outgoing envelope through a faults::ByzantineBox from now
+  /// on (kHonest reverts). The local state machine stays honest — only the
+  /// wire behaviour changes.
+  void set_byzantine_mode(faults::ByzantineMode mode) {
+    byzantine_.set_mode(mode);
+  }
+  faults::ByzantineMode byzantine_mode() const { return byzantine_.mode(); }
+  const faults::ByzantineBox& byzantine() const { return byzantine_; }
+
   ViewNumber current_view() const { return protocol_->current_view(); }
   std::uint64_t checkpoints_run() const { return checkpoints_run_; }
   Duration cpu_busy() const { return cpu_.total_busy(); }
@@ -113,6 +123,7 @@ class ReplicaProcess final : public sim::NetworkNode,
 
  private:
   void run_protocol_task(std::function<void()> body);
+  void send_wire(ReplicaId to, const types::Envelope& env);
   void flush_outbox(TimePoint at);
   void arm_view_timer();
   std::uint32_t count_authenticators(const types::Envelope& env) const;
@@ -146,6 +157,7 @@ class ReplicaProcess final : public sim::NetworkNode,
   std::uint64_t blocks_since_checkpoint_ = 0;
   std::uint64_t checkpoints_run_ = 0;
   WindowedCounter committed_ops_;
+  faults::ByzantineBox byzantine_;
   TrafficStats traffic_;
   obs::MetricsRegistry metrics_;
   bool count_authenticators_ = false;

@@ -134,6 +134,20 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     return;
   }
 
+  // Injected drop-burst windows draw separately (and only while active) so
+  // fault-free runs keep the exact rng stream they had before faults existed.
+  if (extra_drop_ > 0 && rng_.next_bool(extra_drop_)) {
+    ++sender_stats.messages_dropped;
+    if (trace_) {
+      trace_->record({.node = from,
+                      .type = obs::EventType::kMsgDropped,
+                      .kind = static_cast<std::uint8_t>(kind),
+                      .a = to,
+                      .b = obs::kDropFault});
+    }
+    return;
+  }
+
   ++sender_stats.messages_sent;
   sender_stats.bytes_sent += size;
   ++sender_stats.msgs_sent_by_kind[kind];
@@ -192,6 +206,7 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     extra += Duration::nanos(static_cast<std::int64_t>(rng_.next_below(
         static_cast<std::uint64_t>(config_.pre_gst_extra_delay_max.as_nanos()))));
   }
+  extra += extra_delay_;  // injected slow-link window (no rng draw)
   const TimePoint arrival = link_end + config_.one_way_delay + extra;
 
   // Queueing vs transit split for the dequeue-side attribution event:

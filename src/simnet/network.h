@@ -86,6 +86,20 @@ class Network {
   /// Default GST = origin, i.e. the network starts synchronous.
   void set_gst(TimePoint gst) { gst_ = gst; }
 
+  /// Reconfigures the pre-GST chaos parameters after construction (fault
+  /// plans carry them per run; see faults::FaultKind::kGst).
+  void set_pre_gst(Duration extra_delay_max, double drop_probability) {
+    config_.pre_gst_extra_delay_max = extra_delay_max;
+    config_.pre_gst_drop_probability = drop_probability;
+  }
+
+  /// Injected fault windows: additional loss probability / one-way delay on
+  /// every link while set (drop reason kDropFault). Zero disables; a fault
+  /// that was never injected consumes no rng draws, so fault-free runs stay
+  /// bit-identical to runs on networks without these hooks.
+  void set_extra_drop(double probability) { extra_drop_ = probability; }
+  void set_extra_delay(Duration delay) { extra_delay_ = delay; }
+
   /// A down node neither sends nor receives (crash fault).
   void set_node_down(NodeId node, bool down);
   bool is_down(NodeId node) const;
@@ -120,6 +134,8 @@ class Network {
   NetConfig config_;
   Rng rng_;
   TimePoint gst_;  // origin: synchronous from the start
+  double extra_drop_ = 0.0;             // injected loss window (faults)
+  Duration extra_delay_ = Duration::zero();  // injected slow-link window
   std::vector<NetworkNode*> nodes_;
   std::vector<bool> down_;
   std::vector<NodeNetStats> stats_;

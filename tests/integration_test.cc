@@ -12,10 +12,10 @@ namespace {
 ClusterConfig small_config(ProtocolKind protocol) {
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.protocol = protocol;
-  cfg.num_clients = 4;
-  cfg.client_window = 8;
-  cfg.max_batch_ops = 500;
+  cfg.consensus.protocol = protocol;
+  cfg.clients.count = 4;
+  cfg.clients.window = 8;
+  cfg.consensus.max_batch_ops = 500;
   cfg.seed = 1234;
   return cfg;
 }
@@ -32,9 +32,8 @@ INSTANTIATE_TEST_SUITE_P(Protocols, BothProtocols,
                          });
 
 TEST_P(BothProtocols, SteadyStateCommits) {
-  auto res = run_throughput_experiment(small_config(GetParam()),
-                                       Duration::seconds(2),
-                                       Duration::seconds(6));
+  auto res = run_experiment(throughput_options(
+      small_config(GetParam()), Duration::seconds(2), Duration::seconds(6)));
   EXPECT_GT(res.throughput_ops, 50.0);
   EXPECT_TRUE(res.safety_ok);
   EXPECT_TRUE(res.consistent);
@@ -44,12 +43,12 @@ TEST_P(BothProtocols, SteadyStateCommits) {
 
 TEST_P(BothProtocols, AllClientRequestsEventuallyComplete) {
   ClusterConfig cfg = small_config(GetParam());
-  cfg.client_max_requests = 50;  // each client stops after 50 requests
+  cfg.clients.max_requests = 50;  // each client stops after 50 requests
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
   cluster.start();
   sim.run_for(Duration::seconds(30));
-  for (ClientId c = 0; c < cfg.num_clients; ++c) {
+  for (ClientId c = 0; c < cfg.clients.count; ++c) {
     EXPECT_EQ(cluster.client(c).issued(), 50u);
     EXPECT_EQ(cluster.client(c).in_flight(), 0u);
     EXPECT_EQ(cluster.client(c).latency().count(), 50u);
@@ -59,12 +58,12 @@ TEST_P(BothProtocols, AllClientRequestsEventuallyComplete) {
 
 TEST_P(BothProtocols, MarlinLatencyIsLower) {
   // Not parameterized work per se: assert the headline latency ordering.
-  auto marlin = run_throughput_experiment(small_config(ProtocolKind::kMarlin),
-                                          Duration::seconds(2),
-                                          Duration::seconds(6));
-  auto hotstuff = run_throughput_experiment(
+  auto marlin = run_experiment(throughput_options(
+      small_config(ProtocolKind::kMarlin), Duration::seconds(2),
+      Duration::seconds(6)));
+  auto hotstuff = run_experiment(throughput_options(
       small_config(ProtocolKind::kHotStuff), Duration::seconds(2),
-      Duration::seconds(6));
+      Duration::seconds(6)));
   // Marlin commits in two phases instead of three. The closed-loop beat
   // alignment absorbs part of the saved round-trip, so assert a clear but
   // conservative margin (≥ 30 ms at a 40 ms one-way delay).
@@ -73,7 +72,7 @@ TEST_P(BothProtocols, MarlinLatencyIsLower) {
 
 TEST_P(BothProtocols, LeaderCrashRecovers) {
   ClusterConfig cfg = small_config(GetParam());
-  cfg.pacemaker.base_timeout = Duration::millis(800);
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(800);
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
   cluster.start();
@@ -99,7 +98,7 @@ TEST_P(BothProtocols, LeaderCrashRecovers) {
 TEST_P(BothProtocols, SurvivesFSuccessiveLeaderCrashes) {
   ClusterConfig cfg = small_config(GetParam());
   cfg.f = 2;  // n = 7, tolerate 2 crashes
-  cfg.pacemaker.base_timeout = Duration::millis(800);
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(800);
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
   cluster.start();
@@ -122,8 +121,8 @@ TEST_P(BothProtocols, SurvivesFSuccessiveLeaderCrashes) {
 
 TEST_P(BothProtocols, RotatingLeaderModeProgresses) {
   ClusterConfig cfg = small_config(GetParam());
-  cfg.pacemaker.rotate_on_timer = true;
-  cfg.pacemaker.rotation_interval = Duration::millis(700);
+  cfg.consensus.pacemaker.rotate_on_timer = true;
+  cfg.consensus.pacemaker.rotation_interval = Duration::millis(700);
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
   cluster.start();
@@ -140,8 +139,8 @@ TEST_P(BothProtocols, RotatingLeaderModeProgresses) {
 TEST_P(BothProtocols, RotatingLeaderWithCrashes) {
   ClusterConfig cfg = small_config(GetParam());
   cfg.f = 3;  // n = 13, as in the paper's Fig. 10j
-  cfg.pacemaker.rotate_on_timer = true;
-  cfg.pacemaker.rotation_interval = Duration::seconds(1);
+  cfg.consensus.pacemaker.rotate_on_timer = true;
+  cfg.consensus.pacemaker.rotation_interval = Duration::seconds(1);
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
   cluster.start();
@@ -163,7 +162,7 @@ TEST_P(BothProtocols, RotatingLeaderWithCrashes) {
 TEST_P(BothProtocols, MessageLossIsTolerated) {
   ClusterConfig cfg = small_config(GetParam());
   cfg.net.drop_probability = 0.02;  // 2% loss on every link
-  cfg.pacemaker.base_timeout = Duration::millis(900);
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(900);
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
   cluster.start();
@@ -177,7 +176,7 @@ TEST_P(BothProtocols, MessageLossIsTolerated) {
 
 TEST_P(BothProtocols, PartitionHeals) {
   ClusterConfig cfg = small_config(GetParam());
-  cfg.pacemaker.base_timeout = Duration::millis(800);
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(800);
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
   cluster.start();
@@ -206,7 +205,7 @@ TEST_P(BothProtocols, PartialSynchronyBeforeGst) {
   ClusterConfig cfg = small_config(GetParam());
   cfg.net.pre_gst_extra_delay_max = Duration::seconds(2);
   cfg.net.pre_gst_drop_probability = 0.3;
-  cfg.pacemaker.base_timeout = Duration::millis(800);
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(800);
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
   cluster.network().set_gst(TimePoint::origin() + Duration::seconds(8));
@@ -224,7 +223,7 @@ TEST_P(BothProtocols, ChaosNeverViolatesSafetyEvenWithoutLiveness) {
   // Extreme loss for the whole run: liveness is not guaranteed, safety is.
   ClusterConfig cfg = small_config(GetParam());
   cfg.net.drop_probability = 0.35;
-  cfg.pacemaker.base_timeout = Duration::millis(500);
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(500);
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
   cluster.start();
@@ -235,16 +234,20 @@ TEST_P(BothProtocols, ChaosNeverViolatesSafetyEvenWithoutLiveness) {
 
 TEST(IntegrationMarlin, ForcedUnhappyPathStillRecovers) {
   ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
-  auto res = run_view_change_experiment(cfg, /*force_unhappy=*/true);
-  EXPECT_TRUE(res.resolved);
-  EXPECT_TRUE(res.unhappy_path);
+  auto res = run_experiment(view_change_options(cfg, /*force_unhappy=*/true));
+  EXPECT_TRUE(res.view_change.resolved);
+  EXPECT_TRUE(res.view_change.unhappy_path);
   EXPECT_TRUE(res.safety_ok);
 }
 
 TEST(IntegrationMarlin, HappyPathViewChangeFasterThanUnhappy) {
   ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
-  auto happy = run_view_change_experiment(cfg, /*force_unhappy=*/false);
-  auto unhappy = run_view_change_experiment(cfg, /*force_unhappy=*/true);
+  auto happy =
+      run_experiment(view_change_options(cfg, /*force_unhappy=*/false))
+          .view_change;
+  auto unhappy =
+      run_experiment(view_change_options(cfg, /*force_unhappy=*/true))
+          .view_change;
   ASSERT_TRUE(happy.resolved);
   ASSERT_TRUE(unhappy.resolved);
   EXPECT_FALSE(happy.unhappy_path);
@@ -255,9 +258,11 @@ TEST(IntegrationMarlin, HappyViewChangeBeatsHotStuff) {
   // The paper's Fig. 10i ordering: Marlin happy < HotStuff ≈ Marlin unhappy.
   ClusterConfig m = small_config(ProtocolKind::kMarlin);
   ClusterConfig hs = small_config(ProtocolKind::kHotStuff);
-  auto marlin_happy = run_view_change_experiment(m, false);
-  auto marlin_unhappy = run_view_change_experiment(m, true);
-  auto hotstuff = run_view_change_experiment(hs, false);
+  auto marlin_happy =
+      run_experiment(view_change_options(m, false)).view_change;
+  auto marlin_unhappy =
+      run_experiment(view_change_options(m, true)).view_change;
+  auto hotstuff = run_experiment(view_change_options(hs, false)).view_change;
   ASSERT_TRUE(marlin_happy.resolved);
   ASSERT_TRUE(marlin_unhappy.resolved);
   ASSERT_TRUE(hotstuff.resolved);
@@ -269,17 +274,17 @@ TEST(IntegrationMarlin, HappyViewChangeBeatsHotStuff) {
 TEST(IntegrationMarlin, ThroughputBeatsHotStuffUnderEqualLoad) {
   ClusterConfig m = small_config(ProtocolKind::kMarlin);
   ClusterConfig hs = small_config(ProtocolKind::kHotStuff);
-  m.client_window = hs.client_window = 64;
-  auto marlin = run_throughput_experiment(m, Duration::seconds(2),
-                                          Duration::seconds(8));
-  auto hotstuff = run_throughput_experiment(hs, Duration::seconds(2),
-                                            Duration::seconds(8));
+  m.clients.window = hs.clients.window = 64;
+  auto marlin = run_experiment(
+      throughput_options(m, Duration::seconds(2), Duration::seconds(8)));
+  auto hotstuff = run_experiment(
+      throughput_options(hs, Duration::seconds(2), Duration::seconds(8)));
   EXPECT_GT(marlin.throughput_ops, hotstuff.throughput_ops * 1.04);
 }
 
 TEST(IntegrationRuntime, CheckpointsRunAtConfiguredInterval) {
   ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
-  cfg.checkpoint_interval = 20;  // every 20 blocks for the test
+  cfg.consensus.checkpoint_interval = 20;  // every 20 blocks for the test
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
   cluster.start();
@@ -292,19 +297,19 @@ TEST(IntegrationRuntime, CheckpointsRunAtConfiguredInterval) {
 
 TEST(IntegrationRuntime, NoOpModeCompletes) {
   ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
-  cfg.payload_size = 0;  // the paper's no-op requests
-  auto res = run_throughput_experiment(cfg, Duration::seconds(2),
-                                       Duration::seconds(6));
+  cfg.clients.payload_size = 0;  // the paper's no-op requests
+  auto res = run_experiment(
+      throughput_options(cfg, Duration::seconds(2), Duration::seconds(6)));
   EXPECT_GT(res.throughput_ops, 50.0);
   EXPECT_TRUE(res.safety_ok);
 }
 
 TEST(IntegrationRuntime, DeterministicGivenSeed) {
   ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
-  auto a = run_throughput_experiment(cfg, Duration::seconds(2),
-                                     Duration::seconds(5));
-  auto b = run_throughput_experiment(cfg, Duration::seconds(2),
-                                     Duration::seconds(5));
+  auto a = run_experiment(
+      throughput_options(cfg, Duration::seconds(2), Duration::seconds(5)));
+  auto b = run_experiment(
+      throughput_options(cfg, Duration::seconds(2), Duration::seconds(5)));
   EXPECT_DOUBLE_EQ(a.throughput_ops, b.throughput_ops);
   EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
   EXPECT_EQ(a.total_completed, b.total_completed);
@@ -314,8 +319,8 @@ TEST(IntegrationRuntime, DifferentSeedsStillSafe) {
   for (std::uint64_t seed : {7ull, 99ull, 12345ull}) {
     ClusterConfig cfg = small_config(ProtocolKind::kMarlin);
     cfg.seed = seed;
-    auto res = run_throughput_experiment(cfg, Duration::seconds(1),
-                                         Duration::seconds(4));
+    auto res = run_experiment(
+        throughput_options(cfg, Duration::seconds(1), Duration::seconds(4)));
     EXPECT_TRUE(res.safety_ok) << seed;
     EXPECT_TRUE(res.consistent) << seed;
     EXPECT_GT(res.throughput_ops, 0) << seed;

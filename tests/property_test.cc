@@ -167,13 +167,13 @@ TEST_P(SimChaos, SafetyAndEventualConsistency) {
   const SimChaosParams p = GetParam();
   runtime::ClusterConfig cfg;
   cfg.f = 2;  // n = 7
-  cfg.protocol = p.protocol;
-  cfg.num_clients = 3;
-  cfg.client_window = 6;
-  cfg.max_batch_ops = 200;
+  cfg.consensus.protocol = p.protocol;
+  cfg.clients.count = 3;
+  cfg.clients.window = 6;
+  cfg.consensus.max_batch_ops = 200;
   cfg.seed = p.seed;
   cfg.net.drop_probability = p.drop;
-  cfg.pacemaker.base_timeout = Duration::millis(700);
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(700);
 
   sim::Simulator sim(p.seed);
   runtime::Cluster cluster(sim, cfg);

@@ -3,6 +3,11 @@
 // simulator, no timing — tests control exactly which messages flow, in
 // which order, and when view timers "fire". This is what lets unit tests
 // force the paper's view-change cases (V1/V2/V3, R1/R2/R3) precisely.
+//
+// Byzantine senders use the same ByzantineBox the runtime installs
+// (faults/byzantine.h): set_byzantine(r, mode) reshapes replica r's
+// outgoing envelopes at the bus boundary, so tests exercise the exact
+// wire-level misbehaviour the chaos harness injects.
 #pragma once
 
 #include <deque>
@@ -12,6 +17,7 @@
 
 #include "consensus/hotstuff.h"
 #include "consensus/marlin.h"
+#include "faults/byzantine.h"
 
 namespace marlin::consensus::testing {
 
@@ -81,6 +87,7 @@ class ProtocolHarness {
       }
     }
     crashed_.assign(n, false);
+    byzantine_.resize(n);
   }
 
   std::uint32_t n() const { return static_cast<std::uint32_t>(replicas_.size()); }
@@ -99,8 +106,15 @@ class ProtocolHarness {
     for (auto& r : replicas_) r->start();
   }
 
-  /// Push a message onto the bus (tests can forge anything).
+  /// Push a message onto the bus (tests can forge anything). A sender with
+  /// an active ByzantineBox has its envelope transformed — possibly into
+  /// nothing — exactly as the runtime's ReplicaProcess::send would.
   void post(ReplicaId from, ReplicaId to, types::Envelope env) {
+    if (from < byzantine_.size() && byzantine_[from].active()) {
+      auto out = byzantine_[from].transform(env, from, to);
+      if (!out) return;
+      env = std::move(*out);
+    }
     queue_.push_back(BusMessage{from, to, std::move(env), false});
   }
 
@@ -115,6 +129,13 @@ class ProtocolHarness {
   }
 
   void crash(ReplicaId r) { crashed_[r] = true; }
+
+  /// Installs wire-level Byzantine behaviour on replica r's outgoing
+  /// messages (kHonest reverts it).
+  void set_byzantine(ReplicaId r, faults::ByzantineMode mode) {
+    byzantine_[r].set_mode(mode);
+  }
+  faults::ByzantineBox& byzantine(ReplicaId r) { return byzantine_[r]; }
 
   /// Delivers one queued message; returns false when the bus is idle.
   bool step() {
@@ -184,6 +205,7 @@ class ProtocolHarness {
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;
   std::deque<BusMessage> queue_;
   std::vector<bool> crashed_;
+  std::vector<faults::ByzantineBox> byzantine_;
   std::function<bool(const BusMessage&)> drop_;
 };
 

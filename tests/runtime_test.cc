@@ -78,11 +78,11 @@ TEST(Pacemaker, RotatingModeAlwaysAdvances) {
 TEST(ClientRetransmit, RecoversFromEarlyRequestLoss) {
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.num_clients = 1;
-  cfg.client_window = 2;
-  cfg.client_max_requests = 6;
-  cfg.client_timeout = Duration::millis(900);
-  cfg.pacemaker.base_timeout = Duration::seconds(2);
+  cfg.clients.count = 1;
+  cfg.clients.window = 2;
+  cfg.clients.max_requests = 6;
+  cfg.clients.retransmit_timeout = Duration::millis(900);
+  cfg.consensus.pacemaker.base_timeout = Duration::seconds(2);
   cfg.seed = 5;
 
   sim::Simulator sim(cfg.seed);
@@ -106,9 +106,9 @@ TEST(ClientRetransmit, RecoversFromEarlyRequestLoss) {
 TEST(ClientRetransmit, NoRetransmissionsOnHealthyNetwork) {
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.num_clients = 2;
-  cfg.client_window = 4;
-  cfg.client_max_requests = 10;
+  cfg.clients.count = 2;
+  cfg.clients.window = 4;
+  cfg.clients.max_requests = 10;
   cfg.seed = 6;
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
@@ -127,10 +127,10 @@ TEST(ClientRetransmit, NoRetransmissionsOnHealthyNetwork) {
 TEST(Fetch, IsolatedReplicaCatchesUpViaFetch) {
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.num_clients = 2;
-  cfg.client_window = 4;
+  cfg.clients.count = 2;
+  cfg.clients.window = 4;
   cfg.seed = 7;
-  cfg.pacemaker.base_timeout = Duration::seconds(30);  // no view churn
+  cfg.consensus.pacemaker.base_timeout = Duration::seconds(30);  // no view churn
 
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
@@ -162,8 +162,8 @@ TEST(Fetch, IsolatedReplicaCatchesUpViaFetch) {
 TEST(CostAccounting, CpuBusyTimeAccrues) {
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.num_clients = 2;
-  cfg.client_window = 8;
+  cfg.clients.count = 2;
+  cfg.clients.window = 8;
   cfg.seed = 8;
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
@@ -181,9 +181,9 @@ TEST(CostAccounting, HigherCryptoCostsLowerThroughput) {
   auto run = [](Duration verify_cost) {
     ClusterConfig cfg;
     cfg.f = 1;
-    cfg.num_clients = 8;
-    cfg.client_window = 64;
-    cfg.max_batch_ops = 100;  // many small blocks → verify-heavy
+    cfg.clients.count = 8;
+    cfg.clients.window = 64;
+    cfg.consensus.max_batch_ops = 100;  // many small blocks → verify-heavy
     cfg.crypto_costs.verify = verify_cost;
     cfg.seed = 9;
     sim::Simulator sim(cfg.seed);
@@ -202,9 +202,9 @@ TEST(CostAccounting, HigherCryptoCostsLowerThroughput) {
 TEST(CostAccounting, StorageCheckpointChargesTime) {
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.num_clients = 2;
-  cfg.client_window = 8;
-  cfg.checkpoint_interval = 10;
+  cfg.clients.count = 2;
+  cfg.clients.window = 8;
+  cfg.consensus.checkpoint_interval = 10;
   cfg.seed = 10;
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
@@ -220,8 +220,8 @@ TEST(CostAccounting, StorageCheckpointChargesTime) {
 TEST(Traffic, ResetClearsCounters) {
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.num_clients = 1;
-  cfg.client_window = 2;
+  cfg.clients.count = 1;
+  cfg.clients.window = 2;
   cfg.seed = 11;
   sim::Simulator sim(cfg.seed);
   Cluster cluster(sim, cfg);
@@ -240,11 +240,11 @@ TEST(Traffic, ViewChangeBytesScaleLinearlyPerReplica) {
   auto per_replica_bytes = [](std::uint32_t f) {
     ClusterConfig cfg;
     cfg.f = f;
-    cfg.num_clients = 1;
-    cfg.client_window = 2;
-    cfg.max_batch_ops = 16;
+    cfg.clients.count = 1;
+    cfg.clients.window = 2;
+    cfg.consensus.max_batch_ops = 16;
     cfg.seed = 12;
-    cfg.pacemaker.base_timeout = Duration::millis(600);
+    cfg.consensus.pacemaker.base_timeout = Duration::millis(600);
     sim::Simulator sim(cfg.seed);
     Cluster cluster(sim, cfg);
     cluster.start();

@@ -28,10 +28,10 @@ using runtime::ProtocolKind;
 ClusterConfig tiny_config(ProtocolKind protocol) {
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.protocol = protocol;
-  cfg.num_clients = 2;
-  cfg.client_window = 4;
-  cfg.pipelined = false;
+  cfg.consensus.protocol = protocol;
+  cfg.clients.count = 2;
+  cfg.clients.window = 4;
+  cfg.consensus.pipelined = false;
   cfg.seed = 7;
   return cfg;
 }

@@ -207,13 +207,13 @@ TEST(ThresholdCluster, RunsEndToEndAndPairingCostsBite) {
   auto run = [](bool threshold) {
     runtime::ClusterConfig cfg;
     cfg.f = 1;
-    cfg.num_clients = 8;
-    cfg.client_window = 32;
-    cfg.max_batch_ops = 200;  // small blocks → QC costs dominate
-    cfg.use_threshold_sigs = threshold;
+    cfg.clients.count = 8;
+    cfg.clients.window = 32;
+    cfg.consensus.max_batch_ops = 200;  // small blocks → QC costs dominate
+    cfg.consensus.use_threshold_sigs = threshold;
     cfg.seed = 77;
-    return runtime::run_throughput_experiment(cfg, Duration::seconds(2),
-                                              Duration::seconds(6));
+    return runtime::run_experiment(runtime::throughput_options(
+        cfg, Duration::seconds(2), Duration::seconds(6)));
   };
   const auto group = run(false);
   const auto threshold = run(true);

@@ -23,11 +23,11 @@ using runtime::ProtocolKind;
 ClusterConfig tiny_config(ProtocolKind protocol) {
   ClusterConfig cfg;
   cfg.f = 1;
-  cfg.protocol = protocol;
-  cfg.num_clients = 1;
-  cfg.client_window = 4;
-  cfg.client_max_requests = 4;  // one block's worth, then quiesce
-  cfg.pipelined = false;
+  cfg.consensus.protocol = protocol;
+  cfg.clients.count = 1;
+  cfg.clients.window = 4;
+  cfg.clients.max_requests = 4;  // one block's worth, then quiesce
+  cfg.consensus.pipelined = false;
   cfg.seed = 7;
   return cfg;
 }
@@ -154,7 +154,7 @@ TEST(GoldenTrace, DifferentSeedsDiverge) {
   obs::TraceSink a_sink, b_sink;
   ClusterConfig cfg = tiny_config(ProtocolKind::kMarlin);
   // Full load (no request cap) so seed-dependent client timing shows up.
-  cfg.client_max_requests = 0;
+  cfg.clients.max_requests = 0;
   const std::string a = run_traced(cfg, 3, &a_sink);
   cfg.seed = 8;
   const std::string b = run_traced(cfg, 3, &b_sink);

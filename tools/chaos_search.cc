@@ -1,0 +1,274 @@
+// chaos_search — randomized fault-plan sweeps over the simulated testbed.
+//
+// Draws N fault plans from a seeded rng (faults/chaos.h), runs each one
+// against a cluster, and checks the two protocol invariants after every
+// run: safety (no local violation, committed prefixes consistent) and
+// liveness (commits resume once the plan quiesces). One JSONL verdict per
+// (protocol, plan) goes to stdout; the sweep exits non-zero if any verdict
+// fails.
+//
+// Every verdict is replayable: plan index i is generated from seed + i, so
+//
+//   chaos_search --plans 50 --protocol marlin --seed 1
+//   chaos_search --protocol marlin --seed 1 --replay 17
+//                --plan-out plan17.json --trace-out run17.trace.jsonl
+//
+// re-runs schedule 17 bit-identically and dumps its plan + golden trace.
+// A dumped plan replays through `marlin_sim --faults plan17.json` or via
+// --replay ... --plan plan17.json (which proves the artifact, not the
+// generator, drives the run).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "faults/chaos.h"
+#include "obs/export.h"
+#include "runtime/experiment.h"
+
+using namespace marlin;
+
+namespace {
+
+struct Options {
+  std::uint32_t plans = 20;
+  std::string protocol = "both";  // marlin | hotstuff | both
+  std::uint64_t seed = 1;
+  std::uint32_t f = 1;
+  std::int64_t horizon_ms = 8000;
+  std::string out;        // also write the JSONL verdicts here
+  std::int64_t replay = -1;   // run only this plan index
+  std::string plan_in;    // --replay: load the plan from JSON instead
+  std::string plan_out;   // --replay: dump the plan JSON here
+  std::string trace_out;  // --replay: dump the golden trace here
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "chaos_search — randomized fault-plan sweep with invariant checks\n\n"
+      "  --plans=N            schedules per protocol (default 20)\n"
+      "  --protocol=NAME      marlin | hotstuff | both (default both)\n"
+      "  --seed=N             base seed; plan i uses seed+i (default 1)\n"
+      "  --f=N                fault threshold; n = 3f+1 (default 1)\n"
+      "  --horizon-ms=N       all transient faults quiesce by here (8000)\n"
+      "  --out=PATH           also append the JSONL verdicts to PATH\n"
+      "  --replay=I           run only plan index I (single protocol)\n"
+      "  --plan=PATH          with --replay: load this plan JSON instead\n"
+      "                       of regenerating from the seed\n"
+      "  --plan-out=PATH      with --replay: dump the plan as JSON\n"
+      "  --trace-out=PATH     with --replay: dump the golden trace JSONL\n");
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+bool parse_options(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    // Value flags accept both --flag=value and --flag value.
+    const auto grab = [&]() {
+      if (v.empty() && i + 1 < argc) v = argv[++i];
+      return v;
+    };
+    if (parse_flag(argv[i], "--help", &v)) {
+      opt->help = true;
+    } else if (parse_flag(argv[i], "--plans", &v)) {
+      opt->plans = static_cast<std::uint32_t>(std::atoi(grab().c_str()));
+    } else if (parse_flag(argv[i], "--protocol", &v)) {
+      opt->protocol = grab();
+    } else if (parse_flag(argv[i], "--seed", &v)) {
+      opt->seed = static_cast<std::uint64_t>(std::atoll(grab().c_str()));
+    } else if (parse_flag(argv[i], "--f", &v)) {
+      opt->f = static_cast<std::uint32_t>(std::atoi(grab().c_str()));
+    } else if (parse_flag(argv[i], "--horizon-ms", &v)) {
+      opt->horizon_ms = std::atoll(grab().c_str());
+    } else if (parse_flag(argv[i], "--out", &v)) {
+      opt->out = grab();
+    } else if (parse_flag(argv[i], "--replay", &v)) {
+      opt->replay = std::atoll(grab().c_str());
+    } else if (parse_flag(argv[i], "--plan-out", &v)) {
+      opt->plan_out = grab();
+    } else if (parse_flag(argv[i], "--plan", &v)) {
+      opt->plan_in = grab();
+    } else if (parse_flag(argv[i], "--trace-out", &v)) {
+      opt->trace_out = grab();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
+      return false;
+    }
+  }
+  if (opt->protocol != "marlin" && opt->protocol != "hotstuff" &&
+      opt->protocol != "both") {
+    std::fprintf(stderr, "unknown protocol '%s'\n", opt->protocol.c_str());
+    return false;
+  }
+  if (opt->replay >= 0 && opt->protocol == "both") {
+    std::fprintf(stderr, "--replay needs a single --protocol\n");
+    return false;
+  }
+  return true;
+}
+
+/// The plan for schedule index i: a pure function of (seed, i, f, horizon).
+faults::FaultPlan plan_for(const Options& opt, std::uint32_t index) {
+  Rng rng(opt.seed + index);
+  faults::ChaosOptions copt;
+  copt.f = opt.f;
+  copt.horizon = Duration::millis(opt.horizon_ms);
+  faults::FaultPlan plan = faults::random_plan(rng, copt);
+  char name[64];
+  std::snprintf(name, sizeof name, "chaos-s%llu-%u",
+                static_cast<unsigned long long>(opt.seed), index);
+  plan.name = name;
+  return plan;
+}
+
+runtime::ExperimentReport run_one(const Options& opt, runtime::ProtocolKind protocol,
+                                  std::uint32_t index,
+                                  const faults::FaultPlan& plan,
+                                  obs::TraceSink* trace) {
+  runtime::ClusterConfig cfg;
+  cfg.f = opt.f;
+  cfg.seed = opt.seed + index;
+  cfg.consensus.protocol = protocol;
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(600);
+  cfg.clients.count = 4;
+  cfg.clients.window = 8;
+  cfg.faults = plan;
+  cfg.trace = trace;
+
+  runtime::ExperimentOptions exp = runtime::throughput_options(
+      cfg, Duration::millis(500),
+      Duration::millis(opt.horizon_ms) - Duration::millis(500));
+  exp.check_liveness = true;
+  return runtime::run_experiment(exp);
+}
+
+std::string verdict_line(const Options& opt, const char* protocol,
+                         std::uint32_t index, const faults::FaultPlan& plan,
+                         const runtime::ExperimentReport& rep) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"index\":%u,\"protocol\":\"%s\",\"seed\":%llu,\"plan\":\"%s\","
+      "\"actions\":%zu,\"safety_ok\":%s,\"consistent\":%s,"
+      "\"liveness_ok\":%s,\"commits_at_quiesce\":%llu,"
+      "\"commits_at_end\":%llu,\"final_view\":%llu,\"ok\":%s}",
+      index, protocol, static_cast<unsigned long long>(opt.seed + index),
+      plan.name.c_str(), plan.actions.size(), rep.safety_ok ? "true" : "false",
+      rep.consistent ? "true" : "false",
+      rep.liveness.progressed ? "true" : "false",
+      static_cast<unsigned long long>(rep.liveness.commits_at_quiesce),
+      static_cast<unsigned long long>(rep.liveness.commits_at_end),
+      static_cast<unsigned long long>(rep.final_view),
+      rep.ok() ? "true" : "false");
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_options(argc, argv, &opt)) return 2;
+  if (opt.help) {
+    usage();
+    return 0;
+  }
+
+  std::ofstream out;
+  if (!opt.out.empty()) {
+    out.open(opt.out, std::ios::app);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<runtime::ProtocolKind> protocols;
+  if (opt.protocol != "hotstuff") protocols.push_back(runtime::ProtocolKind::kMarlin);
+  if (opt.protocol != "marlin") protocols.push_back(runtime::ProtocolKind::kHotStuff);
+
+  // -- replay mode: one schedule, full artifacts --------------------------
+  if (opt.replay >= 0) {
+    const auto index = static_cast<std::uint32_t>(opt.replay);
+    faults::FaultPlan plan;
+    if (!opt.plan_in.empty()) {
+      std::ifstream in(opt.plan_in);
+      std::ostringstream body;
+      body << in.rdbuf();
+      auto parsed = faults::FaultPlan::from_json(body.str());
+      if (!in || !parsed.is_ok()) {
+        std::fprintf(stderr, "bad fault plan %s\n", opt.plan_in.c_str());
+        return 2;
+      }
+      plan = std::move(parsed).take();
+    } else {
+      plan = plan_for(opt, index);
+    }
+    obs::TraceSink trace{1 << 18};
+    const auto rep =
+        run_one(opt, protocols[0], index, plan,
+                opt.trace_out.empty() ? nullptr : &trace);
+    const std::string line =
+        verdict_line(opt, opt.protocol.c_str(), index, plan, rep);
+    std::printf("%s\n", line.c_str());
+    if (out) out << line << "\n";
+    if (!opt.plan_out.empty() &&
+        !obs::write_text_file(opt.plan_out, plan.to_json())) {
+      std::fprintf(stderr, "failed to write %s\n", opt.plan_out.c_str());
+      return 2;
+    }
+    if (!opt.trace_out.empty()) {
+      if (!obs::write_text_file(opt.trace_out, obs::trace_to_jsonl(trace))) {
+        std::fprintf(stderr, "failed to write %s\n", opt.trace_out.c_str());
+        return 2;
+      }
+    }
+    return rep.ok() ? 0 : 1;
+  }
+
+  // -- sweep mode ---------------------------------------------------------
+  std::uint32_t failures = 0;
+  for (runtime::ProtocolKind protocol : protocols) {
+    const char* pname =
+        protocol == runtime::ProtocolKind::kMarlin ? "marlin" : "hotstuff";
+    for (std::uint32_t i = 0; i < opt.plans; ++i) {
+      const faults::FaultPlan plan = plan_for(opt, i);
+      const auto rep = run_one(opt, protocol, i, plan, nullptr);
+      const std::string line = verdict_line(opt, pname, i, plan, rep);
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+      if (out) out << line << "\n";
+      if (!rep.ok()) {
+        ++failures;
+        std::fprintf(stderr,
+                     "FAIL %s plan %u — replay with: chaos_search "
+                     "--protocol=%s --seed=%llu --f=%u --horizon-ms=%lld "
+                     "--replay=%u\n",
+                     pname, i, pname,
+                     static_cast<unsigned long long>(opt.seed), opt.f,
+                     static_cast<long long>(opt.horizon_ms), i);
+      }
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%u/%zu schedules failed\n", failures,
+                 static_cast<std::size_t>(opt.plans) * protocols.size());
+    return 1;
+  }
+  std::fprintf(stderr, "all %zu schedules ok\n",
+               static_cast<std::size_t>(opt.plans) * protocols.size());
+  return 0;
+}

@@ -7,13 +7,20 @@
 //   marlin_sim --protocol=hotstuff --f=1 --crash-leader-at=5 --seconds=30
 //   marlin_sim --protocol=marlin --rotate=1000 --crashes=2 --f=3
 //   marlin_sim --protocol=marlin --threshold-sigs --unhappy-vc
+//   marlin_sim --protocol=marlin --faults=plan.json --seconds=30
+//
+// Fault flags (--crashes, --crash-leader-at, --faults) all compile down to
+// one declarative FaultPlan executed by the cluster's FaultController, so
+// every faulty run is replayable from its (seed, plan) pair.
 //
 // Prints a one-line summary plus a per-replica table; exits non-zero on
 // any safety violation.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "obs/critical_path.h"
@@ -31,6 +38,7 @@ struct Options {
   double seconds = 20;
   double crash_leader_at = -1;  // seconds; <0 = never
   std::uint32_t crashes = 0;    // random-ish replicas crashed at start
+  std::string faults_path;      // JSON FaultPlan to execute
   std::string trace_out;        // JSONL protocol trace path
   std::string metrics_out;      // JSON metrics snapshot path
   std::string metrics_csv;      // CSV metrics snapshot path
@@ -62,6 +70,8 @@ void usage() {
       "  --timeout-ms=N               view-change timeout (2000)\n"
       "  --crash-leader-at=S          crash the current leader at time S\n"
       "  --crashes=N                  crash N replicas at start\n"
+      "  --faults=PATH                execute a JSON fault plan (see\n"
+      "                               docs/FAULTS.md for the schema)\n"
       "  --trace-out=PATH             dump the protocol trace as JSONL\n"
       "  --metrics-out=PATH           dump a metrics snapshot as JSON\n"
       "  --metrics-csv=PATH           dump a metrics snapshot as CSV\n"
@@ -90,9 +100,9 @@ bool parse_options(int argc, char** argv, Options* opt) {
       opt->help = true;
     } else if (parse_flag(argv[i], "--protocol", &v)) {
       if (v == "marlin") {
-        opt->cluster.protocol = ProtocolKind::kMarlin;
+        opt->cluster.consensus.protocol = ProtocolKind::kMarlin;
       } else if (v == "hotstuff") {
-        opt->cluster.protocol = ProtocolKind::kHotStuff;
+        opt->cluster.consensus.protocol = ProtocolKind::kHotStuff;
       } else {
         std::fprintf(stderr, "unknown protocol '%s'\n", v.c_str());
         return false;
@@ -100,16 +110,16 @@ bool parse_options(int argc, char** argv, Options* opt) {
     } else if (parse_flag(argv[i], "--f", &v)) {
       opt->cluster.f = static_cast<std::uint32_t>(std::atoi(v.c_str()));
     } else if (parse_flag(argv[i], "--clients", &v)) {
-      opt->cluster.num_clients =
+      opt->cluster.clients.count =
           static_cast<std::uint32_t>(std::atoi(v.c_str()));
     } else if (parse_flag(argv[i], "--window", &v)) {
-      opt->cluster.client_window =
+      opt->cluster.clients.window =
           static_cast<std::uint32_t>(std::atoi(v.c_str()));
     } else if (parse_flag(argv[i], "--payload", &v)) {
-      opt->cluster.payload_size =
+      opt->cluster.clients.payload_size =
           static_cast<std::size_t>(std::atol(v.c_str()));
     } else if (parse_flag(argv[i], "--batch", &v)) {
-      opt->cluster.max_batch_ops =
+      opt->cluster.consensus.max_batch_ops =
           static_cast<std::size_t>(std::atol(v.c_str()));
     } else if (parse_flag(argv[i], "--seconds", &v)) {
       opt->seconds = std::atof(v.c_str());
@@ -124,22 +134,24 @@ bool parse_options(int argc, char** argv, Options* opt) {
     } else if (parse_flag(argv[i], "--drop", &v)) {
       opt->cluster.net.drop_probability = std::atof(v.c_str());
     } else if (parse_flag(argv[i], "--pipelined", &v)) {
-      opt->cluster.pipelined = v != "0";
+      opt->cluster.consensus.pipelined = v != "0";
     } else if (parse_flag(argv[i], "--threshold-sigs", &v)) {
-      opt->cluster.use_threshold_sigs = true;
+      opt->cluster.consensus.use_threshold_sigs = true;
     } else if (parse_flag(argv[i], "--unhappy-vc", &v)) {
-      opt->cluster.disable_happy_path = true;
+      opt->cluster.consensus.disable_happy_path = true;
     } else if (parse_flag(argv[i], "--rotate", &v)) {
-      opt->cluster.pacemaker.rotate_on_timer = true;
-      opt->cluster.pacemaker.rotation_interval =
+      opt->cluster.consensus.pacemaker.rotate_on_timer = true;
+      opt->cluster.consensus.pacemaker.rotation_interval =
           Duration::millis(std::atoll(v.c_str()));
     } else if (parse_flag(argv[i], "--timeout-ms", &v)) {
-      opt->cluster.pacemaker.base_timeout =
+      opt->cluster.consensus.pacemaker.base_timeout =
           Duration::millis(std::atoll(v.c_str()));
     } else if (parse_flag(argv[i], "--crash-leader-at", &v)) {
       opt->crash_leader_at = std::atof(v.c_str());
     } else if (parse_flag(argv[i], "--crashes", &v)) {
       opt->crashes = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+    } else if (parse_flag(argv[i], "--faults", &v)) {
+      opt->faults_path = v;
     } else if (parse_flag(argv[i], "--trace-out", &v)) {
       opt->trace_out = v;
     } else if (parse_flag(argv[i], "--metrics-out", &v)) {
@@ -170,6 +182,35 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Every fault flag compiles into the cluster's one FaultPlan.
+  if (!opt.faults_path.empty()) {
+    std::ifstream in(opt.faults_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read fault plan %s\n",
+                   opt.faults_path.c_str());
+      return 2;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    auto plan = faults::FaultPlan::from_json(body.str());
+    if (!plan.is_ok()) {
+      std::fprintf(stderr, "bad fault plan %s: %s\n", opt.faults_path.c_str(),
+                   plan.status().message().c_str());
+      return 2;
+    }
+    opt.cluster.faults = std::move(plan).take();
+  }
+  const std::uint32_t n = 3 * opt.cluster.f + 1;
+  for (std::uint32_t i = 0; i < opt.crashes && i < n; ++i) {
+    // Spread victims; skip the view-1 leader so the run bootstraps.
+    opt.cluster.faults.actions.push_back(
+        faults::FaultAction::crash(Duration::zero(), (2 + 3 * i) % n));
+  }
+  if (opt.crash_leader_at >= 0) {
+    opt.cluster.faults.actions.push_back(faults::FaultAction::crash_leader(
+        Duration::from_seconds_f(opt.crash_leader_at)));
+  }
+
   obs::TraceSink trace{1 << 18};
   const bool want_obs = !opt.trace_out.empty() || opt.timeline ||
                         !opt.spans_out.empty() || opt.critical_path;
@@ -189,32 +230,24 @@ int main(int argc, char** argv) {
   const TimePoint end =
       TimePoint::origin() + Duration::from_seconds_f(opt.seconds);
   cluster.set_measurement_window(start, end);
-
-  for (std::uint32_t i = 0; i < opt.crashes && i < cluster.n(); ++i) {
-    // Spread victims; skip the view-1 leader so the run bootstraps.
-    const ReplicaId victim = (2 + 3 * i) % cluster.n();
-    cluster.crash_replica(victim);
-  }
   cluster.start();
-
-  if (opt.crash_leader_at >= 0) {
-    sim.schedule(Duration::from_seconds_f(opt.crash_leader_at), [&] {
-      const ReplicaId leader = cluster.current_leader();
-      std::printf("[t=%.1fs] crashing leader replica %u\n",
-                  sim.now().as_seconds_f(), leader);
-      cluster.crash_replica(leader);
-    });
-  }
 
   sim.run_until(end + Duration::seconds(1));
 
+  for (const auto& a : cluster.faults().log()) {
+    std::printf("[t=%.1fs] fault: %s", a.at.as_seconds_f(),
+                faults::fault_kind_name(a.kind));
+    if (a.target != kNoReplica) std::printf(" replica %u", a.target);
+    std::printf(" (view %llu)\n", static_cast<unsigned long long>(a.view));
+  }
+
   std::printf("\n%s  f=%u (n=%u)  %s%s%s\n",
-              opt.cluster.protocol == ProtocolKind::kMarlin ? "MARLIN"
+              opt.cluster.consensus.protocol == ProtocolKind::kMarlin ? "MARLIN"
                                                             : "HOTSTUFF",
               cluster.f(), cluster.n(),
-              opt.cluster.pacemaker.rotate_on_timer ? "rotating " : "",
-              opt.cluster.use_threshold_sigs ? "threshold-sigs " : "",
-              opt.cluster.disable_happy_path ? "unhappy-vc" : "");
+              opt.cluster.consensus.pacemaker.rotate_on_timer ? "rotating " : "",
+              opt.cluster.consensus.use_threshold_sigs ? "threshold-sigs " : "",
+              opt.cluster.consensus.disable_happy_path ? "unhappy-vc" : "");
   std::printf("  throughput:  %.2f ktx/s (window %.1fs-%.1fs)\n",
               cluster.client_throughput() / 1000.0, start.as_seconds_f(),
               end.as_seconds_f());
