@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/ids.h"
+#include "consensus/persistent_state.h"
 #include "obs/trace.h"
 #include "types/messages.h"
 
@@ -46,6 +47,13 @@ class ProtocolEnv {
   /// Consensus progress was made in the current view (a block committed);
   /// the pacemaker resets its timeout backoff.
   virtual void progressed() = 0;
+
+  /// Write-ahead-voting hook: the protocol's durable state changed and
+  /// must be flushed to stable storage before any message sent later in
+  /// this handler leaves the host. The simulation runtime writes it
+  /// through the KVStore WAL and charges the storage cost model; unit
+  /// test envs may record or ignore it.
+  virtual void persist_state(const PersistentState& state) { (void)state; }
 
   // -- cost accounting hooks (no-ops outside the simulation) --------------
   virtual void charge_signs(std::uint32_t count) { (void)count; }

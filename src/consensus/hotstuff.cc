@@ -39,6 +39,25 @@ void HotStuffReplica::start() {
   }
 }
 
+PersistentState HotStuffReplica::persistent_state() const {
+  PersistentState ps = base_persistent_state(PersistedProtocol::kHotStuff);
+  // HotStuff's voted watermark is a (view, height) pair, not a block ref;
+  // store it in the ref's ordering fields with a zero hash.
+  ps.last_voted.view = lb_view_;
+  ps.last_voted.height = lb_height_;
+  ps.locked_qc = locked_qc_;
+  ps.high_qc = Justify{prepare_qc_high_, {}};
+  return ps;
+}
+
+void HotStuffReplica::restore(const PersistentState& ps) {
+  lb_view_ = ps.last_voted.view;
+  lb_height_ = ps.last_voted.height;
+  locked_qc_ = ps.locked_qc;
+  if (ps.high_qc.qc) prepare_qc_high_ = *ps.high_qc.qc;
+  ReplicaBase::restore(ps);
+}
+
 Hash256 HotStuffReplica::digest_for(QcType type, const Hash256& h,
                                     ViewNumber bview, Height height,
                                     ViewNumber pview) const {
@@ -51,9 +70,29 @@ Hash256 HotStuffReplica::digest_for(QcType type, const Hash256& h,
 // ---------------------------------------------------------------------------
 
 void HotStuffReplica::maybe_propose() {
+  if (recovering() || propose_held()) return;
   if (cview_ == 0 || !is_leader() || !propose_ready_) return;
   if (pool_.empty() && !config_.allow_empty_blocks) return;
   propose(false);
+}
+
+void HotStuffReplica::adopt_recovery_tip(const Block& tip) {
+  // Re-anchor an amnesiac on the snapshot tip: its justify certifies the
+  // tip's (committed) parent, so after verification it is the freshest QC
+  // a replica with no durable state can trust. Raising the voted
+  // watermark to the tip and jumping to its view means we never vote
+  // again at a (view, height) our forgotten pre-wipe self may have signed.
+  if (!tip.justify.qc || !verify_qc(*tip.justify.qc)) return;
+  const QuorumCert& qc = *tip.justify.qc;
+  if (qc_higher(qc, prepare_qc_high_)) prepare_qc_high_ = qc;
+  if (qc_higher(qc, locked_qc_)) {
+    locked_qc_ = qc;
+    locked_qc_.type = QcType::kPreCommit;
+  }
+  lb_view_ = std::max(lb_view_, std::max(tip.view, qc.view));
+  lb_height_ = std::max(lb_height_, tip.height);
+  enter_view(std::max(tip.view, qc.view), /*send_new_view=*/false);
+  persist();
 }
 
 void HotStuffReplica::propose(bool force) {
@@ -154,16 +193,21 @@ void HotStuffReplica::on_proposal(ReplicaId from, types::ProposalMsg msg) {
   vote.block_hash = h;
   vote.parsig = sign_digest(
       digest_for(QcType::kPrepare, h, b.view, b.height, b.parent_view));
+
+  // Write-ahead voting: advance the voted watermark durably before the
+  // vote leaves, or a crash+restart could vote again at this (view,
+  // height) for a conflicting block.
+  lb_view_ = b.view;
+  lb_height_ = b.height;
+  if (qc_higher(qc, prepare_qc_high_)) prepare_qc_high_ = qc;
+  persist();
+
   send_to(from, types::make_envelope(MsgKind::kVote, vote));
   trace({.type = obs::EventType::kVoteSent,
          .phase = static_cast<std::uint8_t>(Phase::kPrepare),
          .height = b.height,
          .block = trace_block_id(h),
          .a = from});
-
-  lb_view_ = b.view;
-  lb_height_ = b.height;
-  if (qc_higher(qc, prepare_qc_high_)) prepare_qc_high_ = qc;
 }
 
 // ---------------------------------------------------------------------------
@@ -206,6 +250,7 @@ void HotStuffReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
   switch (msg.phase) {
     case Phase::kPrepare: {
       if (qc_higher(qc, prepare_qc_high_)) prepare_qc_high_ = qc;
+      persist();  // durable before the PRE-COMMIT notice leaves
       types::QcNoticeMsg notice{Phase::kPreCommit, cview_, std::move(qc), {}};
       broadcast(types::make_envelope(MsgKind::kQcNotice, notice));
       trace({.type = obs::EventType::kPhaseTransition,
@@ -270,6 +315,7 @@ void HotStuffReplica::on_qc_notice(ReplicaId from, types::QcNoticeMsg msg) {
       if (qc.type != QcType::kPrepare || qc.view != cview_) return;
       if (!verify_qc(qc)) return;
       if (qc_higher(qc, prepare_qc_high_)) prepare_qc_high_ = qc;
+      persist();  // write-ahead voting: durable before the vote leaves
       types::VoteMsg vote;
       vote.phase = Phase::kPreCommit;
       vote.view = cview_;
@@ -289,6 +335,7 @@ void HotStuffReplica::on_qc_notice(ReplicaId from, types::QcNoticeMsg msg) {
       if (qc.type != QcType::kPreCommit || qc.view != cview_) return;
       if (!verify_qc(qc)) return;
       if (qc_higher(qc, locked_qc_)) locked_qc_ = qc;  // become locked
+      persist();  // write-ahead voting: the lock is durable before the vote
       types::VoteMsg vote;
       vote.phase = Phase::kCommit;
       vote.view = cview_;
@@ -319,10 +366,8 @@ void HotStuffReplica::on_qc_notice(ReplicaId from, types::QcNoticeMsg msg) {
 // View change (NEW-VIEW)
 // ---------------------------------------------------------------------------
 
-void HotStuffReplica::on_view_timeout() {
-  if (cview_ == 0) return;
-  trace({.type = obs::EventType::kTimeoutFired});
-  enter_view(cview_ + 1, /*send_new_view=*/true);
+void HotStuffReplica::advance_to_view(ViewNumber v) {
+  enter_view(v, /*send_new_view=*/true);
 }
 
 void HotStuffReplica::enter_view(ViewNumber v, bool send_new_view) {
@@ -333,6 +378,9 @@ void HotStuffReplica::enter_view(ViewNumber v, bool send_new_view) {
   while (!new_views_.empty() && new_views_.begin()->first < v) {
     new_views_.erase(new_views_.begin());
   }
+  // The entered view is durable: a restart must never rewind cview_ and
+  // re-vote in a view it already left.
+  persist();
   env_.entered_view(v);
 
   if (send_new_view && nv_sent_.insert(v).second) {
@@ -392,6 +440,7 @@ void HotStuffReplica::leader_check_new_view_quorum() {
       prepare_qc_high_ = *m.high_qc.qc;
     }
   }
+  persist();  // durable before the NEW-VIEW re-proposal leaves
   // HotStuff's NEW-VIEW resolution always re-proposes from highQC —
   // there is no happy/unhappy split, so the `a` operand is always 0.
   trace({.type = obs::EventType::kViewChangeEnd,

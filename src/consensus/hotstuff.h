@@ -19,7 +19,9 @@ class HotStuffReplica : public ReplicaBase {
                   ProtocolEnv& env);
 
   void start() override;
-  void on_view_timeout() override;
+  void advance_to_view(ViewNumber v) override;
+  PersistentState persistent_state() const override;
+  void restore(const PersistentState& ps) override;
 
   const QuorumCert& locked_qc() const { return locked_qc_; }
   const QuorumCert& prepare_qc_high() const { return prepare_qc_high_; }
@@ -31,6 +33,7 @@ class HotStuffReplica : public ReplicaBase {
   void on_qc_notice(ReplicaId from, types::QcNoticeMsg msg) override;
   void on_view_change(ReplicaId from, types::ViewChangeMsg msg) override;
   void maybe_propose() override;
+  void adopt_recovery_tip(const Block& tip) override;
 
  private:
   void propose(bool force);

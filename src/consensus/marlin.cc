@@ -35,6 +35,21 @@ void MarlinReplica::start() {
   }
 }
 
+PersistentState MarlinReplica::persistent_state() const {
+  PersistentState ps = base_persistent_state(PersistedProtocol::kMarlin);
+  ps.last_voted = lb_;
+  ps.locked_qc = locked_qc_;
+  ps.high_qc = high_qc_;
+  return ps;
+}
+
+void MarlinReplica::restore(const PersistentState& ps) {
+  lb_ = ps.last_voted;
+  locked_qc_ = ps.locked_qc;
+  high_qc_ = ps.high_qc;
+  ReplicaBase::restore(ps);
+}
+
 // ---------------------------------------------------------------------------
 // Digest / QC helpers
 // ---------------------------------------------------------------------------
@@ -100,9 +115,29 @@ bool MarlinReplica::block_ref_rank_greater(ViewNumber bview, Height bheight,
 // ---------------------------------------------------------------------------
 
 void MarlinReplica::maybe_propose() {
+  if (recovering() || propose_held()) return;
   if (cview_ == 0 || !is_leader() || !propose_ready_) return;
   if (pool_.empty() && !config_.allow_empty_blocks) return;
   propose_normal(false);
+}
+
+void MarlinReplica::adopt_recovery_tip(const Block& tip) {
+  // Re-anchor an amnesiac on the snapshot tip: its justify certifies the
+  // tip's (committed) parent, so after verification it is the freshest QC
+  // a replica with no durable state can trust. Raising lb_ to the tip and
+  // jumping to its view means we never vote again at a (view, height) our
+  // forgotten pre-wipe self may have signed.
+  if (!tip.justify.qc || !verify_qc(*tip.justify.qc)) return;
+  const QuorumCert& qc = *tip.justify.qc;
+  update_high_qc(tip.justify);
+  update_locked(qc);
+  if (tip.view > lb_.view ||
+      (tip.view == lb_.view && tip.height > lb_.height)) {
+    lb_ = BlockRef{tip.hash(), tip.view, tip.height, tip.parent_view,
+                   tip.virtual_block};
+  }
+  enter_view(std::max(tip.view, qc.view), /*send_vc=*/false);
+  persist();
 }
 
 void MarlinReplica::propose_normal(bool force) {
@@ -213,16 +248,21 @@ void MarlinReplica::handle_prepare_proposal(ReplicaId from,
   vote.view = cview_;
   vote.block_hash = h;
   vote.parsig = sign_digest(digest);
+
+  // Write-ahead voting: the voted/locked state must be durable before the
+  // vote leaves this replica, or a crash+restart could vote again at the
+  // same (view, height) for a different block.
+  lb_ = BlockRef{h, b.view, b.height, b.parent_view, false};
+  update_high_qc(j);
+  update_locked(qc);
+  persist();
+
   send_to(from, types::make_envelope(MsgKind::kVote, vote));
   trace({.type = obs::EventType::kVoteSent,
          .phase = static_cast<std::uint8_t>(Phase::kPrepare),
          .height = b.height,
          .block = trace_block_id(h),
          .a = from});
-
-  lb_ = BlockRef{h, b.view, b.height, b.parent_view, false};
-  update_high_qc(j);
-  update_locked(qc);
 }
 
 void MarlinReplica::on_qc_notice(ReplicaId from, types::QcNoticeMsg msg) {
@@ -263,15 +303,19 @@ void MarlinReplica::handle_commit_notice(ReplicaId from,
   vote.view = cview_;
   vote.block_hash = qc.block_hash;
   vote.parsig = sign_digest(digest);
+
+  // Write-ahead voting: lock on the prepareQC durably before the COMMIT
+  // vote leaves.
+  update_high_qc(Justify{qc, {}});
+  update_locked(qc);
+  persist();
+
   send_to(from, types::make_envelope(MsgKind::kVote, vote));
   trace({.type = obs::EventType::kVoteSent,
          .phase = static_cast<std::uint8_t>(Phase::kCommit),
          .height = qc.height,
          .block = trace_block_id(qc.block_hash),
          .a = from});
-
-  update_high_qc(Justify{qc, {}});
-  update_locked(qc);
 }
 
 void MarlinReplica::handle_decide_notice(ReplicaId from,
@@ -280,6 +324,9 @@ void MarlinReplica::handle_decide_notice(ReplicaId from,
   if (qc.type != QcType::kCommit) return;
   if (!verify_qc(qc)) return;
   update_locked(qc);
+  // commit_to persists on delivery, but persist the raised lock even when
+  // the commit stalls on a fetch — a restart must not rewind the lock.
+  persist();
   commit_to(qc.block_hash, from);
 }
 
@@ -317,16 +364,19 @@ void MarlinReplica::handle_prepare_notice(ReplicaId from,
   vote.view = cview_;
   vote.block_hash = qc.block_hash;
   vote.parsig = sign_digest(digest);
+
+  // Write-ahead voting: record the voted block durably before the vote.
+  lb_ = BlockRef{qc.block_hash, qc.block_view, qc.height, qc.pview,
+                 qc.virtual_block};
+  update_high_qc(Justify{qc, msg.aux});
+  persist();
+
   send_to(from, types::make_envelope(MsgKind::kVote, vote));
   trace({.type = obs::EventType::kVoteSent,
          .phase = static_cast<std::uint8_t>(Phase::kPrepare),
          .height = qc.height,
          .block = trace_block_id(qc.block_hash),
          .a = from});
-
-  lb_ = BlockRef{qc.block_hash, qc.block_view, qc.height, qc.pview,
-                 qc.virtual_block};
-  update_high_qc(Justify{qc, msg.aux});
 }
 
 // ---------------------------------------------------------------------------
@@ -381,6 +431,7 @@ void MarlinReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
       finalize_qc(qc);
       update_high_qc(Justify{qc, {}});
       update_locked(qc);
+      persist();  // durable before the COMMIT notice leaves
       types::QcNoticeMsg notice{Phase::kCommit, cview_, qc, {}};
       broadcast(types::make_envelope(MsgKind::kQcNotice, notice));
       trace({.type = obs::EventType::kPhaseTransition,
@@ -424,10 +475,8 @@ void MarlinReplica::on_vote(ReplicaId from, types::VoteMsg msg) {
 // View change
 // ---------------------------------------------------------------------------
 
-void MarlinReplica::on_view_timeout() {
-  if (cview_ == 0) return;
-  trace({.type = obs::EventType::kTimeoutFired});
-  enter_view(cview_ + 1, /*send_vc=*/true);
+void MarlinReplica::advance_to_view(ViewNumber v) {
+  enter_view(v, /*send_vc=*/true);
 }
 
 void MarlinReplica::enter_view(ViewNumber v, bool send_vc) {
@@ -437,6 +486,9 @@ void MarlinReplica::enter_view(ViewNumber v, bool send_vc) {
   votes_.clear();
   // Garbage-collect stale view-change state.
   while (!vc_.empty() && vc_.begin()->first < v) vc_.erase(vc_.begin());
+  // The entered view is durable state: a restart must never rewind cview_
+  // and accept (or vote on) traffic from a view it already left.
+  persist();
   env_.entered_view(v);
 
   if (send_vc && vc_sent_.insert(v).second) {
@@ -545,6 +597,7 @@ void MarlinReplica::leader_act_on_snapshot(VcState& st) {
              .a = 1});
       update_high_qc(Justify{qc, {}});
       update_locked(qc);
+      persist();  // durable before the happy-path proposal leaves
       propose_ready_ = true;
       propose_normal(/*force=*/true);
       return;
@@ -772,6 +825,7 @@ void MarlinReplica::leader_check_preprepare_progress() {
     store_.set_virtual_parent(chosen_hash, aux->block_hash);
   }
   update_high_qc(Justify{qc, aux});
+  persist();  // durable before the Case-N2 re-announce leaves
 
   types::QcNoticeMsg notice{Phase::kPrepare, cview_, std::move(qc), aux};
   broadcast(types::make_envelope(MsgKind::kQcNotice, notice));

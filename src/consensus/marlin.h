@@ -36,7 +36,9 @@ class MarlinReplica : public ReplicaBase {
                 ProtocolEnv& env);
 
   void start() override;
-  void on_view_timeout() override;
+  void advance_to_view(ViewNumber v) override;
+  PersistentState persistent_state() const override;
+  void restore(const PersistentState& ps) override;
 
   // -- introspection (tests, metrology) ------------------------------------
   const QuorumCert& locked_qc() const { return locked_qc_; }
@@ -52,6 +54,7 @@ class MarlinReplica : public ReplicaBase {
   void on_qc_notice(ReplicaId from, types::QcNoticeMsg msg) override;
   void on_view_change(ReplicaId from, types::ViewChangeMsg msg) override;
   void maybe_propose() override;
+  void adopt_recovery_tip(const Block& tip) override;
 
  private:
   struct VcState {

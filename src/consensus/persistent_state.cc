@@ -1,0 +1,40 @@
+#include "consensus/persistent_state.h"
+
+namespace marlin::consensus {
+
+void PersistentState::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u64(view);
+  w.u64(committed_height);
+  w.raw(committed_hash.view());
+  last_voted.encode(w);
+  locked_qc.encode(w);
+  high_qc.encode(w);
+}
+
+Result<PersistentState> PersistentState::decode(Reader& r) {
+  PersistentState ps;
+  std::uint8_t protocol = 0;
+  if (Status s = r.u8(protocol); !s.is_ok()) return s;
+  if (protocol > static_cast<std::uint8_t>(PersistedProtocol::kHotStuff)) {
+    return error(ErrorCode::kCorruption, "bad persisted protocol tag");
+  }
+  ps.protocol = static_cast<PersistedProtocol>(protocol);
+  if (Status s = r.u64(ps.view); !s.is_ok()) return s;
+  if (Status s = r.u64(ps.committed_height); !s.is_ok()) return s;
+  Bytes hash;
+  if (Status s = r.raw(crypto::kHashSize, hash); !s.is_ok()) return s;
+  ps.committed_hash = Hash256::from_bytes(hash);
+  Result<types::BlockRef> lb = types::BlockRef::decode(r);
+  if (!lb.is_ok()) return lb.status();
+  ps.last_voted = std::move(lb).take();
+  Result<types::QuorumCert> locked = types::QuorumCert::decode(r);
+  if (!locked.is_ok()) return locked.status();
+  ps.locked_qc = std::move(locked).take();
+  Result<types::Justify> high = types::Justify::decode(r);
+  if (!high.is_ok()) return high.status();
+  ps.high_qc = std::move(high).take();
+  return ps;
+}
+
+}  // namespace marlin::consensus

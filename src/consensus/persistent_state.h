@@ -1,0 +1,52 @@
+// Serializable snapshot of the consensus state a replica MUST NOT lose
+// across a crash. HotStuff's safety argument (and Marlin's two-phase
+// variant of it) requires that a replica never vote twice in a view and
+// never forget its lock; both properties live in this struct, which the
+// protocols hand to ProtocolEnv::persist_state() *before* the vote or
+// view-change message that depends on it is sent (write-ahead voting).
+//
+// One struct serves both protocols. HotStuff has no BlockRef lb, so it
+// maps its (lb_view, lb_height) monotonic vote watermark into
+// last_voted.view/.height and leaves the hash zero; Marlin stores its
+// full lb BlockRef plus the (qc, vc) Justify pair as high QC.
+#pragma once
+
+#include "common/ids.h"
+#include "common/serialize.h"
+#include "types/block_store.h"
+#include "types/quorum_cert.h"
+
+namespace marlin::consensus {
+
+using types::Hash256;
+
+/// Which protocol wrote the state. Restoring under a different protocol
+/// is a configuration error, not a recovery path.
+enum class PersistedProtocol : std::uint8_t {
+  kMarlin = 0,
+  kHotStuff = 1,
+};
+
+struct PersistentState {
+  PersistedProtocol protocol = PersistedProtocol::kMarlin;
+  /// Highest view this replica has entered (votes at lower views are
+  /// refused after restore).
+  ViewNumber view = 0;
+  /// Commit frontier at persist time. Restore fast-forwards the commit
+  /// index here; the block bodies themselves are re-fetched if needed.
+  Height committed_height = 0;
+  Hash256 committed_hash;
+  /// Highest block voted for (Marlin: full lb ref; HotStuff: view/height
+  /// watermark with a zero hash).
+  types::BlockRef last_voted;
+  /// Lock (Marlin: commit lock; HotStuff: precommitQC lock).
+  types::QuorumCert locked_qc;
+  /// Highest known QC used to justify proposals/new-views.
+  types::Justify high_qc;
+
+  void encode(Writer& w) const;
+  static Result<PersistentState> decode(Reader& r);
+  bool operator==(const PersistentState&) const = default;
+};
+
+}  // namespace marlin::consensus

@@ -1,5 +1,9 @@
 #include "consensus/replica_base.h"
 
+#include <algorithm>
+#include <bit>
+#include <functional>
+
 namespace marlin::consensus {
 
 std::optional<crypto::SigGroup> VoteCollector::add(
@@ -30,14 +34,48 @@ ReplicaBase::ReplicaBase(ReplicaConfig config,
       signer_(suite.signer(config.id)),
       verifier_(suite.verifier()) {
   committed_hash_ = store_.genesis_hash();
+  peer_timeout_view_.assign(config_.quorum.n, 0);
 }
 
 void ReplicaBase::start() {
-  cview_ = 1;
-  env_.entered_view(1);
+  // Fresh replicas begin at view 1; a restored replica re-enters the view
+  // it had durably reached (never below 1, never rewinding).
+  cview_ = std::max<ViewNumber>(cview_, 1);
+  env_.entered_view(cview_);
+}
+
+PersistentState ReplicaBase::base_persistent_state(PersistedProtocol p) const {
+  PersistentState ps;
+  ps.protocol = p;
+  ps.view = cview_;
+  ps.committed_height = committed_height_;
+  ps.committed_hash = committed_hash_;
+  return ps;
+}
+
+void ReplicaBase::restore(const PersistentState& ps) {
+  cview_ = ps.view;
+  committed_hash_ = ps.committed_hash;
+  committed_height_ = ps.committed_height;
 }
 
 void ReplicaBase::handle_message(ReplicaId from, const Envelope& envelope) {
+  // An amnesia-recovering replica must not act on protocol traffic: it
+  // cannot know what it voted before the disk was lost, so voting (or
+  // proposing) again could equivocate. Client ops still pool, and the
+  // fetch/snapshot plane stays open — that's how recovery completes.
+  if (recovering_) {
+    switch (envelope.kind) {
+      case MsgKind::kProposal:
+      case MsgKind::kVote:
+      case MsgKind::kQcNotice:
+      case MsgKind::kViewChange:
+      case MsgKind::kTimeoutNotice:
+        return;
+      default:
+        break;
+    }
+  }
   switch (envelope.kind) {
     case MsgKind::kClientRequest: {
       auto msg = types::open_envelope<types::ClientRequestMsg>(envelope);
@@ -79,9 +117,58 @@ void ReplicaBase::handle_message(ReplicaId from, const Envelope& envelope) {
       if (msg.is_ok()) on_fetch_response(from, std::move(msg).take());
       return;
     }
+    case MsgKind::kSnapshotRequest: {
+      auto msg = types::open_envelope<types::SnapshotRequestMsg>(envelope);
+      if (msg.is_ok()) on_snapshot_request(from, msg.value());
+      return;
+    }
+    case MsgKind::kSnapshotResponse: {
+      auto msg = types::open_envelope<types::SnapshotResponseMsg>(envelope);
+      if (msg.is_ok()) on_snapshot_response(from, std::move(msg).take());
+      return;
+    }
+    case MsgKind::kTimeoutNotice: {
+      auto msg = types::open_envelope<types::TimeoutNoticeMsg>(envelope);
+      if (msg.is_ok()) on_timeout_notice(from, msg.value());
+      return;
+    }
     case MsgKind::kClientReply:
       return;  // replicas never receive replies
   }
+}
+
+void ReplicaBase::on_view_timeout() {
+  if (cview_ == 0) return;
+  trace({.type = obs::EventType::kTimeoutFired});
+  // Quorum-gated advance: announce the timeout (rebroadcast on every
+  // subsequent fire, so lost notices heal) and advance only once f+1
+  // replicas are known to have timed out of this view. The local entry is
+  // set directly rather than waiting for the loopback delivery.
+  peer_timeout_view_[config_.id] =
+      std::max(peer_timeout_view_[config_.id], cview_);
+  broadcast(types::make_envelope(MsgKind::kTimeoutNotice,
+                                 types::TimeoutNoticeMsg{cview_}));
+  check_timeout_quorum();
+}
+
+void ReplicaBase::on_timeout_notice(ReplicaId from,
+                                    const types::TimeoutNoticeMsg& msg) {
+  if (from >= config_.quorum.n) return;
+  if (msg.view <= peer_timeout_view_[from]) return;
+  peer_timeout_view_[from] = msg.view;
+  check_timeout_quorum();
+}
+
+void ReplicaBase::check_timeout_quorum() {
+  if (cview_ == 0) return;
+  // v* = highest view that f+1 distinct replicas have timed out of (the
+  // (f+1)-th largest entry). Advancing to v*+1 is justified: at least one
+  // correct replica timed out at or above v*, so waiting in any view ≤ v*
+  // cannot make progress. Jumps over multiple dead views in one step.
+  std::vector<ViewNumber> sorted = peer_timeout_view_;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const ViewNumber vstar = sorted[config_.quorum.f];
+  if (vstar >= cview_) advance_to_view(vstar + 1);
 }
 
 void ReplicaBase::submit(types::Operation op) {
@@ -194,20 +281,27 @@ void ReplicaBase::commit_to(const Hash256& target, ReplicaId provider) {
       if (parent.is_zero() || parent == committed_hash_) break;
       cursor = parent;
     }
-    pending_commit_ = PendingCommit{target, provider};
+    // Keep the FIRST unresolved target as the catch-up anchor. Re-pointing
+    // at every newer DECIDE moves the goalpost: a laggard whose
+    // fetch/snapshot round-trip matches the cluster's commit cadence is
+    // then perpetually one body short of the latest target and never
+    // completes a path (livelock). The anchor stands still, resolves, and
+    // the next DECIDE supplies a fresh (now nearby) target.
+    if (!pending_commit_) pending_commit_ = PendingCommit{target, provider};
+    const Hash256 anchor = pending_commit_->target;
 
     // Pick what to request next so successive batches converge: walk down
-    // from the target — or, when the target's own body is still missing,
+    // from the anchor — or, when the anchor's own body is still missing,
     // from the oldest block the previous batch delivered — to the deepest
     // known block, and request its (missing) parent's range. When the
     // bottom of the gap is already closed, the remainder is at the top:
-    // request the target itself.
-    Hash256 walk_start = target;
-    if (!store_.get(target) && !last_fetched_.is_zero() &&
+    // request the anchor itself.
+    Hash256 walk_start = anchor;
+    if (!store_.get(anchor) && !last_fetched_.is_zero() &&
         store_.get(last_fetched_)) {
       walk_start = last_fetched_;
     }
-    Hash256 request_hash = target;
+    Hash256 request_hash = anchor;
     if (store_.get(walk_start)) {
       Hash256 down = walk_start;
       while (const Block* b = store_.get(down)) {
@@ -225,9 +319,36 @@ void ReplicaBase::commit_to(const Hash256& target, ReplicaId provider) {
 
     if (in_fetch_retry_) return;           // a batch is still streaming in
     if (fetch_inflight_ && ++fetch_stall_ < 8) return;  // one at a time
+    // Re-issuing an unanswered request rotates the provider: the provider
+    // hint comes from whoever sent the DECIDE, which via loopback can be
+    // this very replica (a laggard leader), and may also be crashed.
+    if (fetch_inflight_) ++fetch_retry_round_;
     fetch_inflight_ = true;
     fetch_stall_ = 0;
-    send_to(provider,
+    ReplicaId source = static_cast<ReplicaId>(
+        (provider + fetch_retry_round_) % config_.quorum.n);
+    if (source == config_.id) {
+      source = static_cast<ReplicaId>((source + 1) % config_.quorum.n);
+    }
+    // Far behind (gap wider than one fetch batch): request a snapshot —
+    // manifest + chain suffix in ONE exchange — instead of walking
+    // O(gap / kFetchBatchLimit) fetch rounds. When the anchor's body is
+    // missing the gap is unknown here; the provider upgrades the fetch to
+    // a snapshot on its side (see on_fetch_request).
+    const Block* anchor_tip = store_.get(anchor);
+    if (anchor_tip &&
+        anchor_tip->height >
+            committed_height_ + types::FetchRequestMsg::kFetchBatchLimit) {
+      trace({.type = obs::EventType::kStateTransfer,
+             .height = committed_height_,
+             .block = trace_block_id(anchor),
+             .a = 0});
+      send_to(source,
+              types::make_envelope(MsgKind::kSnapshotRequest,
+                                   types::SnapshotRequestMsg{committed_height_}));
+      return;
+    }
+    send_to(source,
             types::make_envelope(
                 MsgKind::kFetchRequest,
                 types::FetchRequestMsg{request_hash, committed_height_}));
@@ -235,6 +356,7 @@ void ReplicaBase::commit_to(const Hash256& target, ReplicaId provider) {
   }
   fetch_inflight_ = false;  // progress: the next gap issues a fresh fetch
   fetch_stall_ = 0;
+  fetch_retry_round_ = 0;
   last_fetched_ = Hash256{};
 
   for (const Hash256& h : path) {
@@ -268,12 +390,23 @@ void ReplicaBase::commit_to(const Hash256& target, ReplicaId provider) {
       recent_committed_.pop_front();
     }
   }
+  // The commit frontier advanced: make it durable so a restart resumes
+  // from here instead of re-fetching (and so restarted replicas never
+  // re-deliver).
+  persist();
   env_.progressed();
   maybe_propose();
 }
 
 void ReplicaBase::on_fetch_request(ReplicaId from,
                                    const types::FetchRequestMsg& msg) {
+  // A requester more than one batch behind gets a snapshot instead: its
+  // own request carried `since`, so one response closes the whole gap.
+  if (committed_height_ >
+      msg.since + types::FetchRequestMsg::kFetchBatchLimit) {
+    serve_snapshot(from, msg.since);
+    return;
+  }
   // Serve the chain from the requested block down to `since`, newest
   // first, capped per request. Stop at any released body (its content no
   // longer matches its hash) — the requester can re-request as it closes
@@ -296,7 +429,23 @@ void ReplicaBase::on_fetch_response(ReplicaId from,
                                     types::FetchResponseMsg msg) {
   (void)from;
   env_.charge_hash_bytes(types::ops_wire_size(msg.block.ops) + 128);
-  last_fetched_ = msg.block.hash();
+  const Hash256 fetched = msg.block.hash();
+  // Batches stream the chain newest first, so the previously delivered
+  // body is this block's child. A virtual child's parent link lives outside
+  // its body (the message-borne vc QC; see BlockStore::set_virtual_parent)
+  // and does not survive transfer — rebind it here, checked against the
+  // child's own justify, whose qc certifies the grandparent and therefore
+  // must match this block's parent_link. Without the rebind, parent_of()
+  // on the transferred virtual block stays ⊥ and catch-up wedges forever.
+  if (!last_fetched_.is_zero() && !msg.block.virtual_block) {
+    const Block* child = store_.get(last_fetched_);
+    if (child && child->virtual_block && child->height == msg.block.height + 1 &&
+        store_.parent_of(last_fetched_).is_zero() && child->justify.qc &&
+        child->justify.qc->block_hash == msg.block.parent_link) {
+      store_.set_virtual_parent(last_fetched_, fetched);
+    }
+  }
+  last_fetched_ = fetched;
   store_.insert(std::move(msg.block));
   // Retry after each body, but suppress new fetch requests while the rest
   // of the batch is still streaming in (in_fetch_retry_); the last body of
@@ -305,6 +454,159 @@ void ReplicaBase::on_fetch_response(ReplicaId from,
   in_fetch_retry_ = true;
   retry_pending_commit();
   in_fetch_retry_ = false;
+}
+
+void ReplicaBase::on_snapshot_request(ReplicaId from,
+                                      const types::SnapshotRequestMsg& msg) {
+  // Recovery requests are broadcast (loopback included) — never answer
+  // our own.
+  if (from == config_.id) return;
+  serve_snapshot(from, msg.since);
+}
+
+void ReplicaBase::serve_snapshot(ReplicaId to, Height since) {
+  types::SnapshotResponseMsg resp;
+  resp.height = committed_height_;
+  resp.head = committed_hash_;
+  Hash256 cursor = committed_hash_;
+  while (resp.suffix.size() < types::SnapshotResponseMsg::kSuffixLimit) {
+    const Block* b = store_.get(cursor);
+    if (!b || store_.ops_released(cursor)) break;
+    if (b->is_genesis() || b->height <= since) break;
+    resp.suffix.push_back(*b);
+    cursor = store_.parent_of(cursor);
+    if (cursor.is_zero()) break;
+  }
+  // An empty suffix is still sent: "nothing newer than `since`" is the
+  // confirmation an amnesia-recovering requester counts toward its f+1
+  // you-are-current quorum. Only actual transfers are traced as served.
+  if (!resp.suffix.empty()) {
+    trace({.type = obs::EventType::kStateTransfer,
+           .height = committed_height_,
+           .block = trace_block_id(committed_hash_),
+           .a = 1,
+           .b = resp.suffix.size()});
+  }
+  send_to(to, types::make_envelope(MsgKind::kSnapshotResponse, resp));
+}
+
+void ReplicaBase::on_snapshot_response(ReplicaId from,
+                                       types::SnapshotResponseMsg msg) {
+  if (msg.suffix.empty()) {
+    // "Nothing newer than your frontier." While recovering, f+1 such
+    // confirmations (at least one from a correct replica) mean the lost
+    // disk held nothing the cluster moved past — safe to rejoin.
+    if (recovering_ && from != config_.id && msg.height <= committed_height_) {
+      recovery_ack_mask_ |= 1u << (from % 32u);
+      if (static_cast<std::uint32_t>(std::popcount(recovery_ack_mask_)) >=
+          config_.quorum.reply_quorum()) {
+        finish_recovery();
+      }
+    }
+    return;
+  }
+  std::size_t body_bytes = 0;
+  for (const Block& b : msg.suffix) {
+    body_bytes += types::ops_wire_size(b.ops) + 128;
+  }
+  env_.charge_hash_bytes(body_bytes);
+  // Suffix streams newest first; insert oldest first so parent links
+  // resolve as we go. A virtual block's parent link lives outside its body
+  // (the message-borne vc QC; see BlockStore::set_virtual_parent) and does
+  // not survive transfer — rebind it from stream order: in a contiguous
+  // suffix the next-older block is the parent. The binding is checked
+  // against the virtual block's own justify, whose qc certifies the
+  // grandparent and therefore must match the parent's parent_link.
+  const Hash256 oldest_hash = msg.suffix.back().hash();
+  const Height oldest_height = msg.suffix.back().height;
+  Hash256 below =
+      (oldest_height == committed_height_ + 1) ? committed_hash_ : Hash256{};
+  for (auto it = msg.suffix.rbegin(); it != msg.suffix.rend(); ++it) {
+    const Hash256 h = it->hash();
+    const bool rebind = it->virtual_block && store_.parent_of(h).is_zero();
+    const Hash256 grand =
+        it->justify.qc ? it->justify.qc->block_hash : Hash256{};
+    store_.insert(std::move(*it));
+    if (rebind && !below.is_zero()) {
+      const Block* parent = store_.get(below);
+      if (parent && !parent->virtual_block && parent->parent_link == grand) {
+        store_.set_virtual_parent(h, below);
+      }
+    }
+    below = h;
+  }
+  fetch_inflight_ = false;
+  fetch_stall_ = 0;
+  fetch_retry_round_ = 0;
+  last_fetched_ = Hash256{};
+  // If the suffix does not link down to our committed head (the provider
+  // released the bodies below it), adopt the manifest: fast-forward the
+  // frontier to the suffix base, skipping the unfetchable region. The
+  // skipped blocks are never delivered locally; the walkable prefix of
+  // this replica's chain now starts at the snapshot base.
+  if (oldest_height > committed_height_ + 1 &&
+      !store_.extends(msg.head, committed_hash_)) {
+    const Hash256 base_parent = store_.parent_of(oldest_hash);
+    if (!base_parent.is_zero()) {
+      committed_hash_ = base_parent;
+      committed_height_ = oldest_height - 1;
+      // The catch-up anchor may now sit below the skipped region; drop it
+      // rather than chase an uncommittable target.
+      if (pending_commit_) {
+        const Block* a = store_.get(pending_commit_->target);
+        if (!a || a->height <= committed_height_) pending_commit_.reset();
+      }
+    }
+  }
+  trace({.type = obs::EventType::kStateTransfer,
+         .height = msg.height,
+         .block = trace_block_id(msg.head),
+         .a = 2,
+         .b = msg.suffix.size()});
+  // A recovering replica re-anchors on the snapshot tip: the protocol
+  // adopts its justify QC (verified there — a lying manifest cannot plant
+  // state) and recovery completes.
+  if (recovering_) {
+    if (const Block* tip = store_.get(msg.head)) adopt_recovery_tip(*tip);
+    finish_recovery();
+  }
+  // Commit toward the QC-verified pending target (NOT the provider's
+  // claimed head — a lying manifest must not drive commits).
+  retry_pending_commit();
+}
+
+void ReplicaBase::begin_recovery() {
+  recovering_ = true;
+  recovery_ack_mask_ = 0;
+  send_recovery_request();
+}
+
+void ReplicaBase::recovery_tick() {
+  if (recovering_) send_recovery_request();
+}
+
+void ReplicaBase::send_recovery_request() {
+  trace({.type = obs::EventType::kStateTransfer,
+         .height = committed_height_,
+         .a = 0});
+  broadcast(types::make_envelope(
+      MsgKind::kSnapshotRequest, types::SnapshotRequestMsg{committed_height_}));
+}
+
+void ReplicaBase::finish_recovery() {
+  if (!recovering_) return;
+  recovering_ = false;
+  recovery_ack_mask_ = 0;
+  // The replica may have led (and proposed in) this very view before the
+  // wipe; proposing in it again would equivocate. Any view advance clears
+  // the hold.
+  recovery_hold_view_ = cview_;
+  trace({.type = obs::EventType::kStateTransfer,
+         .height = committed_height_,
+         .block = trace_block_id(committed_hash_),
+         .a = 3});
+  persist();
+  maybe_propose();
 }
 
 std::uint64_t ReplicaBase::trace_block_id(const Hash256& h) {

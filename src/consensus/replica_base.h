@@ -17,6 +17,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/log.h"
 #include "consensus/env.h"
@@ -93,8 +94,20 @@ class ReplicaBase {
               ProtocolEnv& env, std::string domain);
   virtual ~ReplicaBase() = default;
 
-  /// Enters view 1 and, if leader, becomes ready to propose.
+  /// Enters view 1 (or the restored view after restore()) and, if leader,
+  /// becomes ready to propose.
   virtual void start();
+
+  /// Snapshot of the durable consensus state (write-ahead-voting unit).
+  /// Protocol subclasses fill their own fields on top of
+  /// base_persistent_state().
+  virtual PersistentState persistent_state() const = 0;
+
+  /// Rebuilds this replica from a state previously captured by
+  /// persistent_state() — the crash-recovery path. Call before start().
+  /// Subclasses restore their protocol fields and then call this base,
+  /// which restores the view and the commit frontier.
+  virtual void restore(const PersistentState& ps);
 
   /// Entry point for every network payload addressed to this replica.
   void handle_message(ReplicaId from, const Envelope& envelope);
@@ -103,8 +116,26 @@ class ReplicaBase {
   /// too, but tests may inject directly).
   void submit(types::Operation op);
 
-  /// The pacemaker's view timer fired.
-  virtual void on_view_timeout() = 0;
+  /// The pacemaker's view timer fired. Quorum-gated advance (after
+  /// Jolteon-style pacemakers): the fire broadcasts a TimeoutNotice for the
+  /// current view but the view only advances once f+1 distinct replicas are
+  /// known to have timed out of it (see on_timeout_notice). A lone fast
+  /// clock therefore keeps waiting — and voting — in its view instead of
+  /// running ahead of the pack, which with exactly a quorum of correct
+  /// replicas alive would otherwise strand the cluster one view apart in
+  /// lockstep forever.
+  void on_view_timeout();
+
+  /// Amnesia-aware rejoin (call after start() on a wipe_disk revival): the
+  /// replica cannot know what it voted before the disk was lost, so until
+  /// the snapshot sync completes it serves fetches but neither votes nor
+  /// proposes. Recovery ends when a peer's snapshot re-anchors the frontier
+  /// or f+1 peers confirm there is nothing newer (see on_snapshot_response).
+  void begin_recovery();
+  bool recovering() const { return recovering_; }
+  /// Retransmits the recovery snapshot request (the runtime calls this from
+  /// the view timer while recovering, instead of churning views).
+  void recovery_tick();
 
   // -- introspection -------------------------------------------------------
   ReplicaId id() const { return config_.id; }
@@ -127,6 +158,24 @@ class ReplicaBase {
   /// Called when new ops arrive or the pipeline frees up; the leader
   /// decides whether to propose.
   virtual void maybe_propose() = 0;
+
+  /// The timeout quorum formed (f+1 replicas timed out at or above
+  /// cview_): enter view `v`, sending the protocol's view-change message
+  /// (Marlin VC / HotStuff NEW-VIEW) to the new leader.
+  virtual void advance_to_view(ViewNumber v) = 0;
+
+  /// Recovery completed with a non-empty snapshot whose newest block is
+  /// `tip`: the protocol adopts tip's justify QC (its high-QC / lock) and
+  /// jumps to the QC's view, so an amnesiac leader never re-proposes from
+  /// genesis inside a view it already led. Default: no adoption.
+  virtual void adopt_recovery_tip(const Block& tip) { (void)tip; }
+
+  /// True while proposing is suppressed in the view recovery completed in:
+  /// the replica may have led this very view before the wipe, and
+  /// re-proposing in it would equivocate. Cleared by any view advance.
+  bool propose_held() const {
+    return recovery_hold_view_ != 0 && cview_ == recovery_hold_view_;
+  }
 
   // -- helpers --------------------------------------------------------------
   ReplicaId leader_of(ViewNumber v) const {
@@ -166,6 +215,15 @@ class ReplicaBase {
   void send_to(ReplicaId to, const Envelope& env) { env_.send(to, env); }
   void broadcast(const Envelope& env) { env_.broadcast(env); }
 
+  /// Common PersistentState fields (view + commit frontier); protocol
+  /// subclasses add their own on top.
+  PersistentState base_persistent_state(PersistedProtocol p) const;
+
+  /// Write-ahead-voting flush: hands the current durable state to the
+  /// environment. Protocols call this after updating voted/locked state
+  /// and BEFORE sending the message that depends on it.
+  void persist() { env_.persist_state(persistent_state()); }
+
   // -- tracing --------------------------------------------------------------
   /// First 8 bytes of a block hash as the trace's compact block id.
   static std::uint64_t trace_block_id(const Hash256& h);
@@ -201,11 +259,27 @@ class ReplicaBase {
   Height committed_height_ = 0;
   std::uint64_t committed_blocks_ = 0;
   bool safety_violated_ = false;
+  /// View in which recovery completed (proposing suppressed there; see
+  /// propose_held()). 0 = no hold.
+  ViewNumber recovery_hold_view_ = 0;
 
  private:
   void on_fetch_request(ReplicaId from, const types::FetchRequestMsg& msg);
   void on_fetch_response(ReplicaId from, types::FetchResponseMsg msg);
+  void on_snapshot_request(ReplicaId from, const types::SnapshotRequestMsg& msg);
+  void on_snapshot_response(ReplicaId from, types::SnapshotResponseMsg msg);
+  /// Sends a manifest + chain-suffix SnapshotResponse covering
+  /// (since, committed_height_] to `to`. An empty suffix is still sent:
+  /// "nothing newer than `since`" is the confirmation an amnesia-recovering
+  /// requester counts toward its f+1 you-are-current quorum.
+  void serve_snapshot(ReplicaId to, Height since);
   void retry_pending_commit();
+  void send_recovery_request();
+  void finish_recovery();
+  void on_timeout_notice(ReplicaId from, const types::TimeoutNoticeMsg& msg);
+  /// Advances when f+1 distinct replicas (self included) have timed out at
+  /// or above cview_ — to one past the highest view with f+1 timeouts.
+  void check_timeout_quorum();
 
   std::set<Hash256> verified_qc_digests_;
   struct PendingCommit {
@@ -215,10 +289,21 @@ class ReplicaBase {
   std::optional<PendingCommit> pending_commit_;
   /// Catch-up fetches are batched (FetchRequestMsg carries a height
   /// range): at most one request outstanding; `fetch_stall_` counts
-  /// retries since it was issued so a dead provider doesn't wedge us.
+  /// retries since it was issued so a dead provider doesn't wedge us, and
+  /// `fetch_retry_round_` rotates the provider on every unanswered
+  /// re-issue (a laggard leader's own loopback DECIDE names itself as
+  /// provider — fetching from self would wedge forever).
   bool fetch_inflight_ = false;
   bool in_fetch_retry_ = false;
   std::uint32_t fetch_stall_ = 0;
+  std::uint32_t fetch_retry_round_ = 0;
+  /// Amnesia recovery state: see begin_recovery().
+  bool recovering_ = false;
+  std::uint32_t recovery_ack_mask_ = 0;
+  /// Highest view each replica (self included) is known to have timed out
+  /// in, fed by TimeoutNotice broadcasts; sized n. Soft liveness state —
+  /// not persisted; peers rebroadcast on every timer fire.
+  std::vector<ViewNumber> peer_timeout_view_;
   /// Oldest body delivered by the in-flight batch (batches stream newest
   /// first) — the resume point for the next request.
   Hash256 last_fetched_;

@@ -45,10 +45,22 @@ FaultPlan random_plan(Rng& rng, const ChaosOptions& opt) {
                        (!opt.allow_byzantine || rng.next_bool(0.5));
     if (crash) {
       const Duration at = ms_between(rng, opt.earliest, opt.horizon);
-      plan.actions.push_back(FaultAction::crash(at, r));
-      if (rng.next_bool(0.4)) {
-        plan.actions.push_back(
-            FaultAction::recover(ms_between(rng, at, opt.horizon), r));
+      if (opt.allow_restarts && rng.next_bool(0.5)) {
+        // True crash-recovery: down for a bounded window, then revive
+        // from the persisted state (restart) or from an empty DB that
+        // must catch up via state transfer (wipe_disk).
+        const Duration down =
+            ms_between(rng, Duration::millis(300),
+                       std::max(Duration::millis(300), opt.horizon - at));
+        plan.actions.push_back(rng.next_bool(0.35)
+                                   ? FaultAction::wipe_disk(at, r, down)
+                                   : FaultAction::restart(at, r, down));
+      } else {
+        plan.actions.push_back(FaultAction::crash(at, r));
+        if (rng.next_bool(0.4)) {
+          plan.actions.push_back(
+              FaultAction::recover(ms_between(rng, at, opt.horizon), r));
+        }
       }
     } else if (opt.allow_byzantine) {
       const ByzantineMode modes[] = {

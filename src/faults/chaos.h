@@ -26,6 +26,9 @@ struct ChaosOptions {
   Duration horizon = Duration::seconds(8);
   // Fault classes to draw from (all on by default).
   bool allow_crashes = true;
+  /// Crash draws may become restart (revive from disk) or wipe_disk
+  /// (amnesia — revive with an empty DB, catch up via state transfer).
+  bool allow_restarts = true;
   bool allow_byzantine = true;
   bool allow_partitions = true;
   bool allow_silence = true;

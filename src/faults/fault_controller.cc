@@ -109,6 +109,20 @@ void FaultController::execute(std::size_t index) {
         hooks_.set_byzantine(a.replica, a.mode);
       }
       break;
+    case FaultKind::kRestart:
+    case FaultKind::kWipeDisk:
+      target = a.replica;
+      if (target < n_) {
+        // Crash now; revive from disk after the down window. The hook
+        // reconnects the node itself (and leaves it down on a recovery
+        // error), so no set_node_down(false) here.
+        net_.set_node_down(target, true);
+        const bool wipe = a.kind == FaultKind::kWipeDisk;
+        sim_.schedule(a.duration, [this, target, wipe] {
+          if (hooks_.restart_replica) hooks_.restart_replica(target, wipe);
+        });
+      }
+      break;
   }
   record(index, a.kind, target);
 }

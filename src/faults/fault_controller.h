@@ -28,6 +28,9 @@ struct FaultHooks {
   std::function<ViewNumber()> max_view;
   /// Installs a ByzantineMode on a replica's outbound box.
   std::function<void(ReplicaId, ByzantineMode)> set_byzantine;
+  /// Revives a replica from its persisted state (kRestart) or from a
+  /// wiped DB (kWipeDisk) and reconnects it to the network on success.
+  std::function<void(ReplicaId, bool wipe)> restart_replica;
 };
 
 /// One plan action that actually fired, with its runtime resolution.

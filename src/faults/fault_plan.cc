@@ -15,6 +15,7 @@ namespace {
 constexpr std::string_view kKindNames[] = {
     "crash",      "crash_leader", "recover",    "partition", "heal",
     "silence",    "drop_burst",   "slow_links", "gst",       "byzantine",
+    "restart",    "wipe_disk",
 };
 constexpr std::size_t kKindCount = sizeof kKindNames / sizeof kKindNames[0];
 
@@ -124,6 +125,25 @@ FaultAction FaultAction::byzantine(Duration at, ReplicaId r,
   return a;
 }
 
+FaultAction FaultAction::restart(Duration at, ReplicaId r, Duration down_for) {
+  FaultAction a;
+  a.kind = FaultKind::kRestart;
+  a.at = at;
+  a.replica = r;
+  a.duration = down_for;
+  return a;
+}
+
+FaultAction FaultAction::wipe_disk(Duration at, ReplicaId r,
+                                   Duration down_for) {
+  FaultAction a;
+  a.kind = FaultKind::kWipeDisk;
+  a.at = at;
+  a.replica = r;
+  a.duration = down_for;
+  return a;
+}
+
 // ---------------------------------------------------------------------------
 // Plan analysis
 // ---------------------------------------------------------------------------
@@ -132,7 +152,10 @@ Duration FaultPlan::quiesce_time() const {
   Duration q = Duration::zero();
   for (const FaultAction& a : actions) {
     Duration end = a.at;
-    if (a.kind == FaultKind::kDropBurst || a.kind == FaultKind::kSlowLinks) {
+    if (a.kind == FaultKind::kDropBurst || a.kind == FaultKind::kSlowLinks ||
+        a.kind == FaultKind::kRestart || a.kind == FaultKind::kWipeDisk) {
+      // Restart/wipe quiesce when the replica is back up; the recovery
+      // itself (WAL replay, state transfer) runs after that instant.
       end = a.at + a.duration;
     }
     q = std::max(q, end);
@@ -144,7 +167,10 @@ std::vector<ReplicaId> FaultPlan::crashed_at_end() const {
   std::map<ReplicaId, bool> down;  // ordered for a stable result
   for (const FaultAction& a : actions) {
     if (a.kind == FaultKind::kCrash) down[a.replica] = true;
-    if (a.kind == FaultKind::kRecover) down[a.replica] = false;
+    if (a.kind == FaultKind::kRecover || a.kind == FaultKind::kRestart ||
+        a.kind == FaultKind::kWipeDisk) {
+      down[a.replica] = false;  // restart/wipe targets come back up
+    }
   }
   std::vector<ReplicaId> out;
   for (const auto& [r, d] : down) {
@@ -273,6 +299,11 @@ std::string FaultPlan::to_json() const {
         out += ",\"mode\":\"";
         out += byzantine_mode_name(a.mode);
         out += '"';
+        break;
+      case FaultKind::kRestart:
+      case FaultKind::kWipeDisk:
+        out += ",\"replica\":" + std::to_string(a.replica) + ',';
+        append_duration(out, "duration", a.duration);
         break;
     }
     out += '}';
@@ -604,6 +635,14 @@ Result<FaultPlan> FaultPlan::from_json(std::string_view json) {
         auto m = byzantine_mode_from_name(*mode);
         if (!m) return plan_error(i, "unknown mode \"" + *mode + "\"");
         a.mode = *m;
+        break;
+      }
+      case FaultKind::kRestart:
+      case FaultKind::kWipeDisk: {
+        auto r = read_replica(*o, "replica");
+        if (!r) return plan_error(i, "missing \"replica\"");
+        a.replica = *r;
+        if (auto dur = read_duration(*o, "duration")) a.duration = *dur;
         break;
       }
     }

@@ -19,6 +19,12 @@
 //                                      delay + loss) until `at`
 //   byzantine                        — switch a replica's outbound wire
 //                                      behaviour to a ByzantineMode
+//   restart / wipe_disk              — true crash-recovery: the replica
+//                                      goes down at `at` and revives after
+//                                      `duration` from its persisted state
+//                                      (restart) or from an empty DB that
+//                                      must catch up via state transfer
+//                                      (wipe_disk / amnesia)
 #pragma once
 
 #include <string>
@@ -41,6 +47,8 @@ enum class FaultKind : std::uint8_t {
   kSlowLinks,  // window of extra one-way delay on all links
   kGst,        // asynchronous (pre-GST chaos) until `at`
   kByzantine,  // switch a replica's ByzantineMode
+  kRestart,    // crash, then revive from disk after `duration`
+  kWipeDisk,   // crash, wipe the DB, revive amnesiac after `duration`
 };
 
 /// Stable snake_case name ("crash_leader", ...), used by the JSON schema
@@ -64,7 +72,8 @@ struct FaultAction {
   /// kSlowLinks: added one-way delay; kGst: max pre-GST extra delay.
   Duration extra_delay = Duration::zero();
   /// kDropBurst / kSlowLinks: window length (the fault clears at
-  /// `at + duration`).
+  /// `at + duration`). kRestart / kWipeDisk: down time before the replica
+  /// revives from disk.
   Duration duration = Duration::zero();
   /// kByzantine: the mode to install (kHonest reverts the replica).
   ByzantineMode mode = ByzantineMode::kHonest;
@@ -87,6 +96,8 @@ struct FaultAction {
   static FaultAction gst(Duration at, Duration extra_delay_max,
                          double probability);
   static FaultAction byzantine(Duration at, ReplicaId r, ByzantineMode mode);
+  static FaultAction restart(Duration at, ReplicaId r, Duration down_for);
+  static FaultAction wipe_disk(Duration at, ReplicaId r, Duration down_for);
 };
 
 struct FaultPlan {

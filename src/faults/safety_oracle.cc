@@ -1,0 +1,104 @@
+#include "faults/safety_oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+namespace marlin::faults {
+
+namespace {
+
+// types::Phase wire values (obs deliberately doesn't depend on types; the
+// oracle keeps the same private mirror trace_phase_name uses).
+constexpr std::uint8_t kPhasePrePrepare = 0;
+
+}  // namespace
+
+std::string SafetyViolation::describe() const {
+  char buf[192];
+  if (kind == Kind::kDoubleVote) {
+    std::snprintf(buf, sizeof buf,
+                  "replica %u double vote: phase %s view %llu height %llu "
+                  "blocks %016llx vs %016llx",
+                  node, obs::trace_phase_name(phase),
+                  static_cast<unsigned long long>(view),
+                  static_cast<unsigned long long>(height),
+                  static_cast<unsigned long long>(block_a),
+                  static_cast<unsigned long long>(block_b));
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "conflicting commit at height %llu: replica %u delivered "
+                  "%016llx, replica %u delivered %016llx",
+                  static_cast<unsigned long long>(height), other_node,
+                  static_cast<unsigned long long>(block_a), node,
+                  static_cast<unsigned long long>(block_b));
+  }
+  return buf;
+}
+
+std::vector<SafetyViolation> check_cross_restart_safety(
+    const std::vector<obs::TraceEvent>& events,
+    const std::vector<std::uint32_t>& byzantine) {
+  auto excluded = [&](std::uint32_t node) {
+    return std::find(byzantine.begin(), byzantine.end(), node) !=
+           byzantine.end();
+  };
+
+  std::vector<SafetyViolation> out;
+  // (node, phase, view, height) -> block id of the first binding vote.
+  std::map<std::tuple<std::uint32_t, std::uint8_t, ViewNumber, Height>,
+           std::uint64_t>
+      votes;
+  // height -> (block id, first committing node).
+  std::map<Height, std::pair<std::uint64_t, std::uint32_t>> commits;
+  // Report each offending slot once even if the replica keeps re-voting.
+  std::map<std::tuple<std::uint32_t, std::uint8_t, ViewNumber, Height>, bool>
+      flagged;
+
+  for (const obs::TraceEvent& e : events) {
+    if (excluded(e.node)) continue;
+    switch (e.type) {
+      case obs::EventType::kVoteSent: {
+        if (e.phase == kPhasePrePrepare || e.block == 0) break;
+        const auto key = std::make_tuple(e.node, e.phase, e.view, e.height);
+        auto [it, inserted] = votes.emplace(key, e.block);
+        if (!inserted && it->second != e.block && !flagged[key]) {
+          flagged[key] = true;
+          SafetyViolation v;
+          v.kind = SafetyViolation::Kind::kDoubleVote;
+          v.node = e.node;
+          v.phase = e.phase;
+          v.view = e.view;
+          v.height = e.height;
+          v.block_a = it->second;
+          v.block_b = e.block;
+          out.push_back(std::move(v));
+        }
+        break;
+      }
+      case obs::EventType::kCommit: {
+        if (e.block == 0) break;
+        auto [it, inserted] =
+            commits.emplace(e.height, std::make_pair(e.block, e.node));
+        if (!inserted && it->second.first != e.block) {
+          SafetyViolation v;
+          v.kind = SafetyViolation::Kind::kConflictingCommit;
+          v.node = e.node;
+          v.other_node = it->second.second;
+          v.height = e.height;
+          v.block_a = it->second.first;
+          v.block_b = e.block;
+          out.push_back(std::move(v));
+          it->second = {e.block, e.node};  // report each flip once
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace marlin::faults

@@ -1,0 +1,51 @@
+// Cross-restart safety oracle: scans a protocol event trace for the two
+// safety violations a broken crash-recovery path produces.
+//
+//  * Double vote — one replica sends two binding votes for different
+//    blocks at the same (phase, view, height). Because restarted replicas
+//    keep their node id, the check spans incarnations: a replica that
+//    forgets its voted state across a restart (write-ahead voting broken,
+//    or an amnesia restart without state transfer) re-votes and trips
+//    this. Marlin's pre-prepare votes are exempt — the protocol
+//    legitimately lets a replica pre-prepare-vote for up to two blocks at
+//    one (view, height) (paper rule R1); only PREPARE / PRE-COMMIT /
+//    COMMIT votes bind.
+//  * Conflicting commit — two replicas (or two incarnations of one)
+//    deliver different blocks at the same height.
+//
+// Byzantine-marked nodes are excluded: an equivocator double-votes by
+// design, and the point of the oracle is to catch *honest* replicas made
+// unsafe by recovery bugs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace marlin::faults {
+
+struct SafetyViolation {
+  enum class Kind : std::uint8_t { kDoubleVote, kConflictingCommit };
+  Kind kind = Kind::kDoubleVote;
+  /// Offending replica (double vote), or the second committer (conflict).
+  std::uint32_t node = obs::kNoNode;
+  /// Second node involved (conflicting commit only; kNoNode otherwise).
+  std::uint32_t other_node = obs::kNoNode;
+  std::uint8_t phase = obs::kNoPhase;  // double vote only
+  ViewNumber view = 0;                 // double vote only
+  Height height = 0;
+  std::uint64_t block_a = 0;  // trace block ids of the two blocks
+  std::uint64_t block_b = 0;
+
+  /// One-line human description ("replica 2 double vote ...").
+  std::string describe() const;
+};
+
+/// Scans `events` (any order; typically TraceSink::events()). Nodes listed
+/// in `byzantine` are skipped entirely.
+std::vector<SafetyViolation> check_cross_restart_safety(
+    const std::vector<obs::TraceEvent>& events,
+    const std::vector<std::uint32_t>& byzantine = {});
+
+}  // namespace marlin::faults

@@ -13,7 +13,7 @@ constexpr const char* kEventNames[kEventTypeCount] = {
     "msg_dropped",    "wal_write",         "sstable_write",
     "checkpoint",     "sig_verify",        "msg_delivered",
     "client_submit",  "reply_accepted",    "batch_dequeued",
-    "fault_injected",
+    "fault_injected", "replica_restart",   "state_transfer",
 };
 
 constexpr const char* kPhaseNames[] = {"preprepare", "prepare", "precommit",

@@ -48,6 +48,13 @@ enum class EventType : std::uint8_t {
   kFaultInjected,      // fault controller executed a plan action (node =
                        // resolved target replica or kNoNode, a = FaultKind,
                        // b = index of the action in its plan)
+  kReplicaRestart,     // replica rebuilt itself from disk (a = 1 if the DB
+                       // was wiped first, b = WAL records replayed,
+                       // height = restored committed height)
+  kStateTransfer,      // snapshot state transfer step (a = 0 request sent,
+                       // 1 snapshot served, 2 snapshot applied, 3 amnesia
+                       // recovery complete; b = suffix blocks; height =
+                       // manifest committed height)
   kCount,              // sentinel — number of event types
 };
 

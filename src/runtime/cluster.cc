@@ -37,6 +37,7 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     rc.reply_size = cons.reply_size;
     rc.client_base = n;
     rc.trace = config_.trace;
+    rc.disable_persistence = cons.disable_persistence;
     replicas_.push_back(
         std::make_unique<ReplicaProcess>(sim_, *net_, *suite_, rc));
     replicas_.back()->set_count_authenticators(config_.count_authenticators);
@@ -62,6 +63,9 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
   hooks.set_byzantine = [this](ReplicaId r, faults::ByzantineMode m) {
     set_byzantine(r, m);
   };
+  hooks.restart_replica = [this](ReplicaId r, bool wipe) {
+    return restart_replica(r, wipe);
+  };
   faults_ = std::make_unique<faults::FaultController>(
       sim_, *net_, config_.faults, std::move(hooks), n, config_.trace);
 }
@@ -78,6 +82,14 @@ void Cluster::start() {
                       Duration::millis(41) * static_cast<std::int64_t>(c),
                   [client] { client->start(); });
   }
+}
+
+Status Cluster::restart_replica(ReplicaId i, bool wipe) {
+  Status s = replicas_[i]->restart(wipe);
+  // Reconnect only on success: a replica that cannot recover its store
+  // stays crash-stopped instead of rejoining with partial state.
+  if (s.is_ok()) net_->set_node_down(i, false);
+  return s;
 }
 
 ReplicaId Cluster::current_leader() const {

@@ -24,6 +24,10 @@ struct ConsensusConfig {
   bool use_threshold_sigs = false;
   std::uint64_t checkpoint_interval = 5000;
   std::size_t reply_size = 150;
+  /// TEST ONLY: disable the write-ahead-voting durability hook on every
+  /// replica (simulates a broken build; the cross-restart safety oracle
+  /// must catch the resulting double votes).
+  bool disable_persistence = false;
 };
 
 /// Workload knobs applied uniformly to every closed-loop client.
@@ -79,6 +83,12 @@ class Cluster {
   /// hooks remain for interactive exploration.
   void crash_replica(ReplicaId i) { net_->set_node_down(i, true); }
   void recover_replica(ReplicaId i) { net_->set_node_down(i, false); }
+  /// Crash-and-revive from disk: rebuilds replica i's protocol instance
+  /// from its persisted consensus state (WAL replay + checkpoint) and
+  /// reconnects it. With `wipe`, the disk is erased first (amnesia) — the
+  /// replica rejoins with empty state and catches up via state transfer.
+  /// On a recovery error (e.g. corrupted store) the replica stays down.
+  Status restart_replica(ReplicaId i, bool wipe = false);
   /// Switches a replica's outbound wire behaviour (kHonest reverts).
   void set_byzantine(ReplicaId i, faults::ByzantineMode mode) {
     replicas_[i]->set_byzantine_mode(mode);

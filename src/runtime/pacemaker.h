@@ -8,6 +8,10 @@
 //    progress.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
+
+#include "common/ids.h"
 #include "common/sim_time.h"
 
 namespace marlin::runtime {
@@ -18,6 +22,15 @@ struct PacemakerConfig {
   Duration max_timeout = Duration::seconds(30);
   bool rotate_on_timer = false;         // rotating-leader mode
   Duration rotation_interval = Duration::seconds(1);
+  // Max fraction of the computed timeout added as deterministic
+  // per-(replica, view) skew. Replicas sharing an identical backoff ladder
+  // otherwise fire in perfect lockstep, and a cluster that desynchronizes
+  // by one view (e.g. after a crash leaves exactly a quorum of correct
+  // replicas) stays exactly one view apart forever — every transition lands
+  // on the same tick, so no view ever holds a full quorum (the election
+  // livelock Raft breaks with randomized timeouts). 0 disables the skew and
+  // preserves the exact closed-form backoff.
+  double timeout_jitter = 0.0;
 };
 
 /// Pure policy: the replica process feeds it events and asks for the next
@@ -26,15 +39,35 @@ class Pacemaker {
  public:
   explicit Pacemaker(PacemakerConfig config) : config_(config) {}
 
-  /// Timer duration for a freshly entered view.
+  /// Timer duration for a freshly entered view: closed-form exponential
+  /// backoff base·factor^failures, clamped at max_timeout (pow can
+  /// overflow to inf for large exponents; the clamp absorbs that too).
   Duration view_timeout() const {
     if (config_.rotate_on_timer) return config_.rotation_interval;
-    double t = config_.base_timeout.as_seconds_f();
-    for (std::uint32_t i = 0; i < consecutive_failures_; ++i) {
-      t *= config_.backoff_factor;
-      if (t >= config_.max_timeout.as_seconds_f()) break;
-    }
+    const double max = config_.max_timeout.as_seconds_f();
+    double t = config_.base_timeout.as_seconds_f() *
+               std::pow(config_.backoff_factor,
+                        static_cast<double>(consecutive_failures_));
+    if (!(t < max)) t = max;  // NaN/inf-safe clamp
     return std::min(Duration::from_seconds_f(t), config_.max_timeout);
+  }
+
+  /// view_timeout() plus the symmetry-breaking skew for (replica, view):
+  /// a hash-derived fraction in [0, timeout_jitter) of the backoff
+  /// duration. Pure function of its inputs — runs stay bit-reproducible.
+  Duration view_timeout(ReplicaId replica, ViewNumber view) const {
+    const Duration d = view_timeout();
+    if (config_.timeout_jitter <= 0.0) return d;
+    // splitmix64 finalizer over the (replica, view) pair.
+    std::uint64_t x = (static_cast<std::uint64_t>(replica) << 48) ^ view;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    const double u = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0, 1)
+    return d + Duration::from_seconds_f(d.as_seconds_f() *
+                                        config_.timeout_jitter * u);
   }
 
   void on_view_entered() { progressed_ = false; }

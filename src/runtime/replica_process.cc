@@ -7,11 +7,18 @@ namespace marlin::runtime {
 using types::Envelope;
 using types::MsgKind;
 
+namespace {
+// Durable consensus state (PersistentState) lives under a fixed key; the
+// write-ahead-voting hook overwrites it in place on every vote/lock change.
+constexpr const char* kPStateKey = "meta/pstate";
+}  // namespace
+
 ReplicaProcess::ReplicaProcess(sim::Simulator& sim, sim::Network& net,
                                const crypto::SignatureSuite& suite,
                                ReplicaProcessConfig config)
     : sim_(sim),
       net_(net),
+      suite_(suite),
       config_(std::move(config)),
       cpu_(sim),
       pacemaker_(config_.pacemaker) {
@@ -23,12 +30,16 @@ ReplicaProcess::ReplicaProcess(sim::Simulator& sim, sim::Network& net,
   assert(db.is_ok());
   db_ = std::move(db).take();
 
+  make_protocol();
+}
+
+void ReplicaProcess::make_protocol() {
   if (config_.protocol == ProtocolKind::kMarlin) {
     protocol_ = std::make_unique<consensus::MarlinReplica>(config_.replica,
-                                                           suite, *this);
+                                                           suite_, *this);
   } else {
     protocol_ = std::make_unique<consensus::HotStuffReplica>(config_.replica,
-                                                             suite, *this);
+                                                             suite_, *this);
   }
 }
 
@@ -41,6 +52,75 @@ sim::NodeId ReplicaProcess::attach() {
 
 void ReplicaProcess::start() {
   run_protocol_task([this] { protocol_->start(); });
+}
+
+Status ReplicaProcess::restart(bool wipe) {
+  // Everything volatile dies with the process: the protocol instance
+  // (txpool, vote collectors, cached QCs, fetch bookkeeping), half-built
+  // outbound messages, the armed view timer, and the pacemaker's backoff
+  // ladder. Only the DB survives — unless this is an amnesia restart.
+  view_timer_.cancel();
+  protocol_.reset();
+  outbox_.clear();
+  pending_charge_ = Duration::zero();
+  pacemaker_ = Pacemaker(config_.pacemaker);
+  blocks_since_checkpoint_ = 0;
+  commit_seen_in_view_ = false;
+
+  if (wipe) db_env_ = storage::make_mem_env();  // the disk is gone too
+  db_.reset();
+  storage::KVStoreOptions db_options;
+  db_options.trace = config_.trace;
+  db_options.trace_node = config_.replica.id;
+  auto db = storage::KVStore::open(*db_env_, db_options);
+  if (!db.is_ok()) {
+    // Unrecoverable store (e.g. mid-file WAL corruption): surface the
+    // error and leave the replica dead rather than rejoin with bad state.
+    metrics_.counter("recovery.failures") += 1;
+    return db.status();
+  }
+  db_ = std::move(db).take();
+  const std::uint64_t replayed = db_->wal_records_replayed();
+
+  consensus::PersistentState ps;
+  bool have_state = false;
+  if (auto rec = db_->get(kPStateKey); rec.is_ok()) {
+    Reader r(rec.value());
+    auto decoded = consensus::PersistentState::decode(r);
+    if (decoded.is_ok() && r.expect_exhausted().is_ok()) {
+      ps = std::move(decoded).take();
+      have_state = true;
+    }
+  }
+
+  make_protocol();
+  if (have_state) protocol_->restore(ps);
+  ++restarts_;
+
+  const Height restored_height = have_state ? ps.committed_height : 0;
+  run_protocol_task([this, wipe, replayed, restored_height] {
+    // Model recovery I/O: one state read plus one read per replayed WAL
+    // record. The resulting CPU charge is the modeled recovery duration.
+    const Duration recovery_cost = config_.storage_costs.read_base *
+                                   static_cast<std::int64_t>(1 + replayed);
+    pending_charge_ += recovery_cost;
+    metrics_.counter("recovery.restarts") += 1;
+    metrics_.counter("recovery.wal_records_replayed") += replayed;
+    metrics_.gauge("recovery.duration_ms") =
+        recovery_cost.as_seconds_f() * 1e3;
+    trace({.type = obs::EventType::kReplicaRestart,
+           .view = protocol_->current_view(),
+           .height = restored_height,
+           .a = wipe ? 1u : 0u,
+           .b = replayed});
+    // An amnesia restart enters recovery BEFORE start(): with no durable
+    // record of past votes, starting normally could re-propose or re-vote
+    // in a view the pre-wipe self already signed in (equivocation). The
+    // recovery gate holds until peers re-anchor the frontier.
+    if (wipe) protocol_->begin_recovery();
+    protocol_->start();
+  });
+  return Status::ok();
 }
 
 consensus::MarlinReplica* ReplicaProcess::marlin() {
@@ -88,6 +168,9 @@ void ReplicaProcess::on_message(sim::NodeId from, Bytes payload) {
         config_.crypto_costs.serialize_cost(payload.size());
     auto env = Envelope::parse(payload);
     if (!env.is_ok()) return;
+    if (env.value().kind == MsgKind::kSnapshotResponse) {
+      metrics_.counter("state_transfer.bytes") += payload.size();
+    }
     const ReplicaId sender = static_cast<ReplicaId>(from);
     protocol_->handle_message(sender, env.value());
   });
@@ -276,15 +359,43 @@ void ReplicaProcess::progressed() {
   pacemaker_.on_progress();
 }
 
+void ReplicaProcess::persist_state(const consensus::PersistentState& state) {
+  if (config_.disable_persistence) return;  // TEST ONLY (see config comment)
+  // Write-ahead voting: the protocol calls this before the vote/new-view
+  // message leaves, and the outbox does not flush until the task's full CPU
+  // charge (including this write) has elapsed — so the vote is durable
+  // before it is visible on the wire.
+  Writer w;
+  state.encode(w);
+  pending_charge_ += config_.storage_costs.write_cost(w.size());
+  (void)db_->put(kPStateKey, w.buffer());
+  metrics_.counter("storage.pstate_writes") += 1;
+}
+
 void ReplicaProcess::arm_view_timer() {
   view_timer_.cancel();
-  view_timer_ = sim_.schedule(pacemaker_.view_timeout(), [this] {
+  view_timer_ = sim_.schedule(
+      pacemaker_.view_timeout(config_.replica.id, protocol_->current_view()),
+      [this] {
+    // While amnesia recovery is in progress, the timer retransmits the
+    // recovery snapshot request instead of churning views — the replica
+    // is not allowed to participate in view changes yet anyway.
+    if (protocol_->recovering()) {
+      run_protocol_task([this] { protocol_->recovery_tick(); });
+      arm_view_timer();
+      return;
+    }
     // A quiet view with no pending work is healthy, not stuck: don't churn
     // views while idle (rotating mode still rotates unconditionally).
     const bool idle = !config_.pacemaker.rotate_on_timer &&
                       protocol_->pool().empty();
     if (!idle && pacemaker_.should_advance_on_fire()) {
       run_protocol_task([this] { protocol_->on_view_timeout(); });
+      // The advance is quorum-gated (see ReplicaBase::on_view_timeout):
+      // the fire may only have broadcast a timeout notice. Keep the timer
+      // armed either way — if the view did move, entered_view() re-arms
+      // with the new view's duration and this arm is superseded.
+      arm_view_timer();
     } else {
       arm_view_timer();
     }

@@ -39,6 +39,10 @@ struct ReplicaProcessConfig {
   sim::NodeId client_base = 0;
   /// Shared event trace (usually the cluster's); nullptr disables tracing.
   obs::TraceSink* trace = nullptr;
+  /// TEST ONLY: skip the write-ahead-voting flush. Simulates a broken build
+  /// that forgets durability — the cross-restart safety oracle must catch
+  /// the resulting double votes. Never enable outside tests.
+  bool disable_persistence = false;
 };
 
 /// Outgoing-authenticator counter (Table I instrumentation). Per-kind
@@ -62,6 +66,16 @@ class ReplicaProcess final : public sim::NetworkNode,
   sim::NodeId attach();
   void start();
 
+  /// Crash-recovery: destroys the protocol instance (txpool, vote
+  /// collectors, QC caches — all volatile state), drops the outbox and
+  /// timers, resets the pacemaker, reopens the DB (WAL replay +
+  /// checkpoint), and reconstructs the protocol from the persisted
+  /// consensus state. With `wipe` the disk is lost too (amnesia): the
+  /// replica restarts from genesis state and must catch up via state
+  /// transfer. Returns kCorruption et al. if the store fails to reopen,
+  /// in which case the replica stays dead.
+  Status restart(bool wipe);
+
   // -- NetworkNode -----------------------------------------------------------
   void on_message(sim::NodeId from, Bytes payload) override;
 
@@ -72,6 +86,7 @@ class ReplicaProcess final : public sim::NetworkNode,
                const std::vector<types::Operation>& executable) override;
   void entered_view(ViewNumber v) override;
   void progressed() override;
+  void persist_state(const consensus::PersistentState& state) override;
   obs::TraceSink* trace_sink() override { return config_.trace; }
   TimePoint now() const override { return sim_.now(); }
   void charge_signs(std::uint32_t count) override;
@@ -110,6 +125,11 @@ class ReplicaProcess final : public sim::NetworkNode,
 
   ViewNumber current_view() const { return protocol_->current_view(); }
   std::uint64_t checkpoints_run() const { return checkpoints_run_; }
+  std::uint64_t restarts() const { return restarts_; }
+  /// The replica's storage environment. Recovery tests reach through this
+  /// to corrupt the on-disk state (torn WAL tails, flipped CRC bytes)
+  /// before calling restart().
+  storage::Env& db_env() { return *db_env_; }
   Duration cpu_busy() const { return cpu_.total_busy(); }
 
   /// Last time this replica entered a new view (view-change latency
@@ -122,6 +142,7 @@ class ReplicaProcess final : public sim::NetworkNode,
   bool committed_in_current_view() const { return commit_seen_in_view_; }
 
  private:
+  void make_protocol();
   void run_protocol_task(std::function<void()> body);
   void send_wire(ReplicaId to, const types::Envelope& env);
   void flush_outbox(TimePoint at);
@@ -138,6 +159,7 @@ class ReplicaProcess final : public sim::NetworkNode,
 
   sim::Simulator& sim_;
   sim::Network& net_;
+  const crypto::SignatureSuite& suite_;  // kept for restart()
   ReplicaProcessConfig config_;
   sim::NodeId node_id_ = 0;
   sim::SequentialProcessor cpu_;
@@ -156,6 +178,7 @@ class ReplicaProcess final : public sim::NetworkNode,
 
   std::uint64_t blocks_since_checkpoint_ = 0;
   std::uint64_t checkpoints_run_ = 0;
+  std::uint64_t restarts_ = 0;
   WindowedCounter committed_ops_;
   faults::ByzantineBox byzantine_;
   TrafficStats traffic_;

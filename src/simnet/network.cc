@@ -6,11 +6,12 @@
 namespace marlin::sim {
 
 namespace {
-// Mirrors types::MsgKind wire values 1..8; slot 0 = unknown kind byte.
+// Mirrors types::MsgKind wire values 1..10; slot 0 = unknown kind byte.
 constexpr std::string_view kKindNames[kNetKindSlots] = {
     "unknown",      "client_request", "client_reply",
     "proposal",     "vote",           "qc_notice",
     "view_change",  "fetch_request",  "fetch_response",
+    "snapshot_request", "snapshot_response",
 };
 
 std::size_t kind_slot(const Bytes& payload) {

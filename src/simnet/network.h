@@ -24,9 +24,9 @@ namespace marlin::sim {
 using NodeId = std::uint32_t;
 
 /// Per-message-type breakdown slots. Envelope wire format starts with the
-/// MsgKind byte (values 1..8), which the network reads without parsing the
+/// MsgKind byte (values 1..10), which the network reads without parsing the
 /// payload; slot 0 collects frames that don't carry a known kind byte.
-inline constexpr std::size_t kNetKindSlots = 9;
+inline constexpr std::size_t kNetKindSlots = 11;
 
 /// Stable label for a kind slot ("proposal", "vote", ...), mirroring
 /// types::MsgKind wire values; simnet keeps its own table to stay below

@@ -72,6 +72,7 @@ Status KVStore::recover() {
         } else {
           return error(ErrorCode::kCorruption, "unknown wal op");
         }
+        ++wal_records_replayed_;
       }
     }
   } else {

@@ -56,6 +56,8 @@ class KVStore {
   std::size_t sstable_count() const { return tables_.size(); }
   std::size_t memtable_bytes() const { return mem_.approximate_bytes(); }
   std::uint64_t wal_bytes() const { return wal_ ? wal_->size() : 0; }
+  /// WAL records replayed into the memtable by open() (recovery metrology).
+  std::uint64_t wal_records_replayed() const { return wal_records_replayed_; }
 
  private:
   KVStore(Env& env, KVStoreOptions options) : env_(env), options_(options) {}
@@ -75,6 +77,7 @@ class KVStore {
   std::unique_ptr<WalWriter> wal_;
   std::uint64_t next_file_number_ = 1;
   std::uint64_t current_wal_number_ = 0;
+  std::uint64_t wal_records_replayed_ = 0;
 };
 
 }  // namespace marlin::storage

@@ -11,6 +11,18 @@ BlockStore::BlockStore() {
 }
 
 void BlockStore::insert(Block block) {
+  // A block whose justify carries a (qc, vc) pair certifies its parent as a
+  // virtual block whose own parent is block(vc). The live protocol registers
+  // that mapping when it validates the pair, but a block arriving via state
+  // transfer (fetch / snapshot) bypasses those paths — without registering
+  // here, parent_of() on the transferred virtual block returns ⊥ forever and
+  // every chain walk through it fails, wedging catch-up. The justify is
+  // covered by the block hash, so the mapping is as authentic as the block.
+  // First write wins: a protocol-verified registration is never clobbered.
+  const Justify& j = block.justify;
+  if (j.qc && j.vc && !virtual_parents_.count(j.qc->block_hash)) {
+    virtual_parents_.emplace(j.qc->block_hash, j.vc->block_hash);
+  }
   blocks_.emplace(block.hash(), std::move(block));
 }
 

@@ -235,6 +235,49 @@ Result<FetchResponseMsg> FetchResponseMsg::decode(Reader& r) {
   return FetchResponseMsg{std::move(b).take()};
 }
 
+void SnapshotRequestMsg::encode(Writer& w) const { w.u64(since); }
+
+Result<SnapshotRequestMsg> SnapshotRequestMsg::decode(Reader& r) {
+  SnapshotRequestMsg m;
+  if (Status s = r.u64(m.since); !s.is_ok()) return s;
+  return m;
+}
+
+void SnapshotResponseMsg::encode(Writer& w) const {
+  w.u64(height);
+  w.raw(head.view());
+  w.varint(suffix.size());
+  for (const Block& b : suffix) b.encode(w);
+}
+
+Result<SnapshotResponseMsg> SnapshotResponseMsg::decode(Reader& r) {
+  SnapshotResponseMsg m;
+  if (Status s = r.u64(m.height); !s.is_ok()) return s;
+  Bytes h;
+  if (Status s = r.raw(crypto::kHashSize, h); !s.is_ok()) return s;
+  m.head = Hash256::from_bytes(h);
+  std::uint64_t count = 0;
+  if (Status s = r.varint(count); !s.is_ok()) return s;
+  if (count > kSuffixLimit) {
+    return error(ErrorCode::kCorruption, "oversized snapshot suffix");
+  }
+  m.suffix.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Result<Block> b = Block::decode(r);
+    if (!b.is_ok()) return b.status();
+    m.suffix.push_back(std::move(b).take());
+  }
+  return m;
+}
+
+void TimeoutNoticeMsg::encode(Writer& w) const { w.u64(view); }
+
+Result<TimeoutNoticeMsg> TimeoutNoticeMsg::decode(Reader& r) {
+  TimeoutNoticeMsg m;
+  if (Status s = r.u64(m.view); !s.is_ok()) return s;
+  return m;
+}
+
 Bytes Envelope::serialize() const {
   Bytes out;
   out.reserve(1 + body.size());
@@ -247,7 +290,7 @@ Result<Envelope> Envelope::parse(BytesView wire) {
   if (wire.empty()) return error(ErrorCode::kCorruption, "empty envelope");
   const std::uint8_t kind = wire[0];
   if (kind < static_cast<std::uint8_t>(MsgKind::kClientRequest) ||
-      kind > static_cast<std::uint8_t>(MsgKind::kFetchResponse)) {
+      kind > static_cast<std::uint8_t>(MsgKind::kTimeoutNotice)) {
     return error(ErrorCode::kCorruption, "bad message kind");
   }
   Envelope env;

@@ -21,6 +21,9 @@ enum class MsgKind : std::uint8_t {
   kViewChange = 6,   // replica → new leader (Marlin VC / HotStuff NEW-VIEW)
   kFetchRequest = 7, // ask a peer for a block body
   kFetchResponse = 8,
+  kSnapshotRequest = 9,   // far-behind replica asks for a checkpoint
+  kSnapshotResponse = 10, // manifest + chain suffix in one exchange
+  kTimeoutNotice = 11,    // pacemaker: "my timer expired in view v"
 };
 
 /// Phase tag on proposals/votes/QC notices. Mapped per protocol:
@@ -135,6 +138,46 @@ struct FetchResponseMsg {
 
   void encode(Writer& w) const;
   static Result<FetchResponseMsg> decode(Reader& r);
+};
+
+/// State-transfer request from a recovering or far-behind replica:
+/// "send me your checkpoint manifest and the chain suffix above height
+/// `since`". One request yields one SnapshotResponse — O(1) rounds, not
+/// O(gap / kFetchBatchLimit) fetch rounds.
+struct SnapshotRequestMsg {
+  Height since = 0;
+
+  void encode(Writer& w) const;
+  static Result<SnapshotRequestMsg> decode(Reader& r);
+};
+
+/// Checkpoint manifest (committed height + head digest) plus the block
+/// bodies from the head down toward the requester's `since`, newest
+/// first. The suffix stops early only at bodies the provider has already
+/// released, and is capped at kSuffixLimit blocks per exchange.
+struct SnapshotResponseMsg {
+  Height height = 0;   // provider's committed height (manifest)
+  Hash256 head;        // provider's committed hash (chain digest)
+  std::vector<Block> suffix;  // newest first
+
+  static constexpr std::uint32_t kSuffixLimit = 4096;
+
+  void encode(Writer& w) const;
+  static Result<SnapshotResponseMsg> decode(Reader& r);
+};
+
+/// Pacemaker view synchronization (broadcast): the sender's view timer
+/// expired in `view`. A replica advances past a view only when f+1
+/// distinct replicas are known to have timed out of it (or the protocol's
+/// own view-change evidence arrives) — a lone fast clock can no longer run
+/// ahead of the pack and strand the cluster one view apart. Quadratic in
+/// the pacemaker, as in deployed HotStuff-family systems; the protocol's
+/// view-change certificates stay linear.
+struct TimeoutNoticeMsg {
+  ViewNumber view = 0;
+
+  void encode(Writer& w) const;
+  static Result<TimeoutNoticeMsg> decode(Reader& r);
 };
 
 /// Top-level frame: [u8 kind][body].

@@ -1,0 +1,102 @@
+// Pacemaker policy unit tests: closed-form exponential backoff (growth,
+// max clamp — including exponents large enough to overflow pow to inf),
+// progress resetting the failure ladder, and rotating mode ignoring the
+// backoff entirely.
+#include <gtest/gtest.h>
+
+#include "runtime/pacemaker.h"
+
+namespace marlin::runtime {
+namespace {
+
+PacemakerConfig small_config() {
+  PacemakerConfig config;
+  config.base_timeout = Duration::millis(100);
+  config.backoff_factor = 2.0;
+  config.max_timeout = Duration::seconds(30);
+  return config;
+}
+
+/// Drives the ladder: a view that fires without progress is a consecutive
+/// failure.
+void fail_views(Pacemaker& pm, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    pm.on_view_entered();
+    EXPECT_TRUE(pm.should_advance_on_fire());
+  }
+}
+
+TEST(Pacemaker, BackoffGrowsGeometrically) {
+  Pacemaker pm(small_config());
+  EXPECT_EQ(pm.view_timeout(), Duration::millis(100));
+
+  fail_views(pm, 1);
+  EXPECT_EQ(pm.view_timeout(), Duration::millis(200));
+  fail_views(pm, 1);
+  EXPECT_EQ(pm.view_timeout(), Duration::millis(400));
+  fail_views(pm, 3);
+  EXPECT_EQ(pm.consecutive_failures(), 5u);
+  EXPECT_EQ(pm.view_timeout(), Duration::millis(3200));
+}
+
+TEST(Pacemaker, BackoffClampsAtMaxTimeout) {
+  PacemakerConfig config = small_config();
+  config.max_timeout = Duration::seconds(5);
+  Pacemaker pm(config);
+
+  // 100ms * 2^6 = 6.4s > 5s.
+  fail_views(pm, 6);
+  EXPECT_EQ(pm.view_timeout(), Duration::seconds(5));
+
+  // Far past any representable double: pow overflows to inf; the clamp
+  // must absorb it instead of producing a garbage duration.
+  fail_views(pm, 4000);
+  EXPECT_EQ(pm.consecutive_failures(), 4006u);
+  EXPECT_EQ(pm.view_timeout(), Duration::seconds(5));
+}
+
+TEST(Pacemaker, NonIntegerFactorMatchesIterativeBackoff) {
+  PacemakerConfig config = small_config();
+  config.backoff_factor = 1.5;
+  Pacemaker pm(config);
+  fail_views(pm, 3);
+  // 100ms * 1.5^3 = 337.5ms; the closed form must agree with repeated
+  // multiplication to within a nanosecond of duration resolution.
+  const Duration expected = Duration::from_seconds_f(0.1 * 1.5 * 1.5 * 1.5);
+  EXPECT_NEAR(static_cast<double>(pm.view_timeout().as_nanos()),
+              static_cast<double>(expected.as_nanos()), 1.0);
+}
+
+TEST(Pacemaker, ProgressResetsTheFailureLadder) {
+  Pacemaker pm(small_config());
+  fail_views(pm, 4);
+  EXPECT_EQ(pm.view_timeout(), Duration::millis(1600));
+
+  pm.on_view_entered();
+  pm.on_progress();
+  EXPECT_EQ(pm.consecutive_failures(), 0u);
+  EXPECT_EQ(pm.view_timeout(), Duration::millis(100));
+  // A progressed view's timer firing restarts the timer instead of
+  // advancing the view.
+  EXPECT_FALSE(pm.should_advance_on_fire());
+  // ...but only once per progress signal: the next quiet firing advances.
+  EXPECT_TRUE(pm.should_advance_on_fire());
+  EXPECT_EQ(pm.consecutive_failures(), 1u);
+}
+
+TEST(Pacemaker, RotatingModeUsesFixedIntervalAndAlwaysAdvances) {
+  PacemakerConfig config = small_config();
+  config.rotate_on_timer = true;
+  config.rotation_interval = Duration::millis(700);
+  Pacemaker pm(config);
+
+  EXPECT_EQ(pm.view_timeout(), Duration::millis(700));
+  pm.on_view_entered();
+  pm.on_progress();
+  // Rotation ignores progress: the timer always rotates the leader.
+  EXPECT_TRUE(pm.should_advance_on_fire());
+  EXPECT_EQ(pm.view_timeout(), Duration::millis(700));
+}
+
+}  // namespace
+}  // namespace marlin::runtime

@@ -172,6 +172,24 @@ class ProtocolHarness {
 
   void timeout_all() {
     for (std::uint32_t r = 0; r < n(); ++r) timeout(r);
+    // View advancement is quorum-gated on TimeoutNotice broadcasts (see
+    // ReplicaBase::on_view_timeout). Deliver the notices ahead of older
+    // queued traffic so "everyone timed out" resolves into "everyone
+    // advanced" immediately — the semantics these unit tests drive —
+    // instead of letting still-queued old-view messages commit first.
+    for (std::size_t i = 0; i < queue_.size();) {
+      if (queue_[i].envelope.kind == MsgKind::kTimeoutNotice) {
+        BusMessage m = std::move(queue_[i]);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (!m.bypass) {
+          if (crashed_[m.from] || crashed_[m.to]) continue;
+          if (drop_ && drop_(m)) continue;
+        }
+        if (!crashed_[m.to]) replicas_[m.to]->handle_message(m.from, m.envelope);
+      } else {
+        ++i;
+      }
+    }
   }
 
   /// Total blocks delivered at replica r.

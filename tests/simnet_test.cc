@@ -445,5 +445,79 @@ TEST(NetworkEdge, RevivedNodeReceivesAgain) {
   EXPECT_EQ(b.count, 1);
 }
 
+// ---------------------------------------------------------------------------
+// Crash semantics regressions (pins the down_[to] checks at delivery time)
+// ---------------------------------------------------------------------------
+
+TEST(CrashSemantics, InFlightFramesAreDroppedWhenDestinationGoesDown) {
+  // A frame already accepted by the network (serialized, propagating) must
+  // still be discarded if the destination crashes before it arrives: the
+  // down check happens at delivery time, not only at send time.
+  Simulator sim(5);
+  NetConfig cfg;
+  cfg.one_way_delay = Duration::millis(20);
+  Network net(sim, cfg);
+  struct Sink : NetworkNode {
+    int count = 0;
+    void on_message(NodeId, Bytes) override { ++count; }
+  } a, b;
+  net.add_node(&a);
+  net.add_node(&b);
+
+  net.send(0, 1, to_bytes("mid-flight"));
+  // Crash the destination while the frame is on the wire.
+  sim.schedule(Duration::millis(10), [&] { net.set_node_down(1, true); });
+  sim.run();
+  EXPECT_EQ(b.count, 0);
+  EXPECT_EQ(net.stats(1).messages_delivered, 0u);
+}
+
+TEST(CrashSemantics, InFlightLoopbackDroppedWhenNodeGoesDown) {
+  // The loopback fast path has its own delivery-time check.
+  Simulator sim(5);
+  Network net(sim, NetConfig{});
+  struct Sink : NetworkNode {
+    int count = 0;
+    void on_message(NodeId, Bytes) override { ++count; }
+  } a;
+  net.add_node(&a);
+  net.send(0, 0, to_bytes("self"));
+  net.set_node_down(0, true);  // before the 5µs local hop delivers
+  sim.run();
+  EXPECT_EQ(a.count, 0);
+}
+
+TEST(CrashSemantics, RecoveredNodeDoesNotReceivePreCrashTraffic) {
+  // Frames sent while (or just before) the node was down must not be
+  // queued up and replayed at recovery: a revived node only sees traffic
+  // sent after it came back.
+  Simulator sim(5);
+  NetConfig cfg;
+  cfg.one_way_delay = Duration::millis(20);
+  Network net(sim, cfg);
+  struct Sink : NetworkNode {
+    std::vector<std::string> got;
+    void on_message(NodeId, Bytes payload) override {
+      got.emplace_back(payload.begin(), payload.end());
+    }
+  } a, b;
+  net.add_node(&a);
+  net.add_node(&b);
+
+  net.send(0, 1, to_bytes("pre-crash"));          // in flight at crash time
+  sim.schedule(Duration::millis(5), [&] { net.set_node_down(1, true); });
+  sim.schedule(Duration::millis(10),
+               [&] { net.send(0, 1, to_bytes("while-down")); });
+  // Recover after both frames' arrival times have passed.
+  sim.schedule(Duration::millis(60), [&] { net.set_node_down(1, false); });
+  sim.schedule(Duration::millis(70),
+               [&] { net.send(0, 1, to_bytes("post-recovery")); });
+  sim.run();
+
+  ASSERT_EQ(b.got.size(), 1u);
+  EXPECT_EQ(b.got[0], "post-recovery");
+  EXPECT_EQ(net.stats(1).messages_delivered, 1u);
+}
+
 }  // namespace
 }  // namespace marlin::sim

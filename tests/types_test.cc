@@ -532,6 +532,20 @@ TEST(Messages, FetchRoundTrip) {
   EXPECT_EQ(back2.value().block, resp.block);
 }
 
+TEST(Messages, TimeoutNoticeRoundTrip) {
+  TimeoutNoticeMsg m{42};
+  auto back = decode_from_bytes<TimeoutNoticeMsg>(encode_to_bytes(m));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().view, m.view);
+
+  Envelope env = make_envelope(MsgKind::kTimeoutNotice, m);
+  auto reparsed = Envelope::parse(env.serialize());
+  ASSERT_TRUE(reparsed.is_ok());
+  auto opened = open_envelope<TimeoutNoticeMsg>(reparsed.value());
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_EQ(opened.value().view, 42u);
+}
+
 TEST(Messages, EnvelopeRejectsGarbage) {
   EXPECT_FALSE(Envelope::parse(Bytes{}).is_ok());
   EXPECT_FALSE(Envelope::parse(Bytes{0x00}).is_ok());
@@ -638,6 +652,15 @@ TEST_P(DecoderFuzz, MutatedEnvelopesNeverCrash) {
         break;
       case MsgKind::kFetchResponse:
         (void)open_envelope<FetchResponseMsg>(env.value());
+        break;
+      case MsgKind::kSnapshotRequest:
+        (void)open_envelope<SnapshotRequestMsg>(env.value());
+        break;
+      case MsgKind::kSnapshotResponse:
+        (void)open_envelope<SnapshotResponseMsg>(env.value());
+        break;
+      case MsgKind::kTimeoutNotice:
+        (void)open_envelope<TimeoutNoticeMsg>(env.value());
         break;
     }
   };

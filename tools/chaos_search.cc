@@ -25,6 +25,7 @@
 #include <string>
 
 #include "faults/chaos.h"
+#include "faults/safety_oracle.h"
 #include "obs/export.h"
 #include "runtime/experiment.h"
 
@@ -43,6 +44,7 @@ struct Options {
   std::string plan_in;    // --replay: load the plan from JSON instead
   std::string plan_out;   // --replay: dump the plan JSON here
   std::string trace_out;  // --replay: dump the golden trace here
+  bool determinism_check = false;  // --replay: run twice, compare traces
   bool help = false;
 };
 
@@ -59,7 +61,12 @@ void usage() {
       "  --plan=PATH          with --replay: load this plan JSON instead\n"
       "                       of regenerating from the seed\n"
       "  --plan-out=PATH      with --replay: dump the plan as JSON\n"
-      "  --trace-out=PATH     with --replay: dump the golden trace JSONL\n");
+      "  --trace-out=PATH     with --replay: dump the golden trace JSONL\n"
+      "  --determinism-check  with --replay: run the schedule twice and\n"
+      "                       require bit-identical traces\n\n"
+      "Every run (sweep and replay) also passes the cross-restart safety\n"
+      "oracle: no honest replica may double-vote or commit conflicting\n"
+      "blocks across restart/wipe_disk incarnations.\n");
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* value) {
@@ -104,6 +111,8 @@ bool parse_options(int argc, char** argv, Options* opt) {
       opt->plan_in = grab();
     } else if (parse_flag(argv[i], "--trace-out", &v)) {
       opt->trace_out = grab();
+    } else if (parse_flag(argv[i], "--determinism-check", &v)) {
+      opt->determinism_check = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       return false;
@@ -135,6 +144,30 @@ faults::FaultPlan plan_for(const Options& opt, std::uint32_t index) {
   return plan;
 }
 
+/// Replicas the plan makes Byzantine — excluded from the safety oracle
+/// (an equivocator double-votes by design).
+std::vector<std::uint32_t> byzantine_nodes(const faults::FaultPlan& plan) {
+  std::vector<std::uint32_t> out;
+  for (const faults::FaultAction& a : plan.actions) {
+    if (a.kind == faults::FaultKind::kByzantine &&
+        a.mode != faults::ByzantineMode::kHonest) {
+      out.push_back(a.replica);
+    }
+  }
+  return out;
+}
+
+/// Sweep-mode sink: only the event types the safety oracle consumes, so a
+/// long schedule cannot evict the early votes the cross-restart check
+/// needs.
+void enable_oracle_events_only(obs::TraceSink& sink) {
+  for (std::size_t t = 0; t < obs::kEventTypeCount; ++t) {
+    const auto type = static_cast<obs::EventType>(t);
+    sink.set_enabled(type, type == obs::EventType::kVoteSent ||
+                               type == obs::EventType::kCommit);
+  }
+}
+
 runtime::ExperimentReport run_one(const Options& opt, runtime::ProtocolKind protocol,
                                   std::uint32_t index,
                                   const faults::FaultPlan& plan,
@@ -144,6 +177,14 @@ runtime::ExperimentReport run_one(const Options& opt, runtime::ProtocolKind prot
   cfg.seed = opt.seed + index;
   cfg.consensus.protocol = protocol;
   cfg.consensus.pacemaker.base_timeout = Duration::millis(600);
+  // Symmetry-breaking timeout skew: without it, crash plans that leave
+  // exactly a quorum of correct replicas can pin the survivors one view
+  // apart in deterministic lockstep forever (see PacemakerConfig). The
+  // backoff cap stays commensurate with the short horizon so a desynced
+  // cluster gets several (jittered) re-election attempts before the run
+  // ends instead of one 30-second view.
+  cfg.consensus.pacemaker.timeout_jitter = 0.25;
+  cfg.consensus.pacemaker.max_timeout = Duration::millis(1500);
   cfg.clients.count = 4;
   cfg.clients.window = 8;
   cfg.faults = plan;
@@ -156,24 +197,38 @@ runtime::ExperimentReport run_one(const Options& opt, runtime::ProtocolKind prot
   return runtime::run_experiment(exp);
 }
 
+/// Runs the cross-restart safety oracle over a finished run's trace and
+/// reports the violations on stderr. Returns true when the trace is clean.
+bool oracle_clean(const obs::TraceSink& trace, const faults::FaultPlan& plan,
+                  const char* protocol, std::uint32_t index) {
+  const auto violations =
+      faults::check_cross_restart_safety(trace.events(), byzantine_nodes(plan));
+  for (const faults::SafetyViolation& v : violations) {
+    std::fprintf(stderr, "ORACLE %s plan %u: %s\n", protocol, index,
+                 v.describe().c_str());
+  }
+  return violations.empty();
+}
+
 std::string verdict_line(const Options& opt, const char* protocol,
                          std::uint32_t index, const faults::FaultPlan& plan,
-                         const runtime::ExperimentReport& rep) {
-  char buf[512];
+                         const runtime::ExperimentReport& rep,
+                         bool oracle_ok) {
+  char buf[640];
   std::snprintf(
       buf, sizeof buf,
       "{\"index\":%u,\"protocol\":\"%s\",\"seed\":%llu,\"plan\":\"%s\","
-      "\"actions\":%zu,\"safety_ok\":%s,\"consistent\":%s,"
+      "\"actions\":%zu,\"safety_ok\":%s,\"consistent\":%s,\"oracle_ok\":%s,"
       "\"liveness_ok\":%s,\"commits_at_quiesce\":%llu,"
       "\"commits_at_end\":%llu,\"final_view\":%llu,\"ok\":%s}",
       index, protocol, static_cast<unsigned long long>(opt.seed + index),
       plan.name.c_str(), plan.actions.size(), rep.safety_ok ? "true" : "false",
-      rep.consistent ? "true" : "false",
+      rep.consistent ? "true" : "false", oracle_ok ? "true" : "false",
       rep.liveness.progressed ? "true" : "false",
       static_cast<unsigned long long>(rep.liveness.commits_at_quiesce),
       static_cast<unsigned long long>(rep.liveness.commits_at_end),
       static_cast<unsigned long long>(rep.final_view),
-      rep.ok() ? "true" : "false");
+      rep.ok() && oracle_ok ? "true" : "false");
   return buf;
 }
 
@@ -218,11 +273,27 @@ int main(int argc, char** argv) {
       plan = plan_for(opt, index);
     }
     obs::TraceSink trace{1 << 18};
-    const auto rep =
-        run_one(opt, protocols[0], index, plan,
-                opt.trace_out.empty() ? nullptr : &trace);
+    const auto rep = run_one(opt, protocols[0], index, plan, &trace);
+    const bool oracle_ok =
+        oracle_clean(trace, plan, opt.protocol.c_str(), index);
+    if (opt.determinism_check) {
+      // Same seed + same plan must drive a byte-identical event stream —
+      // restart/wipe_disk revivals included. CI pins this for a schedule
+      // that contains both.
+      obs::TraceSink again{1 << 18};
+      (void)run_one(opt, protocols[0], index, plan, &again);
+      const std::string a = obs::trace_to_jsonl(trace);
+      const std::string b = obs::trace_to_jsonl(again);
+      if (a != b) {
+        std::fprintf(stderr, "determinism check FAILED: %zu vs %zu trace bytes\n",
+                     a.size(), b.size());
+        return 1;
+      }
+      std::fprintf(stderr, "determinism ok: %zu events, %zu trace bytes\n",
+                   trace.events().size(), a.size());
+    }
     const std::string line =
-        verdict_line(opt, opt.protocol.c_str(), index, plan, rep);
+        verdict_line(opt, opt.protocol.c_str(), index, plan, rep, oracle_ok);
     std::printf("%s\n", line.c_str());
     if (out) out << line << "\n";
     if (!opt.plan_out.empty() &&
@@ -236,22 +307,30 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    return rep.ok() ? 0 : 1;
+    return rep.ok() && oracle_ok ? 0 : 1;
   }
 
   // -- sweep mode ---------------------------------------------------------
   std::uint32_t failures = 0;
+  std::size_t plans_with_restart = 0, plans_with_wipe = 0;
   for (runtime::ProtocolKind protocol : protocols) {
     const char* pname =
         protocol == runtime::ProtocolKind::kMarlin ? "marlin" : "hotstuff";
     for (std::uint32_t i = 0; i < opt.plans; ++i) {
       const faults::FaultPlan plan = plan_for(opt, i);
-      const auto rep = run_one(opt, protocol, i, plan, nullptr);
-      const std::string line = verdict_line(opt, pname, i, plan, rep);
+      for (const faults::FaultAction& a : plan.actions) {
+        if (a.kind == faults::FaultKind::kRestart) ++plans_with_restart;
+        if (a.kind == faults::FaultKind::kWipeDisk) ++plans_with_wipe;
+      }
+      obs::TraceSink trace{1 << 18};
+      enable_oracle_events_only(trace);
+      const auto rep = run_one(opt, protocol, i, plan, &trace);
+      const bool oracle_ok = oracle_clean(trace, plan, pname, i);
+      const std::string line = verdict_line(opt, pname, i, plan, rep, oracle_ok);
       std::printf("%s\n", line.c_str());
       std::fflush(stdout);
       if (out) out << line << "\n";
-      if (!rep.ok()) {
+      if (!rep.ok() || !oracle_ok) {
         ++failures;
         std::fprintf(stderr,
                      "FAIL %s plan %u — replay with: chaos_search "
@@ -268,6 +347,10 @@ int main(int argc, char** argv) {
                  static_cast<std::size_t>(opt.plans) * protocols.size());
     return 1;
   }
+  // Coverage footer (action counts over both protocol passes): CI pins
+  // that a smoke sweep actually exercised restart and wipe_disk revivals.
+  std::fprintf(stderr, "action coverage: restart=%zu wipe_disk=%zu\n",
+               plans_with_restart, plans_with_wipe);
   std::fprintf(stderr, "all %zu schedules ok\n",
                static_cast<std::size_t>(opt.plans) * protocols.size());
   return 0;

@@ -1,16 +1,28 @@
-// trace_schema_check — validates a Chrome trace-event JSON file (the
-// --spans-out output of marlin_sim / trace_inspect) against the minimal
-// schema Perfetto needs: the wrapper object, and per event the name/ph/
-// pid/tid fields, a known phase type, and non-negative ts/dur on complete
-// events. The exporter writes one JSON object per line precisely so this
-// checker (and CI) can validate without a full JSON parser.
+// trace_schema_check — validates observability artifacts for CI.
 //
-//   trace_schema_check spans.json        # "ok: N events" or exit 1
+// Default mode checks a Chrome trace-event JSON file (the --spans-out
+// output of marlin_sim / trace_inspect) against the minimal schema
+// Perfetto needs: the wrapper object, and per event the name/ph/pid/tid
+// fields, a known phase type, and non-negative ts/dur on complete events.
+// The exporter writes one JSON object per line precisely so this checker
+// (and CI) can validate without a full JSON parser.
+//
+// --trace mode checks a protocol event trace (the --trace-out JSONL of
+// marlin_sim / chaos_search): every line must parse back into a TraceEvent
+// with a known event type — which is how CI catches an exporter emitting a
+// type (e.g. replica_restart, state_transfer) the taxonomy doesn't name,
+// and monotone non-decreasing sequence numbers.
+//
+//   trace_schema_check spans.json          # "ok: N events" or exit 1
+//   trace_schema_check --trace run.jsonl   # "ok: N trace events" or exit 1
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+
+#include "obs/export.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -40,19 +52,60 @@ int fail(std::size_t lineno, const char* what, const std::string& line) {
   return 1;
 }
 
+/// Protocol-trace JSONL mode: every line must round-trip through the obs
+/// event parser (fixed field order, known event-type name).
+int check_protocol_trace(std::ifstream& in) {
+  std::string line;
+  std::size_t lineno = 0, events = 0;
+  std::uint64_t last_seq = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    marlin::obs::TraceEvent e;
+    if (!marlin::obs::event_from_json(line, &e)) {
+      return fail(lineno, "unparseable trace event (unknown type?)", line);
+    }
+    if (events > 0 && e.seq < last_seq) {
+      return fail(lineno, "sequence number went backwards", line);
+    }
+    last_seq = e.seq;
+    ++events;
+  }
+  if (events == 0) {
+    std::fprintf(stderr, "empty trace\n");
+    return 1;
+  }
+  std::printf("ok: %zu trace events\n", events);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
-    std::printf("trace_schema_check — validate Chrome trace-event JSON\n\n"
-                "  trace_schema_check spans.json\n");
-    return argc == 2 ? 0 : 2;
+  bool trace_mode = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      path = nullptr;
+      break;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_mode = true;
+    } else {
+      path = argv[i];
+    }
   }
-  std::ifstream in(argv[1]);
+  if (!path) {
+    std::printf("trace_schema_check — validate observability artifacts\n\n"
+                "  trace_schema_check spans.json          Chrome trace-event\n"
+                "  trace_schema_check --trace run.jsonl   protocol trace\n");
+    return argc >= 2 ? 0 : 2;
+  }
+  std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", path);
     return 2;
   }
+  if (trace_mode) return check_protocol_trace(in);
 
   std::string line;
   std::size_t lineno = 0;
