@@ -1,0 +1,24 @@
+// Heap-allocation instrumentation for benches and tests. Linking the
+// `marlin_alloc_hook` library into a binary replaces the global operator
+// new/delete with counting versions; marlin::alloc_hook::allocations()
+// then reports how many allocations happened since the last reset().
+//
+// This is how bench_selfperf measures allocations/event on the simulator
+// hot path and how simnet_test asserts the event engine allocates nothing
+// in steady state. Binaries that do not link the hook must not call these
+// functions (they are defined in the same translation unit as the
+// replacement operators, so the linker pulls both in together).
+#pragma once
+
+#include <cstdint>
+
+namespace marlin::alloc_hook {
+
+/// Number of operator-new calls (all variants) since the last reset().
+std::uint64_t allocations();
+/// Total bytes requested from operator new since the last reset().
+std::uint64_t bytes();
+/// Zeroes both counters.
+void reset();
+
+}  // namespace marlin::alloc_hook

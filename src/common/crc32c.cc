@@ -1,37 +1,102 @@
 #include "common/crc32c.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace marlin {
 
 namespace {
 constexpr std::uint32_t kPoly = 0x82f63b78;  // reflected CRC-32C polynomial
 
-std::array<std::uint32_t, 256> build_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8 tables: table[0] is the classic byte table, table[k] advances
+// a byte that is k positions further from the end of the window.
+std::array<std::array<std::uint32_t, 256>, 8> build_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t crc = i;
     for (int j = 0; j < 8; ++j) {
       crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
     }
-    table[i] = crc;
+    t[0][i] = crc;
   }
-  return table;
-}
-
-const std::array<std::uint32_t, 256>& table() {
-  static const auto t = build_table();
+  for (int k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+    }
+  }
   return t;
 }
+
+const std::array<std::array<std::uint32_t, 256>, 8>& tables() {
+  static const auto t = build_tables();
+  return t;
+}
+
+std::uint32_t crc_update_sw(std::uint32_t crc, const std::uint8_t* p,
+                            std::size_t n) {
+  const auto& t = tables();
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo, hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= crc;
+      crc = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^
+            t[5][(lo >> 16) & 0xff] ^ t[4][lo >> 24] ^ t[3][hi & 0xff] ^
+            t[2][(hi >> 8) & 0xff] ^ t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n--) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xff];
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MARLIN_HW_CRC 1
+__attribute__((target("sse4.2"))) std::uint32_t crc_update_hw(
+    std::uint32_t crc, const std::uint8_t* p, std::size_t n) {
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = __builtin_ia32_crc32di(c, v);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  if (n >= 4) {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    c32 = __builtin_ia32_crc32si(c32, v);
+    p += 4;
+    n -= 4;
+  }
+  while (n--) {
+    c32 = __builtin_ia32_crc32qi(c32, *p++);
+  }
+  return c32;
+}
+#endif
+
+std::uint32_t crc_update(std::uint32_t crc, const std::uint8_t* p,
+                         std::size_t n) {
+#ifdef MARLIN_HW_CRC
+  // The SSE4.2 crc32 instruction implements exactly this polynomial; the
+  // software path exists for non-x86 builds and machines without SSE4.2.
+  static const bool hw = __builtin_cpu_supports("sse4.2");
+  if (hw) return crc_update_hw(crc, p, n);
+#endif
+  return crc_update_sw(crc, p, n);
+}
+
 }  // namespace
 
 std::uint32_t crc32c(BytesView data, std::uint32_t seed) {
-  std::uint32_t crc = ~seed;
-  const auto& t = table();
-  for (std::uint8_t b : data) {
-    crc = (crc >> 8) ^ t[(crc ^ b) & 0xff];
-  }
-  return ~crc;
+  return ~crc_update(~seed, data.data(), data.size());
 }
 
 std::uint32_t crc32c_masked(BytesView data) {

@@ -1,0 +1,56 @@
+// Refcounted immutable byte buffer: the unit of zero-copy message passing
+// in the simulated network. A broadcast serializes its envelope into one
+// Payload and every receiver shares the same underlying buffer; copying a
+// Payload bumps a refcount instead of copying bytes. Immutability is what
+// makes the sharing safe — anything that needs to tamper with a frame
+// (faults::ByzantineBox) must build a new Payload (copy-on-write).
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+
+namespace marlin {
+
+class Payload {
+ public:
+  /// Empty payload (no buffer attached).
+  Payload() = default;
+
+  /// Takes ownership of `bytes` (one allocation for the shared control
+  /// block; the byte buffer itself is moved, not copied). Implicit so call
+  /// sites can keep passing `Bytes` where a Payload is expected.
+  Payload(Bytes bytes)
+      : data_(std::make_shared<const Bytes>(std::move(bytes))) {}
+
+  const Bytes& bytes() const { return data_ ? *data_ : empty_bytes(); }
+  BytesView view() const { return bytes(); }
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const std::uint8_t* data() const {
+    return data_ ? data_->data() : nullptr;
+  }
+  std::uint8_t operator[](std::size_t i) const { return (*data_)[i]; }
+
+  /// True when a buffer is attached (even a zero-length one).
+  bool has_value() const { return data_ != nullptr; }
+
+  /// True when both payloads alias the same underlying buffer — the
+  /// property the zero-copy broadcast tests pin (one serialization, n
+  /// receivers).
+  bool shares_buffer(const Payload& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
+  long use_count() const { return data_.use_count(); }
+
+ private:
+  static const Bytes& empty_bytes() {
+    static const Bytes kEmpty;
+    return kEmpty;
+  }
+
+  std::shared_ptr<const Bytes> data_;
+};
+
+}  // namespace marlin

@@ -119,16 +119,17 @@ void Sha256::update(BytesView data) {
 
 Hash256 Sha256::finish() {
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad = 0x80;
-  update(BytesView(&pad, 1));
-  const std::uint8_t zero = 0x00;
-  while (buffer_len_ != 56) update(BytesView(&zero, 1));
-  std::uint8_t len_be[8];
-  for (int i = 0; i < 8; ++i) {
-    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_.data() + buffer_len_, 0, 64 - buffer_len_);
+    process_block(buffer_.data());
+    buffer_len_ = 0;
   }
-  update(BytesView(len_be, 8));
-  assert(buffer_len_ == 0);
+  std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  process_block(buffer_.data());
 
   Hash256 out;
   for (int i = 0; i < 8; ++i) {
@@ -147,6 +148,10 @@ Hash256 Sha256::digest(BytesView data) {
 }
 
 Hash256 hmac_sha256(BytesView key, BytesView message) {
+  return HmacKey(key).mac(message);
+}
+
+HmacKey::HmacKey(BytesView key) {
   std::array<std::uint8_t, 64> k_block{};
   if (key.size() > 64) {
     const Hash256 kh = Sha256::digest(key);
@@ -155,19 +160,18 @@ Hash256 hmac_sha256(BytesView key, BytesView message) {
     std::memcpy(k_block.data(), key.data(), key.size());
   }
 
-  std::array<std::uint8_t, 64> ipad, opad;
-  for (int i = 0; i < 64; ++i) {
-    ipad[i] = k_block[i] ^ 0x36;
-    opad[i] = k_block[i] ^ 0x5c;
-  }
+  std::array<std::uint8_t, 64> pad;
+  for (int i = 0; i < 64; ++i) pad[i] = k_block[i] ^ 0x36;
+  inner_.update(BytesView(pad.data(), pad.size()));
+  for (int i = 0; i < 64; ++i) pad[i] = k_block[i] ^ 0x5c;
+  outer_.update(BytesView(pad.data(), pad.size()));
+}
 
-  Sha256 inner;
-  inner.update(BytesView(ipad.data(), ipad.size()));
+Hash256 HmacKey::mac(BytesView message) const {
+  Sha256 inner = inner_;
   inner.update(message);
   const Hash256 inner_digest = inner.finish();
-
-  Sha256 outer;
-  outer.update(BytesView(opad.data(), opad.size()));
+  Sha256 outer = outer_;
   outer.update(inner_digest.view());
   return outer.finish();
 }

@@ -48,6 +48,21 @@ class Sha256 {
 /// HMAC-SHA256 (RFC 2104).
 Hash256 hmac_sha256(BytesView key, BytesView message);
 
+/// Precomputed HMAC-SHA256 key: the ipad/opad block compressions are paid
+/// once at construction, so each mac() costs only the message and
+/// finalization compressions. Output is byte-identical to hmac_sha256().
+class HmacKey {
+ public:
+  HmacKey() = default;
+  explicit HmacKey(BytesView key);
+
+  Hash256 mac(BytesView message) const;
+
+ private:
+  Sha256 inner_;  // state after absorbing key ^ ipad
+  Sha256 outer_;  // state after absorbing key ^ opad
+};
+
 /// std::hash adapter so Hash256 keys work in unordered containers.
 struct Hash256Hasher {
   std::size_t operator()(const Hash256& h) const {

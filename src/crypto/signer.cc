@@ -2,10 +2,86 @@
 
 #include <cassert>
 #include <cstring>
+#include <unordered_map>
 
 namespace marlin::crypto {
 
 namespace {
+
+// Keyed 64-byte tag registry with memoization. One suite serves every
+// simulated replica in the process, so the same (signer, digest) tag is
+// derived once by the signer and then re-derived by up to n verifying
+// replicas; caching makes each distinct tag cost one HMAC evaluation per
+// run instead of n+1. Midstates (HmacKey) drop the per-evaluation cost
+// further by paying the ipad/opad compressions once per key. Outputs are
+// byte-identical to the uncached path, and the *modeled* crypto charges
+// (CryptoCostModel, virtual time) are applied by the consensus layer
+// independently of this real-CPU shortcut.
+class TagCache {
+ public:
+  explicit TagCache(const std::vector<Hash256>& secrets) {
+    keys_.reserve(secrets.size());
+    for (const Hash256& s : secrets) keys_.emplace_back(s.view());
+  }
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(keys_.size()); }
+
+  // 64-byte tag: two chained HMACs so wire sizes match ECDSA exactly —
+  // the bandwidth model must see identical message lengths.
+  const Bytes& tag(std::uint32_t key_index, BytesView message) const {
+    if (message.size() <= CacheKey::kMaxMsg) {
+      CacheKey k;
+      k.key_index = key_index;
+      k.len = static_cast<std::uint8_t>(message.size());
+      std::memcpy(k.msg.data(), message.data(), message.size());
+      auto [it, inserted] = cache_.try_emplace(k);
+      if (inserted) {
+        it->second = compute(key_index, message);
+        // Bound memory on very long runs; a clear only costs recomputation.
+        if (cache_.size() > kMaxEntries) {
+          Bytes value = std::move(it->second);
+          cache_.clear();
+          it = cache_.try_emplace(k, std::move(value)).first;
+        }
+      }
+      return it->second;
+    }
+    scratch_ = compute(key_index, message);
+    return scratch_;
+  }
+
+ private:
+  struct CacheKey {
+    static constexpr std::size_t kMaxMsg = 48;
+    std::uint32_t key_index = 0;
+    std::uint8_t len = 0;
+    std::array<std::uint8_t, kMaxMsg> msg{};
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      // Messages are nearly always SHA-256 digests: the leading bytes are
+      // already uniform, so a load plus key mixing suffices.
+      std::uint64_t h;
+      std::memcpy(&h, k.msg.data(), sizeof h);
+      return h ^ (static_cast<std::uint64_t>(k.key_index) * 0x9e3779b97f4a7c15ULL) ^ k.len;
+    }
+  };
+  static constexpr std::size_t kMaxEntries = 1u << 20;
+
+  Bytes compute(std::uint32_t key_index, BytesView message) const {
+    const HmacKey& key = keys_[key_index];
+    const Hash256 first = key.mac(message);
+    const Hash256 second = key.mac(first.view());
+    Bytes out = first.to_bytes();
+    append(out, second.view());
+    return out;
+  }
+
+  std::vector<HmacKey> keys_;
+  mutable std::unordered_map<CacheKey, Bytes, CacheKeyHash> cache_;
+  mutable Bytes scratch_;
+};
 
 // Shared implementation of the simulated threshold-signature combine /
 // verify (see SignatureSuite doc): the combined object is a 64-byte
@@ -18,6 +94,7 @@ class ThresholdCore {
     Bytes material(seed.begin(), seed.end());
     append(material, to_bytes("threshold-core"));
     secret_ = Sha256::digest(material);
+    tags_ = std::make_unique<TagCache>(std::vector<Hash256>{secret_});
   }
 
   std::optional<Bytes> combine(
@@ -40,16 +117,11 @@ class ThresholdCore {
   }
 
  private:
-  Bytes tag(BytesView message) const {
-    const Hash256 first = hmac_sha256(secret_.view(), message);
-    const Hash256 second = hmac_sha256(secret_.view(), first.view());
-    Bytes out = first.to_bytes();
-    append(out, second.view());
-    return out;
-  }
+  const Bytes& tag(BytesView message) const { return tags_->tag(0, message); }
 
   const Verifier& verifier_;
   Hash256 secret_;
+  std::unique_ptr<TagCache> tags_;
 };
 
 Bytes seed_for(BytesView seed, ReplicaId id, const char* domain) {
@@ -146,60 +218,50 @@ class EcdsaSuite final : public SignatureSuite {
 // Fast (HMAC) suite
 // --------------------------------------------------------------------------
 
-Bytes hmac_tag(const Hash256& secret, BytesView message) {
-  // 64-byte tag (two chained HMACs) so wire sizes match ECDSA exactly —
-  // the bandwidth model must see identical message lengths.
-  const Hash256 first = hmac_sha256(secret.view(), message);
-  const Hash256 second = hmac_sha256(secret.view(), first.view());
-  Bytes out = first.to_bytes();
-  append(out, second.view());
-  return out;
-}
-
 class FastSigner final : public Signer {
  public:
-  FastSigner(ReplicaId id, Hash256 secret) : id_(id), secret_(secret) {}
+  FastSigner(ReplicaId id, std::shared_ptr<const TagCache> tags)
+      : id_(id), tags_(std::move(tags)) {}
 
   ReplicaId id() const override { return id_; }
 
   Bytes sign(BytesView message) const override {
-    return hmac_tag(secret_, message);
+    return tags_->tag(id_, message);
   }
 
  private:
   ReplicaId id_;
-  Hash256 secret_;
+  std::shared_ptr<const TagCache> tags_;
 };
 
 class FastVerifier final : public Verifier {
  public:
-  explicit FastVerifier(std::vector<Hash256> secrets)
-      : secrets_(std::move(secrets)) {}
+  explicit FastVerifier(std::shared_ptr<const TagCache> tags)
+      : tags_(std::move(tags)) {}
 
   bool verify(ReplicaId signer, BytesView message,
               BytesView signature) const override {
-    if (signer >= secrets_.size()) return false;
+    if (signer >= tags_->n()) return false;
     if (signature.size() != kSignatureSize) return false;
-    const Bytes expected = hmac_tag(secrets_[signer], message);
-    return constant_time_equal(expected, signature);
+    return constant_time_equal(tags_->tag(signer, message), signature);
   }
 
-  std::uint32_t n() const override {
-    return static_cast<std::uint32_t>(secrets_.size());
-  }
+  std::uint32_t n() const override { return tags_->n(); }
 
  private:
-  std::vector<Hash256> secrets_;
+  std::shared_ptr<const TagCache> tags_;
 };
 
 class FastSuite final : public SignatureSuite {
  public:
   FastSuite(std::uint32_t n, BytesView seed) {
-    secrets_.reserve(n);
+    std::vector<Hash256> secrets;
+    secrets.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
-      secrets_.push_back(Sha256::digest(seed_for(seed, i, "fast")));
+      secrets.push_back(Sha256::digest(seed_for(seed, i, "fast")));
     }
-    verifier_ = std::make_unique<FastVerifier>(secrets_);
+    tags_ = std::make_shared<TagCache>(secrets);
+    verifier_ = std::make_unique<FastVerifier>(tags_);
     threshold_ = std::make_unique<ThresholdCore>(seed, *verifier_);
   }
 
@@ -214,17 +276,15 @@ class FastSuite final : public SignatureSuite {
   }
 
   std::unique_ptr<Signer> signer(ReplicaId id) const override {
-    assert(id < secrets_.size());
-    return std::make_unique<FastSigner>(id, secrets_[id]);
+    assert(id < tags_->n());
+    return std::make_unique<FastSigner>(id, tags_);
   }
 
   const Verifier& verifier() const override { return *verifier_; }
-  std::uint32_t n() const override {
-    return static_cast<std::uint32_t>(secrets_.size());
-  }
+  std::uint32_t n() const override { return tags_->n(); }
 
  private:
-  std::vector<Hash256> secrets_;
+  std::shared_ptr<TagCache> tags_;
   std::unique_ptr<FastVerifier> verifier_;
   std::unique_ptr<ThresholdCore> threshold_;
 };

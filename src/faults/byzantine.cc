@@ -22,11 +22,14 @@ std::optional<ByzantineMode> byzantine_mode_from_name(std::string_view name) {
   return std::nullopt;
 }
 
-std::optional<types::Envelope> ByzantineBox::transform(
+ByzantineBox::WireEffect ByzantineBox::transform_wire(
     const types::Envelope& env, ReplicaId self, ReplicaId to) {
+  // `mutated=false` paths return the input untouched — the caller may keep
+  // sharing an already-serialized buffer for those destinations.
+  const auto pass = [&env]() { return WireEffect{env, false}; };
   switch (mode_) {
     case ByzantineMode::kHonest:
-      return env;
+      return pass();
 
     case ByzantineMode::kEquivocate: {
       // Equivocate only on single-entry PREPARE proposals, and only toward
@@ -34,12 +37,12 @@ std::optional<types::Envelope> ByzantineBox::transform(
       // machine stays consistent). Tampering with the batch changes the
       // block hash: two valid-looking blocks at one (view, height).
       if (env.kind != types::MsgKind::kProposal || to == self || to % 2 == 0) {
-        return env;
+        return pass();
       }
       auto msg = types::open_envelope<types::ProposalMsg>(env);
-      if (!msg.is_ok()) return env;
+      if (!msg.is_ok()) return pass();
       types::ProposalMsg m = std::move(msg).take();
-      if (m.entries.size() != 1) return env;  // leave shadow pairs alone
+      if (m.entries.size() != 1) return pass();  // leave shadow pairs alone
       types::Block& b = m.entries[0].block;
       if (b.ops.empty()) {
         b.ops.push_back(types::Operation{~0u, ~0ull, Bytes{0xeb}});
@@ -47,36 +50,36 @@ std::optional<types::Envelope> ByzantineBox::transform(
         b.ops[0].payload.push_back(0xeb);
       }
       ++interventions_;
-      return types::make_envelope(types::MsgKind::kProposal, m);
+      return {types::make_envelope(types::MsgKind::kProposal, m), true};
     }
 
     case ByzantineMode::kSilentVoter:
-      if (env.kind != types::MsgKind::kVote) return env;
+      if (env.kind != types::MsgKind::kVote) return pass();
       ++interventions_;
-      return std::nullopt;
+      return {std::nullopt, true};
 
     case ByzantineMode::kStaleVoteReplayer: {
-      if (env.kind != types::MsgKind::kVote) return env;
+      if (env.kind != types::MsgKind::kVote) return pass();
       if (!stale_vote_) {
         stale_vote_ = env;  // first vote flows honestly (and is remembered)
-        return env;
+        return pass();
       }
       ++interventions_;
-      return *stale_vote_;
+      return {*stale_vote_, true};
     }
 
     case ByzantineMode::kInvalidSigSender: {
-      if (env.kind != types::MsgKind::kVote) return env;
+      if (env.kind != types::MsgKind::kVote) return pass();
       auto msg = types::open_envelope<types::VoteMsg>(env);
-      if (!msg.is_ok()) return env;
+      if (!msg.is_ok()) return pass();
       types::VoteMsg m = std::move(msg).take();
-      if (m.parsig.sig.empty()) return env;
+      if (m.parsig.sig.empty()) return pass();
       m.parsig.sig[0] ^= 0xff;
       ++interventions_;
-      return types::make_envelope(types::MsgKind::kVote, m);
+      return {types::make_envelope(types::MsgKind::kVote, m), true};
     }
   }
-  return env;
+  return pass();
 }
 
 }  // namespace marlin::faults

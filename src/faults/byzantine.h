@@ -50,12 +50,26 @@ class ByzantineBox {
   ByzantineMode mode() const { return mode_; }
   bool active() const { return mode_ != ByzantineMode::kHonest; }
 
+  /// Result of intercepting one outgoing envelope. `out` is what goes on
+  /// the wire (nullopt = suppress the send); `mutated` is true iff `out`
+  /// differs from the input — the copy-on-write signal that lets a
+  /// broadcast keep sharing one serialized buffer for every destination the
+  /// box left alone.
+  struct WireEffect {
+    std::optional<types::Envelope> out;
+    bool mutated = false;
+  };
+
   /// Applies the mode to one outgoing envelope addressed to `to` (`self` is
-  /// the Byzantine replica's own id). Returns the envelope to put on the
-  /// wire — possibly mutated or a replayed stale one — or nullopt to
-  /// suppress the send entirely.
+  /// the Byzantine replica's own id).
+  WireEffect transform_wire(const types::Envelope& env, ReplicaId self,
+                            ReplicaId to);
+
+  /// Convenience wrapper: just the wire envelope (or nullopt to suppress).
   std::optional<types::Envelope> transform(const types::Envelope& env,
-                                           ReplicaId self, ReplicaId to);
+                                           ReplicaId self, ReplicaId to) {
+    return transform_wire(env, self, to).out;
+  }
 
   /// Envelopes mutated or suppressed so far (observability).
   std::uint64_t interventions() const { return interventions_; }

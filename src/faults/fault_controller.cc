@@ -27,7 +27,7 @@ void FaultController::arm() {
       record(i, a.kind, kNoReplica);
       continue;
     }
-    sim_.schedule_at(TimePoint::origin() + a.at, [this, i] { execute(i); });
+    sim_.post_at(TimePoint::origin() + a.at, [this, i] { execute(i); });
   }
 }
 
@@ -94,12 +94,12 @@ void FaultController::execute(std::size_t index) {
       break;
     case FaultKind::kDropBurst:
       net_.set_extra_drop(a.probability);
-      sim_.schedule(a.duration, [this] { net_.set_extra_drop(0.0); });
+      sim_.post(a.duration, [this] { net_.set_extra_drop(0.0); });
       break;
     case FaultKind::kSlowLinks:
       net_.set_extra_delay(a.extra_delay);
-      sim_.schedule(a.duration,
-                    [this] { net_.set_extra_delay(Duration::zero()); });
+      sim_.post(a.duration,
+                [this] { net_.set_extra_delay(Duration::zero()); });
       break;
     case FaultKind::kGst:
       break;  // handled at arm() time
@@ -118,7 +118,7 @@ void FaultController::execute(std::size_t index) {
         // error), so no set_node_down(false) here.
         net_.set_node_down(target, true);
         const bool wipe = a.kind == FaultKind::kWipeDisk;
-        sim_.schedule(a.duration, [this, target, wipe] {
+        sim_.post(a.duration, [this, target, wipe] {
           if (hooks_.restart_replica) hooks_.restart_replica(target, wipe);
         });
       }

@@ -65,16 +65,17 @@ void ClientProcess::flush_burst() {
   types::ClientRequestMsg msg;
   msg.ops = std::move(burst_);
   burst_.clear();
-  const Bytes wire =
-      types::make_envelope(types::MsgKind::kClientRequest, msg).serialize();
+  // Serialize once; every replica's in-flight copy shares the same buffer.
+  const Payload wire(
+      types::make_envelope(types::MsgKind::kClientRequest, msg).serialize());
   for (ReplicaId r = 0; r < config_.quorum.n; ++r) {
     net_.send(node_id_, r, wire);
   }
 }
 
-void ClientProcess::on_message(sim::NodeId from, Bytes payload) {
+void ClientProcess::on_message(sim::NodeId from, Payload payload) {
   (void)from;
-  auto env = types::Envelope::parse(payload);
+  auto env = types::Envelope::parse(payload.view());
   if (!env.is_ok() || env.value().kind != types::MsgKind::kClientReply) return;
   auto reply = types::open_envelope<types::ClientReplyMsg>(env.value());
   if (!reply.is_ok()) return;

@@ -39,7 +39,7 @@ class ClientProcess final : public sim::NetworkNode {
   sim::NodeId attach();
   void start();
 
-  void on_message(sim::NodeId from, Bytes payload) override;
+  void on_message(sim::NodeId from, Payload payload) override;
 
   WindowedCounter& completed() { return completed_; }
   LatencyHistogram& latency() { return latency_; }

@@ -78,9 +78,9 @@ void Cluster::start() {
   // lockstep "generations" that quantize throughput measurements.
   for (std::size_t c = 0; c < clients_.size(); ++c) {
     ClientProcess* client = clients_[c].get();
-    sim_.schedule(Duration::millis(5) +
-                      Duration::millis(41) * static_cast<std::int64_t>(c),
-                  [client] { client->start(); });
+    sim_.post(Duration::millis(5) +
+                  Duration::millis(41) * static_cast<std::int64_t>(c),
+              [client] { client->start(); });
   }
 }
 

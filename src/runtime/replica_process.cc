@@ -152,21 +152,21 @@ void ReplicaProcess::run_protocol_task(std::function<void()> body) {
 
 void ReplicaProcess::flush_outbox(TimePoint at) {
   if (outbox_.empty()) return;
-  std::vector<std::pair<sim::NodeId, Bytes>> pending;
+  std::vector<std::pair<sim::NodeId, Payload>> pending;
   pending.swap(outbox_);
-  sim_.schedule_at(at, [this, pending = std::move(pending)]() mutable {
+  sim_.post_at(at, [this, pending = std::move(pending)]() mutable {
     for (auto& [to, wire] : pending) {
       net_.send(node_id_, to, std::move(wire));
     }
   });
 }
 
-void ReplicaProcess::on_message(sim::NodeId from, Bytes payload) {
+void ReplicaProcess::on_message(sim::NodeId from, Payload payload) {
   // Deserialize inside the task so the parse cost is charged.
   run_protocol_task([this, from, payload = std::move(payload)] {
     pending_charge_ +=
         config_.crypto_costs.serialize_cost(payload.size());
-    auto env = Envelope::parse(payload);
+    auto env = Envelope::parse(payload.view());
     if (!env.is_ok()) return;
     if (env.value().kind == MsgKind::kSnapshotResponse) {
       metrics_.counter("state_transfer.bytes") += payload.size();
@@ -239,8 +239,9 @@ void ReplicaProcess::send(ReplicaId to, const Envelope& env) {
   send_wire(to, env);
 }
 
-void ReplicaProcess::send_wire(ReplicaId to, const Envelope& env) {
-  Bytes wire = env.serialize();
+void ReplicaProcess::send_wire(ReplicaId to, const Envelope& env,
+                               const Payload* pre) {
+  Payload wire = pre != nullptr ? *pre : Payload(env.serialize());
   pending_charge_ += config_.crypto_costs.serialize_cost(wire.size());
   std::uint32_t authenticators = 0;
   if (count_authenticators_) {
@@ -264,7 +265,25 @@ void ReplicaProcess::send_wire(ReplicaId to, const Envelope& env) {
 
 void ReplicaProcess::broadcast(const Envelope& env) {
   const std::uint32_t n = config_.replica.quorum.n;
-  for (ReplicaId r = 0; r < n; ++r) send(r, env);
+  // Serialize once and let every destination share the refcounted buffer.
+  // Simulated cost is untouched: send_wire still charges serialize_cost and
+  // records kMsgSent per destination, so golden traces replay bit-identical.
+  // A Byzantine box gets first refusal per destination; only destinations
+  // whose frame it actually tampers with pay for a private serialization
+  // (copy-on-write), the rest keep sharing.
+  Payload shared;
+  for (ReplicaId r = 0; r < n; ++r) {
+    if (byzantine_.active()) {
+      auto fx = byzantine_.transform_wire(env, config_.replica.id, r);
+      if (!fx.out) continue;  // suppressed for this destination
+      if (fx.mutated) {
+        send_wire(r, *fx.out);
+        continue;
+      }
+    }
+    if (!shared.has_value()) shared = Payload(env.serialize());
+    send_wire(r, env, &shared);
+  }
 }
 
 void ReplicaProcess::deliver(const types::Block& block,
@@ -322,8 +341,8 @@ void ReplicaProcess::deliver(const types::Block& block,
       reply.padding.assign(target - body_overhead, 0xcd);
     }
     reply.requests = std::move(requests);
-    Bytes wire =
-        types::make_envelope(MsgKind::kClientReply, reply).serialize();
+    Payload wire(
+        types::make_envelope(MsgKind::kClientReply, reply).serialize());
     pending_charge_ += config_.crypto_costs.serialize_cost(wire.size());
     trace({.type = obs::EventType::kMsgSent,
            .kind = static_cast<std::uint8_t>(MsgKind::kClientReply),

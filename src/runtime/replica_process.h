@@ -77,7 +77,7 @@ class ReplicaProcess final : public sim::NetworkNode,
   Status restart(bool wipe);
 
   // -- NetworkNode -----------------------------------------------------------
-  void on_message(sim::NodeId from, Bytes payload) override;
+  void on_message(sim::NodeId from, Payload payload) override;
 
   // -- ProtocolEnv -----------------------------------------------------------
   void send(ReplicaId to, const types::Envelope& env) override;
@@ -144,7 +144,12 @@ class ReplicaProcess final : public sim::NetworkNode,
  private:
   void make_protocol();
   void run_protocol_task(std::function<void()> body);
-  void send_wire(ReplicaId to, const types::Envelope& env);
+  /// Stages (or sends) one frame. When `pre` is set it must hold env's
+  /// serialization — broadcast passes the shared buffer so n destinations
+  /// reuse one serialization; the modeled serialize charge and kMsgSent
+  /// trace stay per-destination either way.
+  void send_wire(ReplicaId to, const types::Envelope& env,
+                 const Payload* pre = nullptr);
   void flush_outbox(TimePoint at);
   void arm_view_timer();
   std::uint32_t count_authenticators(const types::Envelope& env) const;
@@ -173,7 +178,7 @@ class ReplicaProcess final : public sim::NetworkNode,
 
   // Charge accumulator for the protocol task currently executing.
   Duration pending_charge_;
-  std::vector<std::pair<sim::NodeId, Bytes>> outbox_;
+  std::vector<std::pair<sim::NodeId, Payload>> outbox_;
   bool in_task_ = false;
 
   std::uint64_t blocks_since_checkpoint_ = 0;

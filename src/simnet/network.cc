@@ -14,7 +14,7 @@ constexpr std::string_view kKindNames[kNetKindSlots] = {
     "snapshot_request", "snapshot_response",
 };
 
-std::size_t kind_slot(const Bytes& payload) {
+std::size_t kind_slot(const Payload& payload) {
   if (payload.empty()) return 0;
   const std::uint8_t kind = payload[0];
   return kind < kNetKindSlots ? kind : 0;
@@ -98,7 +98,7 @@ void Network::reset_stats() {
   for (auto& s : stats_) s = NodeNetStats{};
 }
 
-void Network::send(NodeId from, NodeId to, Bytes payload) {
+void Network::send(NodeId from, NodeId to, Payload payload) {
   assert(from < nodes_.size() && to < nodes_.size());
   const std::size_t size = payload.size();
   const std::size_t kind = kind_slot(payload);
@@ -158,8 +158,8 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
     // Loopback: skip NIC/link, deliver after a tiny local hop.
     constexpr Duration kLocalHop = Duration::micros(5);
     const auto hop_ns = static_cast<std::uint64_t>(kLocalHop.as_nanos());
-    sim_.schedule(kLocalHop, [this, from, to, kind, hop_ns,
-                              p = std::move(payload)]() mutable {
+    sim_.post(kLocalHop, [this, from, to, kind, hop_ns,
+                          p = std::move(payload)]() mutable {
       if (down_[to]) return;
       auto& rs = stats_[to];
       ++rs.messages_delivered;
@@ -174,6 +174,7 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
                         .b = 0,
                         .c = hop_ns});
       }
+      if (delivery_probe_) delivery_probe_(from, to, p);
       nodes_[to]->on_message(from, std::move(p));
     });
     return;
@@ -216,8 +217,8 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
   const Duration queue_delay = (nic_start - now) + (link_start - nic_end);
   const Duration transit = arrival - now;
 
-  sim_.schedule_at(arrival, [this, from, to, kind, queue_delay, transit,
-                             p = std::move(payload)]() mutable {
+  sim_.post_at(arrival, [this, from, to, kind, queue_delay, transit,
+                         p = std::move(payload)]() mutable {
     if (down_[to]) return;
     auto& rs = stats_[to];
     ++rs.messages_delivered;
@@ -232,6 +233,7 @@ void Network::send(NodeId from, NodeId to, Bytes payload) {
                       .b = static_cast<std::uint64_t>(queue_delay.as_nanos()),
                       .c = static_cast<std::uint64_t>(transit.as_nanos())});
     }
+    if (delivery_probe_) delivery_probe_(from, to, p);
     nodes_[to]->on_message(from, std::move(p));
   });
 }

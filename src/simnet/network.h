@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/payload.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simnet/simulator.h"
@@ -61,11 +62,13 @@ struct NodeNetStats {
   std::array<std::uint64_t, kNetKindSlots> bytes_delivered_by_kind{};
 };
 
-/// Receiver interface; implemented by replica/client runtimes.
+/// Receiver interface; implemented by replica/client runtimes. The payload
+/// is refcounted and may be shared with other receivers of the same
+/// broadcast — treat the bytes as immutable.
 class NetworkNode {
  public:
   virtual ~NetworkNode() = default;
-  virtual void on_message(NodeId from, Bytes payload) = 0;
+  virtual void on_message(NodeId from, Payload payload) = 0;
 };
 
 class Network {
@@ -79,8 +82,11 @@ class Network {
   std::size_t node_count() const { return nodes_.size(); }
 
   /// Queues `payload` from → to through the NIC + link + propagation model.
-  /// Self-sends deliver after a minimal local hop.
-  void send(NodeId from, NodeId to, Bytes payload);
+  /// Self-sends deliver after a minimal local hop. The payload is
+  /// refcounted: broadcasting the same Payload to n destinations shares one
+  /// buffer across all n in-flight copies (implicit conversion from Bytes
+  /// keeps single-destination call sites unchanged).
+  void send(NodeId from, NodeId to, Payload payload);
 
   /// Before GST, pre-GST delay/drop applies; at/after it, bounds hold.
   /// Default GST = origin, i.e. the network starts synchronous.
@@ -120,6 +126,15 @@ class Network {
   /// b = NIC/link queueing ns, c = total send-to-arrival transit ns).
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Test-only hook: called on every delivery, just before the receiver's
+  /// on_message, with the exact Payload instance being handed over. Lets
+  /// tests assert buffer identity across receivers (zero-copy broadcast)
+  /// without changing delivery behaviour. Cleared with nullptr.
+  void set_delivery_probe(
+      std::function<void(NodeId from, NodeId to, const Payload&)> probe) {
+    delivery_probe_ = std::move(probe);
+  }
+
   /// Exports per-node and per-kind traffic series into `reg`:
   ///   net.messages_sent{node=N}, net.bytes_sent{node=N}, ...
   ///   net.messages_sent{kind=vote}, net.bytes_sent{kind=vote}, ...
@@ -142,6 +157,7 @@ class Network {
   std::vector<TimePoint> nic_free_;
   std::unordered_map<std::uint64_t, TimePoint> link_free_;
   std::function<bool(NodeId, NodeId)> filter_;
+  std::function<void(NodeId, NodeId, const Payload&)> delivery_probe_;
   obs::TraceSink* trace_ = nullptr;
 };
 

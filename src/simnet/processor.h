@@ -36,7 +36,7 @@ class SequentialProcessor {
     if (running_ || queue_.empty()) return;
     running_ = true;
     const TimePoint start = std::max(sim_.now(), free_at_);
-    sim_.schedule_at(start, [this] { run_head(); });
+    sim_.post_at(start, [this] { run_head(); });
   }
 
   void run_head() {
@@ -48,7 +48,7 @@ class SequentialProcessor {
     running_ = false;
     if (!queue_.empty()) {
       running_ = true;
-      sim_.schedule_at(free_at_, [this] { run_head(); });
+      sim_.post_at(free_at_, [this] { run_head(); });
     }
   }
 

@@ -2,34 +2,48 @@
 // event queue. Everything in the testbed (network transmission, CPU
 // charging, protocol timers) is an event here, so whole cluster runs replay
 // bit-identically from a seed.
+//
+// The engine is allocation-lean by design (see docs/PERFORMANCE.md):
+//  - events live in a 4-ary min-heap over a plain vector, moved (never
+//    copied) during sifts, so pooled heap storage is reused across events;
+//  - callbacks are stored in a small-buffer-optimized EventFn, so typical
+//    captures need no heap allocation;
+//  - cancellation state is lazy: post()/post_at() events carry none at all,
+//    and schedule()/schedule_at() events borrow a slot from a generation-
+//    counted slab that is recycled when the event fires.
+// Ordering is the strict (when, seq) total order the golden traces pin;
+// post and schedule share one seq counter, so replacing the queue/handle
+// machinery cannot reorder anything.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "simnet/event_fn.h"
 
 namespace marlin::sim {
 
+class Simulator;
+
 /// Cancellation handle for a scheduled event. Default-constructed handles
-/// are inert. Cancelling an already-fired event is a no-op.
+/// are inert. Cancelling an already-fired event is a no-op; a handle that
+/// outlives its event (or whose slot was recycled for a newer event) is
+/// detected via the slot's generation counter and also no-ops.
 class TimerHandle {
  public:
   TimerHandle() = default;
-  void cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
-  bool active() const { return cancelled_ && !*cancelled_; }
+  inline void cancel();
+  inline bool active() const;
 
  private:
   friend class Simulator;
-  explicit TimerHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  TimerHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulator {
@@ -40,8 +54,21 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   /// Schedules `fn` to run `delay` after now. Negative delays clamp to 0.
-  TimerHandle schedule(Duration delay, std::function<void()> fn);
-  TimerHandle schedule_at(TimePoint when, std::function<void()> fn);
+  /// Returns a cancellation handle; this path allocates a slab slot, so
+  /// prefer post() when the handle would be dropped.
+  TimerHandle schedule(Duration delay, EventFn fn) {
+    if (delay < Duration::zero()) delay = Duration::zero();
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+  TimerHandle schedule_at(TimePoint when, EventFn fn);
+
+  /// Fire-and-forget scheduling: no cancellation handle, no slab slot, and
+  /// (for inline-storable callbacks) no allocation at all.
+  void post(Duration delay, EventFn fn) {
+    if (delay < Duration::zero()) delay = Duration::zero();
+    post_at(now_ + delay, std::move(fn));
+  }
+  void post_at(TimePoint when, EventFn fn);
 
   /// Runs the earliest pending event; returns false when the queue is empty.
   bool step();
@@ -55,27 +82,63 @@ class Simulator {
   void run(std::uint64_t max_events = ~0ull);
 
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return heap_.size(); }
 
  private:
+  friend class TimerHandle;
+
+  static constexpr std::uint32_t kNoSlot = ~0u;
+
   struct Event {
     TimePoint when;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;  // kNoSlot for post()ed events
+    EventFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+
+  /// Cancellation slab entry. `gen` bumps every time the slot is recycled,
+  /// invalidating stale TimerHandles without any per-handle allocation.
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool pending = false;
+    bool cancelled = false;
   };
+
+  /// Strict (when, seq) order — both keys combined are unique, so the heap
+  /// pop order is a total order independent of heap internals.
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void push_event(TimePoint when, std::uint32_t slot, EventFn fn);
+  Event pop_event();
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  bool slot_cancelled(const Event& ev) const {
+    return ev.slot != kNoSlot && slots_[ev.slot].cancelled;
+  }
 
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;  // 4-ary min-heap, see simulator.cc
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   Rng rng_;
 };
+
+inline void TimerHandle::cancel() {
+  if (sim_ == nullptr) return;
+  Simulator::Slot& s = sim_->slots_[slot_];
+  if (s.gen == gen_ && s.pending) s.cancelled = true;
+}
+
+inline bool TimerHandle::active() const {
+  if (sim_ == nullptr) return false;
+  const Simulator::Slot& s = sim_->slots_[slot_];
+  return s.gen == gen_ && s.pending && !s.cancelled;
+}
 
 }  // namespace marlin::sim

@@ -1,6 +1,43 @@
 #include "types/block.h"
 
+#include <cstring>
+#include <unordered_map>
+
 namespace marlin::types {
+
+namespace {
+
+// Cross-instance digest memo: every replica of a simulated cluster decodes
+// its own Block from the same proposal bytes, so the same encoding is
+// hashed up to n times. Key the digest by the full encoding — first caller
+// pays the SHA-256, the rest pay a hash-map probe. thread_local so parallel
+// simulations (chaos sweeps with --jobs) never contend or mix.
+struct EncodingHasher {
+  std::size_t operator()(const Bytes& b) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    std::size_t i = 0;
+    for (; i + 8 <= b.size(); i += 8) {
+      std::uint64_t v;
+      std::memcpy(&v, b.data() + i, 8);
+      h = (h ^ v) * 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    for (; i < b.size(); ++i) h = (h ^ b[i]) * 0x100000001b3ULL;
+    return h;
+  }
+};
+
+Hash256 memoized_digest(Bytes encoding) {
+  thread_local std::unordered_map<Bytes, Hash256, EncodingHasher> memo;
+  auto it = memo.find(encoding);
+  if (it != memo.end()) return it->second;
+  const Hash256 d = crypto::Sha256::digest(encoding);
+  if (memo.size() >= 4096) memo.clear();  // bound memory on long runs
+  memo.emplace(std::move(encoding), d);
+  return d;
+}
+
+}  // namespace
 
 void Operation::encode(Writer& w) const {
   w.u32(client);
@@ -23,10 +60,13 @@ std::size_t ops_wire_size(const std::vector<Operation>& ops) {
 }
 
 Hash256 Block::hash() const {
-  Writer w(128 + ops_wire_size(ops));
-  w.str("marlin.block");
-  encode(w);
-  return crypto::Sha256::digest(w.buffer());
+  if (!hash_memo_.value) {
+    Writer w(128 + ops_wire_size(ops));
+    w.str("marlin.block");
+    encode(w);
+    hash_memo_.value = memoized_digest(std::move(w).take());
+  }
+  return *hash_memo_.value;
 }
 
 void Block::encode(Writer& w) const {

@@ -44,16 +44,43 @@ struct Block {
   /// Deterministic content hash — the identity used by parent links, votes
   /// and QCs. Includes every field (the paper's shadow blocks share ops but
   /// differ in metadata, so they hash differently, as required).
+  ///
+  /// Memoized: every code path builds (or decodes) a block and only then
+  /// hashes it, so the first call pins the identity. The one post-hash
+  /// mutation in the tree — BlockStore::release_ops dropping committed op
+  /// payloads — must NOT change identity, which the memo guarantees.
   Hash256 hash() const;
 
   bool is_genesis() const { return view == 0 && height == 0; }
 
   void encode(Writer& w) const;
   static Result<Block> decode(Reader& r);
-  bool operator==(const Block&) const = default;
+  bool operator==(const Block& o) const {
+    return parent_link == o.parent_link && parent_view == o.parent_view &&
+           view == o.view && height == o.height &&
+           virtual_block == o.virtual_block && ops == o.ops &&
+           justify == o.justify;
+  }
 
   /// The genesis block every replica starts from.
   static Block genesis();
+
+ private:
+  // The memo must not survive a copy: `Block b = a; b.view = 3;` is a legal
+  // way to derive a new block, and a copied memo would pin the old identity.
+  // Moves keep it — a moved block is the same block.
+  struct HashMemo {
+    mutable std::optional<Hash256> value;
+    HashMemo() = default;
+    HashMemo(const HashMemo&) {}
+    HashMemo& operator=(const HashMemo&) {
+      value.reset();
+      return *this;
+    }
+    HashMemo(HashMemo&&) = default;
+    HashMemo& operator=(HashMemo&&) = default;
+  };
+  HashMemo hash_memo_;
 };
 
 /// Total payload bytes across ops (bandwidth accounting).

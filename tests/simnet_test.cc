@@ -3,6 +3,7 @@
 // CPU-charging sequential processor.
 #include <gtest/gtest.h>
 
+#include "common/alloc_hook.h"
 #include "simnet/network.h"
 #include "simnet/processor.h"
 #include "simnet/simulator.h"
@@ -102,11 +103,11 @@ class Recorder : public NetworkNode {
  public:
   struct Rx {
     NodeId from;
-    Bytes payload;
+    Payload payload;
     TimePoint at;
   };
   explicit Recorder(Simulator& sim) : sim_(sim) {}
-  void on_message(NodeId from, Bytes payload) override {
+  void on_message(NodeId from, Payload payload) override {
     received.push_back({from, std::move(payload), sim_.now()});
   }
   Simulator& sim_;
@@ -139,7 +140,7 @@ TEST_F(NetworkTest, DeliversWithPropagationDelay) {
   net.send(0, 1, to_bytes("hello"));
   sim_.run();
   ASSERT_EQ(nodes_[1]->received.size(), 1u);
-  EXPECT_EQ(nodes_[1]->received[0].payload, to_bytes("hello"));
+  EXPECT_EQ(nodes_[1]->received[0].payload.bytes(), to_bytes("hello"));
   // Tiny message: transmission time is negligible but present.
   const Duration took = nodes_[1]->received[0].at - TimePoint::origin();
   EXPECT_GE(took, Duration::millis(40));
@@ -371,6 +372,135 @@ TEST(SimulatorEdge, TimerHandleActiveTracksLifecycle) {
   EXPECT_FALSE(h.active());
 }
 
+TEST(SimulatorEdge, DroppedHandleStillFires) {
+  // Fire-and-forget via schedule(): discarding the handle must not leak or
+  // suppress the event.
+  Simulator sim(1);
+  bool ran = false;
+  {
+    TimerHandle h = sim.schedule(Duration::millis(1), [&] { ran = true; });
+    (void)h;
+  }
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorEdge, StaleHandleCannotCancelRecycledSlot) {
+  // After an event fires, its cancellation slot is recycled for the next
+  // schedule(). A stale handle to the fired event must observe inactive and
+  // must not be able to cancel the slot's new occupant.
+  Simulator sim(1);
+  bool first = false;
+  bool second = false;
+  TimerHandle a = sim.schedule(Duration::millis(1), [&] { first = true; });
+  sim.run();
+  EXPECT_TRUE(first);
+  TimerHandle b = sim.schedule(Duration::millis(1), [&] { second = true; });
+  EXPECT_FALSE(a.active());
+  a.cancel();  // stale: must not touch b's event
+  EXPECT_TRUE(b.active());
+  sim.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(SimulatorEdge, PacemakerStyleTimerReuseAcrossViews) {
+  // The replica's view timer is one TimerHandle member re-armed on every
+  // view entry (cancel + reassign). Only the final arm may fire.
+  Simulator sim(1);
+  int fired_view = -1;
+  int fires = 0;
+  TimerHandle timer;
+  for (int view = 0; view < 5; ++view) {
+    timer.cancel();
+    timer = sim.schedule(Duration::millis(10), [&, view] {
+      fired_view = view;
+      ++fires;
+    });
+  }
+  EXPECT_TRUE(timer.active());
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(fired_view, 4);
+  EXPECT_FALSE(timer.active());
+  timer.cancel();  // post-fire cancel stays a no-op
+}
+
+TEST(SimulatorEdge, PostAndScheduleShareFifoOrder) {
+  // post() and schedule() draw from the same seq counter, so same-time
+  // events keep submission order regardless of which API queued them.
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.post(Duration::millis(1), [&] { order.push_back(0); });
+  sim.schedule(Duration::millis(1), [&] { order.push_back(1); });
+  sim.post(Duration::millis(1), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Allocation behaviour of the event engine (this binary links
+// marlin_alloc_hook, whose counting operator new underpins the asserts)
+// ---------------------------------------------------------------------------
+
+TEST(EventEngineAlloc, SteadyStatePostIsAllocationFree) {
+  Simulator sim(1);
+  std::uint64_t fired = 0;
+  // Self-rescheduling chains, the same shape as network delivery and CPU
+  // pump events on the hot path.
+  struct Chain {
+    Simulator* sim;
+    std::uint64_t* fired;
+    std::uint64_t remaining = 0;
+    void arm() {
+      sim->post(Duration::micros(100), [this] {
+        ++*fired;
+        if (remaining > 0) {
+          --remaining;
+          arm();
+        }
+      });
+    }
+  };
+  std::vector<Chain> chains(8, Chain{&sim, &fired});
+  // Warmup grows the heap vector to steady-state capacity.
+  for (auto& c : chains) {
+    c.remaining = 4;
+    c.arm();
+  }
+  sim.run();
+  const std::uint64_t warm_fired = fired;
+
+  alloc_hook::reset();
+  for (auto& c : chains) {
+    c.remaining = 250;
+    c.arm();
+  }
+  sim.run();
+  EXPECT_EQ(fired - warm_fired, 8u * 251u);
+  EXPECT_EQ(alloc_hook::allocations(), 0u);
+}
+
+TEST(EventEngineAlloc, PopMovesEventsInsteadOfCopying) {
+  // A callback owning refcounted state: if the queue still copied events on
+  // the way out (the old top()+pop() pattern), executing each event would
+  // clone its capture and the allocation counter would show it.
+  Simulator sim(1);
+  Payload payload(Bytes(4096, 0xab));
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 64; ++i) {
+    sim.post(Duration::micros(i), [&sum] { ++sum; });  // warmup: size heap
+  }
+  sim.run();
+
+  alloc_hook::reset();
+  for (int i = 0; i < 64; ++i) {
+    sim.post(Duration::micros(i), [&sum, p = payload] { sum += p.size(); });
+  }
+  sim.run();
+  EXPECT_EQ(alloc_hook::allocations(), 0u);
+  EXPECT_GE(sum, 64u * 4096u);
+}
+
 TEST(SimulatorEdge, ZeroDelayRunsAtCurrentTime) {
   Simulator sim(1);
   sim.schedule(Duration::millis(5), [&] {
@@ -392,7 +522,7 @@ TEST(NetworkEdge, JitterBoundedByConfig) {
     Simulator& sim;
     std::vector<TimePoint> at;
     explicit Sink(Simulator& s) : sim(s) {}
-    void on_message(NodeId, Bytes) override { at.push_back(sim.now()); }
+    void on_message(NodeId, Payload) override { at.push_back(sim.now()); }
   } a{sim}, b{sim};
   net.add_node(&a);
   net.add_node(&b);
@@ -415,7 +545,7 @@ TEST(NetworkEdge, DeterministicGivenSeed) {
     Network net(sim, cfg);
     struct Sink : NetworkNode {
       int count = 0;
-      void on_message(NodeId, Bytes) override { ++count; }
+      void on_message(NodeId, Payload) override { ++count; }
     } a, b;
     net.add_node(&a);
     net.add_node(&b);
@@ -431,7 +561,7 @@ TEST(NetworkEdge, RevivedNodeReceivesAgain) {
   Network net(sim, NetConfig{});
   struct Sink : NetworkNode {
     int count = 0;
-    void on_message(NodeId, Bytes) override { ++count; }
+    void on_message(NodeId, Payload) override { ++count; }
   } a, b;
   net.add_node(&a);
   net.add_node(&b);
@@ -459,7 +589,7 @@ TEST(CrashSemantics, InFlightFramesAreDroppedWhenDestinationGoesDown) {
   Network net(sim, cfg);
   struct Sink : NetworkNode {
     int count = 0;
-    void on_message(NodeId, Bytes) override { ++count; }
+    void on_message(NodeId, Payload) override { ++count; }
   } a, b;
   net.add_node(&a);
   net.add_node(&b);
@@ -478,7 +608,7 @@ TEST(CrashSemantics, InFlightLoopbackDroppedWhenNodeGoesDown) {
   Network net(sim, NetConfig{});
   struct Sink : NetworkNode {
     int count = 0;
-    void on_message(NodeId, Bytes) override { ++count; }
+    void on_message(NodeId, Payload) override { ++count; }
   } a;
   net.add_node(&a);
   net.send(0, 0, to_bytes("self"));
@@ -497,8 +627,8 @@ TEST(CrashSemantics, RecoveredNodeDoesNotReceivePreCrashTraffic) {
   Network net(sim, cfg);
   struct Sink : NetworkNode {
     std::vector<std::string> got;
-    void on_message(NodeId, Bytes payload) override {
-      got.emplace_back(payload.begin(), payload.end());
+    void on_message(NodeId, Payload payload) override {
+      got.emplace_back(payload.bytes().begin(), payload.bytes().end());
     }
   } a, b;
   net.add_node(&a);

@@ -17,12 +17,16 @@
 // A dumped plan replays through `marlin_sim --faults plan17.json` or via
 // --replay ... --plan plan17.json (which proves the artifact, not the
 // generator, drives the run).
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "faults/chaos.h"
 #include "faults/safety_oracle.h"
@@ -35,6 +39,7 @@ namespace {
 
 struct Options {
   std::uint32_t plans = 20;
+  std::uint32_t jobs = 1;
   std::string protocol = "both";  // marlin | hotstuff | both
   std::uint64_t seed = 1;
   std::uint32_t f = 1;
@@ -52,6 +57,10 @@ void usage() {
   std::printf(
       "chaos_search — randomized fault-plan sweep with invariant checks\n\n"
       "  --plans=N            schedules per protocol (default 20)\n"
+      "  --jobs=N             run schedules on N worker threads (default 1).\n"
+      "                       Each schedule owns its own simulator, so per-\n"
+      "                       plan determinism and the verdict order (sorted\n"
+      "                       by protocol, then seed) are unchanged\n"
       "  --protocol=NAME      marlin | hotstuff | both (default both)\n"
       "  --seed=N             base seed; plan i uses seed+i (default 1)\n"
       "  --f=N                fault threshold; n = 3f+1 (default 1)\n"
@@ -93,6 +102,9 @@ bool parse_options(int argc, char** argv, Options* opt) {
       opt->help = true;
     } else if (parse_flag(argv[i], "--plans", &v)) {
       opt->plans = static_cast<std::uint32_t>(std::atoi(grab().c_str()));
+    } else if (parse_flag(argv[i], "--jobs", &v)) {
+      opt->jobs = static_cast<std::uint32_t>(std::atoi(grab().c_str()));
+      if (opt->jobs == 0) opt->jobs = 1;
     } else if (parse_flag(argv[i], "--protocol", &v)) {
       opt->protocol = grab();
     } else if (parse_flag(argv[i], "--seed", &v)) {
@@ -197,15 +209,20 @@ runtime::ExperimentReport run_one(const Options& opt, runtime::ProtocolKind prot
   return runtime::run_experiment(exp);
 }
 
-/// Runs the cross-restart safety oracle over a finished run's trace and
-/// reports the violations on stderr. Returns true when the trace is clean.
+/// Runs the cross-restart safety oracle over a finished run's trace.
+/// Violation descriptions are appended to *errs (the caller decides when to
+/// emit them — sweep workers buffer so parallel jobs don't interleave).
+/// Returns true when the trace is clean.
 bool oracle_clean(const obs::TraceSink& trace, const faults::FaultPlan& plan,
-                  const char* protocol, std::uint32_t index) {
+                  const char* protocol, std::uint32_t index,
+                  std::string* errs) {
   const auto violations =
       faults::check_cross_restart_safety(trace.events(), byzantine_nodes(plan));
   for (const faults::SafetyViolation& v : violations) {
-    std::fprintf(stderr, "ORACLE %s plan %u: %s\n", protocol, index,
-                 v.describe().c_str());
+    char buf[512];
+    std::snprintf(buf, sizeof buf, "ORACLE %s plan %u: %s\n", protocol, index,
+                  v.describe().c_str());
+    *errs += buf;
   }
   return violations.empty();
 }
@@ -230,6 +247,52 @@ std::string verdict_line(const Options& opt, const char* protocol,
       static_cast<unsigned long long>(rep.final_view),
       rep.ok() && oracle_ok ? "true" : "false");
   return buf;
+}
+
+/// One (protocol, plan-index) schedule of the sweep.
+struct SweepItem {
+  runtime::ProtocolKind protocol;
+  const char* pname;
+  std::uint32_t index;
+};
+
+struct SweepResult {
+  std::string line;   // verdict JSONL
+  std::string errs;   // buffered stderr (oracle violations, replay hint)
+  bool ok = false;
+  std::size_t restart_actions = 0;
+  std::size_t wipe_actions = 0;
+};
+
+/// Runs one schedule end-to-end. Self-contained: its own plan, Simulator,
+/// and TraceSink, with all diagnostics buffered — safe to call from worker
+/// threads.
+SweepResult run_sweep_item(const Options& opt, const SweepItem& item) {
+  SweepResult res;
+  const faults::FaultPlan plan = plan_for(opt, item.index);
+  for (const faults::FaultAction& a : plan.actions) {
+    if (a.kind == faults::FaultKind::kRestart) ++res.restart_actions;
+    if (a.kind == faults::FaultKind::kWipeDisk) ++res.wipe_actions;
+  }
+  obs::TraceSink trace{1 << 18};
+  enable_oracle_events_only(trace);
+  const auto rep = run_one(opt, item.protocol, item.index, plan, &trace);
+  const bool oracle_ok =
+      oracle_clean(trace, plan, item.pname, item.index, &res.errs);
+  res.line = verdict_line(opt, item.pname, item.index, plan, rep, oracle_ok);
+  res.ok = rep.ok() && oracle_ok;
+  if (!res.ok) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "FAIL %s plan %u — replay with: chaos_search "
+                  "--protocol=%s --seed=%llu --f=%u --horizon-ms=%lld "
+                  "--replay=%u\n",
+                  item.pname, item.index, item.pname,
+                  static_cast<unsigned long long>(opt.seed), opt.f,
+                  static_cast<long long>(opt.horizon_ms), item.index);
+    res.errs += buf;
+  }
+  return res;
 }
 
 }  // namespace
@@ -274,8 +337,10 @@ int main(int argc, char** argv) {
     }
     obs::TraceSink trace{1 << 18};
     const auto rep = run_one(opt, protocols[0], index, plan, &trace);
+    std::string oracle_errs;
     const bool oracle_ok =
-        oracle_clean(trace, plan, opt.protocol.c_str(), index);
+        oracle_clean(trace, plan, opt.protocol.c_str(), index, &oracle_errs);
+    std::fputs(oracle_errs.c_str(), stderr);
     if (opt.determinism_check) {
       // Same seed + same plan must drive a byte-identical event stream —
       // restart/wipe_disk revivals included. CI pins this for a schedule
@@ -311,36 +376,62 @@ int main(int argc, char** argv) {
   }
 
   // -- sweep mode ---------------------------------------------------------
-  std::uint32_t failures = 0;
-  std::size_t plans_with_restart = 0, plans_with_wipe = 0;
+  // The item list fixes the verdict order (protocol-major, then plan index
+  // == ascending seed); workers may finish out of order but results are
+  // emitted by item position, so --jobs N output is identical to --jobs 1.
+  std::vector<SweepItem> items;
   for (runtime::ProtocolKind protocol : protocols) {
     const char* pname =
         protocol == runtime::ProtocolKind::kMarlin ? "marlin" : "hotstuff";
     for (std::uint32_t i = 0; i < opt.plans; ++i) {
-      const faults::FaultPlan plan = plan_for(opt, i);
-      for (const faults::FaultAction& a : plan.actions) {
-        if (a.kind == faults::FaultKind::kRestart) ++plans_with_restart;
-        if (a.kind == faults::FaultKind::kWipeDisk) ++plans_with_wipe;
-      }
-      obs::TraceSink trace{1 << 18};
-      enable_oracle_events_only(trace);
-      const auto rep = run_one(opt, protocol, i, plan, &trace);
-      const bool oracle_ok = oracle_clean(trace, plan, pname, i);
-      const std::string line = verdict_line(opt, pname, i, plan, rep, oracle_ok);
-      std::printf("%s\n", line.c_str());
-      std::fflush(stdout);
-      if (out) out << line << "\n";
-      if (!rep.ok() || !oracle_ok) {
-        ++failures;
-        std::fprintf(stderr,
-                     "FAIL %s plan %u — replay with: chaos_search "
-                     "--protocol=%s --seed=%llu --f=%u --horizon-ms=%lld "
-                     "--replay=%u\n",
-                     pname, i, pname,
-                     static_cast<unsigned long long>(opt.seed), opt.f,
-                     static_cast<long long>(opt.horizon_ms), i);
-      }
+      items.push_back(SweepItem{protocol, pname, i});
     }
+  }
+
+  std::vector<SweepResult> results(items.size());
+  const std::uint32_t jobs =
+      std::min<std::uint32_t>(opt.jobs, static_cast<std::uint32_t>(items.size()));
+  if (jobs <= 1) {
+    // Sequential: stream each verdict as it lands.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      results[i] = run_sweep_item(opt, items[i]);
+      std::printf("%s\n", results[i].line.c_str());
+      std::fflush(stdout);
+      std::fputs(results[i].errs.c_str(), stderr);
+      if (out) out << results[i].line << "\n";
+    }
+  } else {
+    // Parallel: every schedule owns its Simulator, cluster, and TraceSink;
+    // shared crypto memos are thread_local or per-suite, so jobs never
+    // share mutable state. Claim items off an atomic cursor, then emit in
+    // item order after the join.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (std::uint32_t w = 0; w < jobs; ++w) {
+      workers.emplace_back([&]() {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= items.size()) return;
+          results[i] = run_sweep_item(opt, items[i]);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (const SweepResult& r : results) {
+      std::printf("%s\n", r.line.c_str());
+      std::fputs(r.errs.c_str(), stderr);
+      if (out) out << r.line << "\n";
+    }
+    std::fflush(stdout);
+  }
+
+  std::uint32_t failures = 0;
+  std::size_t plans_with_restart = 0, plans_with_wipe = 0;
+  for (const SweepResult& r : results) {
+    if (!r.ok) ++failures;
+    plans_with_restart += r.restart_actions;
+    plans_with_wipe += r.wipe_actions;
   }
   if (failures > 0) {
     std::fprintf(stderr, "%u/%zu schedules failed\n", failures,
