@@ -1,0 +1,48 @@
+// Wire-level per-node traffic counters shared by both transports: the
+// simulated network (src/simnet) and the real epoll/TCP runtime
+// (src/realnet) fill the same struct, so metrics snapshots, the Table I
+// bench, and trace_inspect's traffic analysis work unchanged on either
+// backend ("one stack, two transports").
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace marlin::net {
+
+/// Per-message-type breakdown slots. Envelope wire format starts with the
+/// MsgKind byte (values 1..10), which a transport reads without parsing
+/// the payload; slot 0 collects frames that don't carry a known kind byte.
+inline constexpr std::size_t kNetKindSlots = 11;
+
+struct NodeNetStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // counted at the sender
+
+  // Per-message-type breakdowns, indexed by the payload's leading MsgKind
+  // byte (slot 0 = unrecognized). Totals above are the sums of these.
+  std::array<std::uint64_t, kNetKindSlots> msgs_sent_by_kind{};
+  std::array<std::uint64_t, kNetKindSlots> bytes_sent_by_kind{};
+  std::array<std::uint64_t, kNetKindSlots> msgs_delivered_by_kind{};
+  std::array<std::uint64_t, kNetKindSlots> bytes_delivered_by_kind{};
+
+  NodeNetStats& operator+=(const NodeNetStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    messages_delivered += o.messages_delivered;
+    bytes_delivered += o.bytes_delivered;
+    messages_dropped += o.messages_dropped;
+    for (std::size_t k = 0; k < kNetKindSlots; ++k) {
+      msgs_sent_by_kind[k] += o.msgs_sent_by_kind[k];
+      bytes_sent_by_kind[k] += o.bytes_sent_by_kind[k];
+      msgs_delivered_by_kind[k] += o.msgs_delivered_by_kind[k];
+      bytes_delivered_by_kind[k] += o.bytes_delivered_by_kind[k];
+    }
+    return *this;
+  }
+};
+
+}  // namespace marlin::net

@@ -1,0 +1,106 @@
+#include "common/wire_codec.h"
+
+#include <cstring>
+
+namespace marlin::wire {
+
+namespace {
+// Mirrors types::MsgKind wire values 1..10; slot 0 = unknown kind byte.
+constexpr std::string_view kKindNames[net::kNetKindSlots] = {
+    "unknown",      "client_request", "client_reply",
+    "proposal",     "vote",           "qc_notice",
+    "view_change",  "fetch_request",  "fetch_response",
+    "snapshot_request", "snapshot_response",
+};
+}  // namespace
+
+std::size_t kind_slot(BytesView payload) {
+  if (payload.empty()) return 0;
+  const std::uint8_t kind = payload[0];
+  return kind < net::kNetKindSlots ? kind : 0;
+}
+
+std::string_view kind_slot_name(std::size_t slot) {
+  return slot < net::kNetKindSlots ? kKindNames[slot] : kKindNames[0];
+}
+
+std::array<std::uint8_t, kHeaderSize> encode_header(
+    std::uint32_t payload_size) {
+  return {static_cast<std::uint8_t>(payload_size),
+          static_cast<std::uint8_t>(payload_size >> 8),
+          static_cast<std::uint8_t>(payload_size >> 16),
+          static_cast<std::uint8_t>(payload_size >> 24)};
+}
+
+void append_frame(Bytes& out, BytesView payload) {
+  const auto header = encode_header(static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), header.begin(), header.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+Bytes hello_payload(std::uint32_t node_id) {
+  Bytes body;
+  body.reserve(5);
+  body.push_back(kHelloKind);
+  const auto id = encode_header(node_id);  // same u32 LE layout
+  body.insert(body.end(), id.begin(), id.end());
+  return body;
+}
+
+bool parse_hello(BytesView payload, std::uint32_t* node_id) {
+  if (payload.size() != 5 || payload[0] != kHelloKind) return false;
+  *node_id = static_cast<std::uint32_t>(payload[1]) |
+             static_cast<std::uint32_t>(payload[2]) << 8 |
+             static_cast<std::uint32_t>(payload[3]) << 16 |
+             static_cast<std::uint32_t>(payload[4]) << 24;
+  return true;
+}
+
+Status FrameDecoder::feed(BytesView chunk) {
+  if (poisoned_) {
+    return error(ErrorCode::kCorruption, "frame decoder poisoned");
+  }
+  // Compact once the consumed prefix dominates, so long-lived connections
+  // do not accrete every frame ever received.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (64u << 10))) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  // Validate the next header eagerly so an oversize declaration is caught
+  // at feed time, before the caller buffers toward an absurd length.
+  if (buf_.size() - pos_ >= kHeaderSize) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, buf_.data() + pos_, kHeaderSize);
+    if (len > max_payload_) {
+      poisoned_ = true;
+      return error(ErrorCode::kCorruption,
+                   "frame payload length " + std::to_string(len) +
+                       " exceeds limit " + std::to_string(max_payload_));
+    }
+  }
+  return Status::ok();
+}
+
+bool FrameDecoder::next(Bytes& frame) {
+  if (poisoned_) return false;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kHeaderSize) return false;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + pos_, kHeaderSize);
+  if (len > max_payload_) {
+    poisoned_ = true;
+    return false;
+  }
+  if (avail < kHeaderSize + len) return false;
+  const auto* begin = buf_.data() + pos_ + kHeaderSize;
+  frame.assign(begin, begin + len);
+  pos_ += kHeaderSize + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace marlin::wire

@@ -9,6 +9,8 @@
 #include <map>
 #include <variant>
 
+#include "common/json.h"
+
 namespace marlin::faults {
 
 namespace {
@@ -313,169 +315,16 @@ std::string FaultPlan::to_json() const {
 }
 
 // ---------------------------------------------------------------------------
-// JSON parser — a minimal recursive-descent parser covering the plan
-// schema (objects, arrays, strings, numbers, true/false/null). Kept
-// private here; the repo intentionally has no general JSON dependency.
+// JSON plan decoding — the document parser moved to common/json (it is
+// shared with cluster configs and bench baselines); only the plan-schema
+// readers stay here.
 // ---------------------------------------------------------------------------
 
 namespace {
 
-struct JsonValue;
-using JsonArray = std::vector<JsonValue>;
-using JsonObject = std::map<std::string, JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-               JsonObject>
-      v = nullptr;
-
-  const JsonObject* object() const { return std::get_if<JsonObject>(&v); }
-  const JsonArray* array() const { return std::get_if<JsonArray>(&v); }
-  const std::string* str() const { return std::get_if<std::string>(&v); }
-  const double* num() const { return std::get_if<double>(&v); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : s_(text) {}
-
-  Result<JsonValue> parse() {
-    auto v = value();
-    if (!v.is_ok()) return v;
-    skip_ws();
-    if (pos_ != s_.size()) {
-      return fail("trailing content after JSON document");
-    }
-    return v;
-  }
-
- private:
-  Status fail(const std::string& what) {
-    return error(ErrorCode::kInvalidArgument,
-                 what + " (at byte " + std::to_string(pos_) + ")");
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool eat(char c) {
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Result<JsonValue> value() {
-    skip_ws();
-    if (pos_ >= s_.size()) return fail("unexpected end of input");
-    const char c = s_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      auto s = string();
-      if (!s.is_ok()) return s.status();
-      return JsonValue{std::move(s).take()};
-    }
-    if (c == 't' || c == 'f' || c == 'n') return literal();
-    return number();
-  }
-
-  Result<JsonValue> literal() {
-    auto match = [&](std::string_view word) {
-      if (s_.substr(pos_, word.size()) != word) return false;
-      pos_ += word.size();
-      return true;
-    };
-    if (match("true")) return JsonValue{true};
-    if (match("false")) return JsonValue{false};
-    if (match("null")) return JsonValue{nullptr};
-    return fail("unknown literal");
-  }
-
-  Result<JsonValue> number() {
-    const char* start = s_.data() + pos_;
-    char* end = nullptr;
-    const double v = std::strtod(start, &end);
-    if (end == start) return fail("expected a number");
-    pos_ += static_cast<std::size_t>(end - start);
-    return JsonValue{v};
-  }
-
-  Result<std::string> string() {
-    if (!eat('"')) return fail("expected '\"'");
-    std::string out;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) break;
-        const char esc = s_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
-            const unsigned code = static_cast<unsigned>(
-                std::strtoul(std::string(s_.substr(pos_, 4)).c_str(),
-                             nullptr, 16));
-            pos_ += 4;
-            // Plan strings are ASCII names; map non-ASCII to '?'.
-            out += code < 0x80 ? static_cast<char>(code) : '?';
-            break;
-          }
-          default:
-            return fail("unsupported escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  Result<JsonValue> array() {
-    if (!eat('[')) return fail("expected '['");
-    JsonArray out;
-    if (eat(']')) return JsonValue{std::move(out)};
-    while (true) {
-      auto v = value();
-      if (!v.is_ok()) return v;
-      out.push_back(std::move(v).take());
-      if (eat(']')) return JsonValue{std::move(out)};
-      if (!eat(',')) return fail("expected ',' or ']'");
-    }
-  }
-
-  Result<JsonValue> object() {
-    if (!eat('{')) return fail("expected '{'");
-    JsonObject out;
-    if (eat('}')) return JsonValue{std::move(out)};
-    while (true) {
-      skip_ws();
-      auto key = string();
-      if (!key.is_ok()) return key.status();
-      if (!eat(':')) return fail("expected ':'");
-      auto v = value();
-      if (!v.is_ok()) return v;
-      out.emplace(std::move(key).take(), std::move(v).take());
-      if (eat('}')) return JsonValue{std::move(out)};
-      if (!eat(',')) return fail("expected ',' or '}'");
-    }
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
+using JsonValue = json::Value;
+using JsonArray = json::Array;
+using JsonObject = json::Object;
 
 Status plan_error(std::size_t index, const std::string& what) {
   return error(ErrorCode::kInvalidArgument,
@@ -521,8 +370,8 @@ std::optional<std::vector<ReplicaId>> read_id_list(const JsonValue& v) {
 
 }  // namespace
 
-Result<FaultPlan> FaultPlan::from_json(std::string_view json) {
-  auto doc = JsonParser(json).parse();
+Result<FaultPlan> FaultPlan::from_json(std::string_view text) {
+  auto doc = ::marlin::json::parse(text);
   if (!doc.is_ok()) return doc.status();
   const JsonObject* root = doc.value().object();
   if (!root) {

@@ -1,0 +1,33 @@
+// Monotonic wall-clock time expressed as the repo's TimePoint. The real
+// runtime reuses every simulator-facing type (Duration, TimePoint,
+// obs::TraceSink timestamps) so the consensus core and the observability
+// stack cannot tell the transports apart; this header is the bridge from
+// CLOCK_MONOTONIC to that shared time axis.
+#pragma once
+
+#include <ctime>
+
+#include "common/sim_time.h"
+
+namespace marlin::realnet {
+
+/// Raw CLOCK_MONOTONIC nanoseconds.
+inline std::int64_t mono_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+/// A process-wide epoch captured on first use, so TimePoints start near
+/// origin (small, log-friendly values — same shape as simulated traces).
+inline std::int64_t mono_epoch() {
+  static const std::int64_t epoch = mono_ns();
+  return epoch;
+}
+
+/// Current monotonic time relative to the process epoch.
+inline TimePoint mono_now() {
+  return TimePoint::from_nanos(mono_ns() - mono_epoch());
+}
+
+}  // namespace marlin::realnet

@@ -1,0 +1,132 @@
+#include "realnet/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace marlin::realnet {
+
+namespace {
+thread_local const void* tls_thread_token = nullptr;
+
+const void* thread_token() {
+  // Address of a thread_local: unique per live thread, no TID syscall.
+  return &tls_thread_token;
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  assert(epoll_fd_ >= 0);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  assert(wake_fd_ >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdHandler* handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0) {
+    handlers_[fd] = handler;
+  }
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::del_fd(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::drain_posted() {
+  // Swap under the lock, run outside it: posted callbacks may post again.
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+bool EventLoop::on_loop_thread() const {
+  return loop_thread_.load(std::memory_order_acquire) == thread_token();
+}
+
+void EventLoop::run_once(Duration max_wait) {
+  loop_thread_.store(thread_token(), std::memory_order_release);
+
+  const TimePoint now = mono_now();
+  std::int64_t timeout_ns = wheel_.next_timeout_ns(now);
+  const std::int64_t cap = max_wait.as_nanos();
+  if (timeout_ns < 0 || timeout_ns > cap) timeout_ns = cap;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    if (!posted_.empty()) timeout_ns = 0;
+  }
+  const int timeout_ms =
+      static_cast<int>((timeout_ns + 999'999) / 1'000'000);  // round up
+
+  epoll_event events[64];
+  const int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+
+  drain_posted();
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t drain = 0;
+      [[maybe_unused]] const auto r = read(wake_fd_, &drain, sizeof drain);
+      continue;
+    }
+    // Re-look-up per event: an earlier handler may have closed this fd.
+    auto it = handlers_.find(fd);
+    if (it != handlers_.end()) it->second->on_fd_event(fd, events[i].events);
+  }
+  wheel_.advance(mono_now());
+  drain_posted();
+}
+
+void EventLoop::run() {
+  stop_.store(false, std::memory_order_release);
+  while (!stop_.load(std::memory_order_acquire)) {
+    run_once(Duration::millis(100));
+  }
+  loop_thread_.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace marlin::realnet

@@ -1,0 +1,91 @@
+// Single-threaded epoll reactor: fd readiness, a monotonic timer wheel,
+// and a thread-safe post() queue (eventfd wakeup). Each replica/client
+// host owns one EventLoop on its own thread; everything that host does —
+// consensus callbacks, timers, socket I/O — runs on that loop thread, so
+// hosts need no internal locking (the same single-threaded discipline the
+// simulator enforces globally, applied per node).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/sim_time.h"
+#include "realnet/clock.h"
+#include "realnet/timer_wheel.h"
+
+namespace marlin::realnet {
+
+/// Receiver of fd readiness events (a socket, a listener). Non-owning
+/// registration: the handler must outlive its registration.
+class FdHandler {
+ public:
+  virtual ~FdHandler() = default;
+  /// `events` is the epoll bitmask (EPOLLIN | EPOLLOUT | ...).
+  virtual void on_fd_event(int fd, std::uint32_t events) = 0;
+};
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // -- fd registration (loop thread only) ------------------------------------
+  void add_fd(int fd, std::uint32_t events, FdHandler* handler);
+  void mod_fd(int fd, std::uint32_t events);
+  void del_fd(int fd);
+
+  // -- timers (loop thread only) ---------------------------------------------
+  TimerHandle schedule_at(TimePoint when, std::function<void()> fn) {
+    return wheel_.schedule_at(when, std::move(fn));
+  }
+  TimerHandle schedule(Duration delay, std::function<void()> fn) {
+    return wheel_.schedule_at(mono_now() + delay, std::move(fn));
+  }
+  /// Fire-and-forget (drops the handle; mirrors Simulator::post).
+  void post_after(Duration delay, std::function<void()> fn) {
+    wheel_.schedule_at(mono_now() + delay, std::move(fn));
+  }
+
+  // -- cross-thread ----------------------------------------------------------
+  /// Enqueues `fn` to run on the loop thread; safe from any thread and
+  /// from within loop callbacks. The loop is woken if blocked in epoll.
+  void post(std::function<void()> fn);
+
+  /// Requests run() to return after the current iteration (any thread).
+  void stop();
+
+  // -- driving ---------------------------------------------------------------
+  /// Runs until stop(). Must be called from the thread that owns the loop.
+  void run();
+
+  /// Single iteration with bounded wait; exposed for tests and for drain
+  /// loops ("run until this condition or deadline").
+  void run_once(Duration max_wait);
+
+  /// True when called from the thread currently inside run()/run_once().
+  bool on_loop_thread() const;
+
+ private:
+  void drain_posted();
+  void wake();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd
+  TimerWheel wheel_;
+  std::unordered_map<int, FdHandler*> handlers_;
+
+  std::mutex posted_mu_;
+  std::deque<std::function<void()>> posted_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<const void*> loop_thread_{nullptr};
+};
+
+}  // namespace marlin::realnet

@@ -1,0 +1,349 @@
+#include "realnet/real_cluster.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace marlin::realnet {
+
+namespace {
+/// Client start stagger (see runtime::Cluster::start): synchronized
+/// closed-loop clients refill in lockstep generations otherwise.
+Duration client_stagger(std::size_t c) {
+  return Duration::millis(5) +
+         Duration::millis(41) * static_cast<std::int64_t>(c);
+}
+}  // namespace
+
+RealCluster::RealCluster(runtime::ClusterConfig config,
+                         RealClusterOptions options)
+    : config_(std::move(config)), options_(std::move(options)) {
+  const std::uint32_t total = n() + config_.clients.count;
+  nodes_.resize(total);
+  endpoints_.resize(total);
+
+  // Phase 1: bind every listener on the construction thread so the full
+  // endpoint table exists before any node (or its peers) can dial.
+  for (std::uint32_t id = 0; id < total; ++id) {
+    if (Status s = bind_listener(nodes_[id]); !s.is_ok()) {
+      init_status_ = s;
+      return;
+    }
+    endpoints_[id] = Endpoint{"127.0.0.1", nodes_[id].port};
+  }
+
+  // Phase 2: construct loops, transports, and hosts (still this thread;
+  // loops are not running yet, so no synchronization is needed).
+  for (std::uint32_t id = 0; id < total; ++id) {
+    if (Status s = build_node(id); !s.is_ok()) {
+      init_status_ = s;
+      return;
+    }
+  }
+}
+
+RealCluster::~RealCluster() { stop(); }
+
+Status RealCluster::bind_listener(Node& node) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return error(ErrorCode::kIoError,
+                 "socket: " + std::string(strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(node.port);  // 0 first time; fixed port on relaunch
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      listen(fd, 64) != 0) {
+    const std::string msg = strerror(errno);
+    close(fd);
+    return error(ErrorCode::kIoError, "bind/listen: " + msg);
+  }
+  socklen_t len = sizeof addr;
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  node.port = ntohs(addr.sin_port);
+  node.pending_listen_fd = fd;
+  return Status::ok();
+}
+
+Status RealCluster::build_node(std::uint32_t id) {
+  Node& node = nodes_[id];
+  node.loop = std::make_unique<EventLoop>();
+  node.transport =
+      std::make_unique<TcpTransport>(*node.loop, id, options_.transport);
+  node.transport->adopt_listener(node.pending_listen_fd);
+  node.pending_listen_fd = -1;
+  for (std::uint32_t peer = 0; peer < endpoints_.size(); ++peer) {
+    if (peer != id) node.transport->set_peer(peer, endpoints_[peer]);
+  }
+  if (options_.trace) {
+    node.trace = std::make_unique<obs::TraceSink>(options_.trace_capacity);
+    node.trace->set_clock([] { return mono_now(); });
+    node.transport->set_trace(node.trace.get());
+  }
+
+  if (id < n()) {
+    // Suites built from the same seed are identical; a private instance per
+    // replica keeps the (non-thread-safe) verification caches unshared.
+    Bytes seed_bytes(8);
+    for (int i = 0; i < 8; ++i) {
+      seed_bytes[i] = static_cast<std::uint8_t>(config_.seed >> (8 * i));
+    }
+    node.suite = crypto::make_fast_suite(n(), seed_bytes);
+
+    const runtime::ConsensusConfig& cons = config_.consensus;
+    RealReplicaConfig rc;
+    rc.replica.id = id;
+    rc.replica.quorum = QuorumParams::for_f(config_.f);
+    rc.replica.max_batch_ops = cons.max_batch_ops;
+    rc.replica.pipelined = cons.pipelined;
+    rc.replica.allow_empty_blocks = cons.allow_empty_blocks;
+    rc.replica.disable_happy_path = cons.disable_happy_path;
+    rc.replica.use_threshold_sigs = cons.use_threshold_sigs;
+    rc.protocol = cons.protocol;
+    rc.pacemaker = cons.pacemaker;
+    rc.checkpoint_interval = cons.checkpoint_interval;
+    rc.reply_size = cons.reply_size;
+    rc.client_base = n();
+    rc.sync_writes = options_.sync_writes;
+    rc.trace = node.trace.get();
+    if (!options_.data_dir.empty()) {
+      rc.data_dir = options_.data_dir + "/r" + std::to_string(id);
+    }
+    node.replica = std::make_unique<RealReplica>(*node.loop, *node.transport,
+                                                 *node.suite, rc);
+    if (!node.replica->ok().is_ok()) return node.replica->ok();
+    RealReplica* host = node.replica.get();
+    node.transport->set_handler([host](std::uint32_t from, Payload p) {
+      host->on_message(from, std::move(p));
+    });
+  } else {
+    RealClientConfig cc;
+    cc.id = id - n();
+    cc.quorum = QuorumParams::for_f(config_.f);
+    cc.window = config_.clients.window;
+    cc.payload_size = config_.clients.payload_size;
+    cc.retransmit_timeout = config_.clients.retransmit_timeout;
+    cc.max_requests = config_.clients.max_requests;
+    cc.rng_seed = config_.seed * 0x9e3779b97f4a7c15ull + id;
+    cc.trace = node.trace.get();
+    node.client =
+        std::make_unique<RealClient>(*node.loop, *node.transport, cc);
+    RealClient* host = node.client.get();
+    node.transport->set_handler([host](std::uint32_t from, Payload p) {
+      host->on_message(from, std::move(p));
+    });
+  }
+  return Status::ok();
+}
+
+void RealCluster::start_node(std::uint32_t id) {
+  Node& node = nodes_[id];
+  EventLoop* loop = node.loop.get();
+  node.thread = std::thread([loop] { loop->run(); });
+  node.alive = true;
+  if (node.replica) {
+    RealReplica* host = node.replica.get();
+    loop->post([host] { host->start(); });
+  } else {
+    RealClient* host = node.client.get();
+    loop->post([loop, host, delay = client_stagger(id - n())] {
+      loop->post_after(delay, [host] { host->start(); });
+    });
+  }
+}
+
+void RealCluster::start() {
+  if (running_ || !init_status_.is_ok()) return;
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) start_node(id);
+  running_ = true;
+}
+
+void RealCluster::begin_stop(std::uint32_t id, bool drain) {
+  Node& node = nodes_[id];
+  if (!node.alive) return;
+  EventLoop* loop = node.loop.get();
+  TcpTransport* transport = node.transport.get();
+
+  // Clean shutdown drains in-flight sends: poll the egress queues on the
+  // loop thread until empty (or patience runs out), then close everything
+  // and stop the loop. The polling closure reschedules itself, so it must
+  // live on the heap until the final round.
+  const TimePoint deadline = mono_now() + (drain ? options_.drain_timeout
+                                                 : Duration::zero());
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [loop, transport, deadline, step] {
+    if (transport->pending_egress_bytes() > 0 && mono_now() < deadline) {
+      loop->post_after(Duration::millis(1), [step] { (*step)(); });
+      return;
+    }
+    transport->shutdown();
+    loop->stop();
+  };
+  loop->post([step] { (*step)(); });
+}
+
+void RealCluster::join_node(std::uint32_t id) {
+  Node& node = nodes_[id];
+  if (!node.alive) return;
+  node.thread.join();
+  node.alive = false;
+}
+
+void RealCluster::stop() {
+  if (!running_) return;
+  // 1. Quiesce clients: stop issuing, keep the loops alive so replies and
+  //    replica drains still land somewhere.
+  for (std::uint32_t id = n(); id < nodes_.size(); ++id) {
+    if (!nodes_[id].alive) continue;
+    RealClient* host = nodes_[id].client.get();
+    nodes_[id].loop->post([host] { host->quiesce(); });
+  }
+  // 2. Drain and stop every replica concurrently (while all are live their
+  //    mutual egress flushes; serial stops would strand frames addressed
+  //    to already-stopped peers until the drain deadline).
+  for (std::uint32_t id = 0; id < n(); ++id) begin_stop(id, /*drain=*/true);
+  for (std::uint32_t id = 0; id < n(); ++id) join_node(id);
+  // 3. Stop the clients.
+  for (std::uint32_t id = n(); id < nodes_.size(); ++id) {
+    begin_stop(id, /*drain=*/false);
+  }
+  for (std::uint32_t id = n(); id < nodes_.size(); ++id) join_node(id);
+  running_ = false;
+}
+
+void RealCluster::kill_replica(ReplicaId i) {
+  begin_stop(i, /*drain=*/false);
+  join_node(i);
+}
+
+bool RealCluster::replica_alive(ReplicaId i) const {
+  return nodes_[i].alive;
+}
+
+Status RealCluster::relaunch_replica(ReplicaId i) {
+  Node& node = nodes_[i];
+  if (node.alive) return Status::ok();
+  // Tear down the dead incarnation (its data dir survives), rebind the
+  // same port, rebuild, rejoin. Peers redial lazily via backoff.
+  node.replica.reset();
+  node.transport.reset();
+  node.loop.reset();
+  node.suite.reset();
+  node.trace.reset();
+  if (Status s = bind_listener(node); !s.is_ok()) return s;
+  if (Status s = build_node(i); !s.is_ok()) return s;
+  start_node(i);
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Metrology
+// ---------------------------------------------------------------------------
+
+const net::NodeNetStats& RealCluster::node_stats(std::uint32_t id) const {
+  return nodes_[id].transport->stats();
+}
+
+void RealCluster::set_measurement_window(TimePoint start, TimePoint end) {
+  for (auto& node : nodes_) {
+    if (node.client) node.client->completed().set_window(start, end);
+    if (node.replica) node.replica->committed_ops().set_window(start, end);
+  }
+}
+
+double RealCluster::client_throughput() const {
+  double total = 0;
+  for (const auto& node : nodes_) {
+    if (node.client) total += node.client->completed().rate_per_second();
+  }
+  return total;
+}
+
+double RealCluster::latency_ms(double percentile) const {
+  LatencyHistogram merged;
+  for (const auto& node : nodes_) {
+    if (node.client) merged.merge_from(node.client->latency());
+  }
+  return merged.percentile(percentile).as_millis_f();
+}
+
+double RealCluster::mean_latency_ms() const {
+  LatencyHistogram merged;
+  for (const auto& node : nodes_) {
+    if (node.client) merged.merge_from(node.client->latency());
+  }
+  return merged.mean().as_millis_f();
+}
+
+std::uint64_t RealCluster::total_completed() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node.client) total += node.client->completed().total();
+  }
+  return total;
+}
+
+bool RealCluster::any_safety_violation() const {
+  for (std::uint32_t i = 0; i < n(); ++i) {
+    if (!nodes_[i].replica) continue;
+    if (nodes_[i].replica->protocol().safety_violated()) return true;
+  }
+  return false;
+}
+
+bool RealCluster::committed_heights_consistent() const {
+  // A stopped (or killed-and-joined) replica's final state is still
+  // readable through its host object; no liveness filter here.
+  for (std::uint32_t i = 0; i < n(); ++i) {
+    if (!nodes_[i].replica) continue;
+    for (std::uint32_t j = i + 1; j < n(); ++j) {
+      if (!nodes_[j].replica) continue;
+      const auto& a = nodes_[i].replica->protocol();
+      const auto& b = nodes_[j].replica->protocol();
+      const auto& lo = a.committed_height() <= b.committed_height() ? a : b;
+      const auto& hi = a.committed_height() <= b.committed_height() ? b : a;
+      if (lo.committed_height() == 0) continue;
+      if (!hi.store().extends(hi.committed_hash(), lo.committed_hash())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Height RealCluster::min_committed_height() const {
+  Height min = 0;
+  bool first = true;
+  for (std::uint32_t i = 0; i < n(); ++i) {
+    if (!nodes_[i].replica) continue;
+    const Height h = nodes_[i].replica->protocol().committed_height();
+    min = first ? h : std::min(min, h);
+    first = false;
+  }
+  return min;
+}
+
+std::vector<obs::TraceEvent> RealCluster::merged_trace_events() const {
+  std::vector<obs::TraceEvent> all;
+  for (const auto& node : nodes_) {
+    if (!node.trace) continue;
+    auto events = node.trace->events();
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+  return all;
+}
+
+}  // namespace marlin::realnet

@@ -1,0 +1,126 @@
+// Full real-socket deployment on localhost: n replicas + m closed-loop
+// clients, each a TcpTransport + EventLoop on its own thread, speaking
+// length-prefixed frames over 127.0.0.1 TCP. Reuses runtime::ClusterConfig
+// so a sim experiment and a metal run share one description (the simnet
+// fields — NetConfig latency model, fault plan — simply don't apply here;
+// real crashes are injected with kill_replica/relaunch_replica).
+//
+// Construction happens entirely on the calling thread: every node's
+// listener is pre-bound (ephemeral ports) so the full endpoint table
+// exists before any node thread spawns. start() launches the threads;
+// stop() drains egress queues, stops the loops, and joins. Metrology
+// accessors are safe only while the cluster is stopped (construction→start
+// or after stop()) — node state belongs to node threads in between.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/signer.h"
+#include "realnet/real_client.h"
+#include "realnet/real_replica.h"
+#include "runtime/cluster.h"
+
+namespace marlin::realnet {
+
+struct RealClusterOptions {
+  /// Base directory for replica stores ("<dir>/r<i>"); empty = in-memory
+  /// (no kill+relaunch durability).
+  std::string data_dir;
+  /// fsync WAL writes (real crash-consistency at real fsync cost).
+  bool sync_writes = false;
+  /// Per-node event tracing into private sinks (merged_trace_events()).
+  bool trace = false;
+  std::size_t trace_capacity = obs::TraceSink::kDefaultCapacity;
+  TransportConfig transport;
+  /// Patience for egress drain during stop().
+  Duration drain_timeout = Duration::seconds(2);
+};
+
+class RealCluster {
+ public:
+  explicit RealCluster(runtime::ClusterConfig config,
+                       RealClusterOptions options = {});
+  ~RealCluster();
+
+  RealCluster(const RealCluster&) = delete;
+  RealCluster& operator=(const RealCluster&) = delete;
+
+  /// Construction result (listener binds, store opens). Do not start() a
+  /// cluster whose ok() failed.
+  Status ok() const { return init_status_; }
+
+  std::uint32_t n() const { return 3 * config_.f + 1; }
+  std::uint32_t f() const { return config_.f; }
+  std::uint32_t client_count() const { return config_.clients.count; }
+  const runtime::ClusterConfig& config() const { return config_; }
+
+  /// Spawns every node thread, starts replicas, then staggered clients.
+  void start();
+  /// Drains egress, stops loops, joins threads. Idempotent.
+  void stop();
+  bool running() const { return running_; }
+
+  // -- crash faults ----------------------------------------------------------
+  /// Hard-stops replica i: its loop halts, every socket closes (peers see
+  /// resets). With a data_dir, the store survives for relaunch.
+  void kill_replica(ReplicaId i);
+  /// Rebuilds replica i over its surviving data dir (restore-from-disk) on
+  /// the same port and rejoins it to the cluster (peers redial lazily).
+  Status relaunch_replica(ReplicaId i);
+  bool replica_alive(ReplicaId i) const;
+
+  // -- metrology (stopped cluster only, unless noted) ------------------------
+  RealReplica& replica(ReplicaId i) { return *nodes_[i].replica; }
+  RealClient& client(ClientId i) { return *nodes_[n() + i].client; }
+  /// Wire stats for node id (replicas then clients) — safe after stop().
+  const net::NodeNetStats& node_stats(std::uint32_t id) const;
+  /// Node id's transport (drain/shutdown assertions) — safe after stop().
+  TcpTransport& transport(std::uint32_t id) { return *nodes_[id].transport; }
+
+  /// Sets the throughput measurement window on every counter; call before
+  /// start() (times on the mono_now() axis).
+  void set_measurement_window(TimePoint start, TimePoint end);
+  double client_throughput() const;
+  double latency_ms(double percentile) const;
+  double mean_latency_ms() const;
+  std::uint64_t total_completed() const;
+  bool any_safety_violation() const;
+  bool committed_heights_consistent() const;
+  Height min_committed_height() const;
+
+  /// All nodes' trace events merged and time-sorted (requires
+  /// options.trace; empty otherwise).
+  std::vector<obs::TraceEvent> merged_trace_events() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<EventLoop> loop;
+    std::unique_ptr<TcpTransport> transport;
+    std::unique_ptr<obs::TraceSink> trace;
+    std::unique_ptr<crypto::SignatureSuite> suite;  // replicas only
+    std::unique_ptr<RealReplica> replica;           // replicas only
+    std::unique_ptr<RealClient> client;             // clients only
+    std::thread thread;
+    std::uint16_t port = 0;
+    int pending_listen_fd = -1;  // bound, not yet adopted by a transport
+    bool alive = false;
+  };
+
+  Status bind_listener(Node& node);
+  Status build_node(std::uint32_t id);
+  void start_node(std::uint32_t id);
+  void begin_stop(std::uint32_t id, bool drain);
+  void join_node(std::uint32_t id);
+
+  runtime::ClusterConfig config_;
+  RealClusterOptions options_;
+  Status init_status_ = Status::ok();
+  std::vector<Node> nodes_;
+  std::vector<Endpoint> endpoints_;
+  bool running_ = false;
+};
+
+}  // namespace marlin::realnet

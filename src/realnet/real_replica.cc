@@ -1,0 +1,238 @@
+#include "realnet/real_replica.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/serialize.h"
+
+namespace marlin::realnet {
+
+using types::Envelope;
+using types::MsgKind;
+
+namespace {
+// Same key the simulated host uses (runtime/replica_process.cc): a data dir
+// written under simulation could in principle be relaunched here.
+constexpr const char* kPStateKey = "meta/pstate";
+}  // namespace
+
+RealReplica::RealReplica(EventLoop& loop, TcpTransport& transport,
+                         const crypto::SignatureSuite& suite,
+                         RealReplicaConfig config)
+    : loop_(loop),
+      transport_(transport),
+      suite_(suite),
+      config_(std::move(config)),
+      pacemaker_(config_.pacemaker) {
+  if (config_.data_dir.empty()) {
+    db_env_ = storage::make_mem_env();
+  } else {
+    auto env = storage::make_posix_env(config_.data_dir);
+    if (!env.is_ok()) {
+      init_status_ = env.status();
+      return;
+    }
+    db_env_ = std::move(env).take();
+  }
+  storage::KVStoreOptions db_options;
+  db_options.sync_writes = config_.sync_writes;
+  db_options.trace = config_.trace;
+  db_options.trace_node = config_.replica.id;
+  auto db = storage::KVStore::open(*db_env_, db_options);
+  if (!db.is_ok()) {
+    init_status_ = db.status();
+    return;
+  }
+  db_ = std::move(db).take();
+
+  // Relaunch-from-disk: restore the persisted consensus state if this data
+  // dir has one (write-ahead voting makes it the safety-critical record of
+  // every vote the previous incarnation cast).
+  consensus::PersistentState ps;
+  if (auto rec = db_->get(kPStateKey); rec.is_ok()) {
+    Reader r(rec.value());
+    auto decoded = consensus::PersistentState::decode(r);
+    if (decoded.is_ok() && r.expect_exhausted().is_ok()) {
+      ps = std::move(decoded).take();
+      recovered_ = true;
+    }
+  }
+  make_protocol();
+  if (recovered_) {
+    protocol_->restore(ps);
+    metrics_.counter("recovery.restarts") += 1;
+    trace({.type = obs::EventType::kReplicaRestart,
+           .view = protocol_->current_view(),
+           .height = ps.committed_height,
+           .b = db_->wal_records_replayed()});
+  }
+}
+
+void RealReplica::make_protocol() {
+  if (config_.protocol == runtime::ProtocolKind::kMarlin) {
+    protocol_ = std::make_unique<consensus::MarlinReplica>(config_.replica,
+                                                           suite_, *this);
+  } else {
+    protocol_ = std::make_unique<consensus::HotStuffReplica>(config_.replica,
+                                                             suite_, *this);
+  }
+}
+
+void RealReplica::start() { protocol_->start(); }
+
+void RealReplica::on_message(std::uint32_t from, Payload payload) {
+  auto env = Envelope::parse(payload.view());
+  if (!env.is_ok()) return;
+  if (env.value().kind == MsgKind::kSnapshotResponse) {
+    metrics_.counter("state_transfer.bytes") += payload.size();
+  }
+  protocol_->handle_message(static_cast<ReplicaId>(from), env.value());
+}
+
+// ---------------------------------------------------------------------------
+// ProtocolEnv
+// ---------------------------------------------------------------------------
+
+void RealReplica::send(ReplicaId to, const Envelope& env) {
+  send_wire(to, env);
+}
+
+void RealReplica::send_wire(ReplicaId to, const Envelope& env,
+                            const Payload* pre) {
+  Payload wire = pre != nullptr ? *pre : Payload(env.serialize());
+  trace({.type = obs::EventType::kMsgSent,
+         .kind = static_cast<std::uint8_t>(env.kind),
+         .view = protocol_ ? protocol_->current_view() : 0,
+         .a = wire.size()});
+  transport_.send(to, std::move(wire));
+}
+
+void RealReplica::broadcast(const Envelope& env) {
+  // Serialize once; all n destinations (including the loopback self-send)
+  // share the refcounted buffer — same zero-copy shape as the simulator.
+  const Payload shared(env.serialize());
+  const std::uint32_t n = config_.replica.quorum.n;
+  for (ReplicaId r = 0; r < n; ++r) send_wire(r, env, &shared);
+}
+
+void RealReplica::deliver(const types::Block& block,
+                          const std::vector<types::Operation>& executable) {
+  if (!commit_seen_in_view_) commit_seen_in_view_ = true;
+
+  char key[32];
+  std::snprintf(key, sizeof key, "blk/%012llu",
+                static_cast<unsigned long long>(block.height));
+  Writer rec;
+  rec.u64(block.view);
+  rec.u64(block.height);
+  rec.varint(executable.size());
+  rec.raw(block.hash().view());
+  (void)db_->put(key, rec.buffer());
+
+  if (++blocks_since_checkpoint_ >= config_.checkpoint_interval) {
+    (void)db_->checkpoint();
+    blocks_since_checkpoint_ = 0;
+    metrics_.counter("storage.checkpoints") += 1;
+  }
+
+  // One batched reply per client, padded so wire bytes equal
+  // |requests| × reply_size (identical accounting to the simulated host).
+  std::map<ClientId, std::vector<RequestId>> by_client;
+  for (const types::Operation& op : executable) {
+    by_client[op.client].push_back(op.request);
+  }
+  const types::Hash256 block_hash = block.hash();
+  for (auto& [client, requests] : by_client) {
+    types::ClientReplyMsg reply;
+    reply.client = client;
+    reply.replica = config_.replica.id;
+    reply.view = block.view;
+    reply.height = block.height;
+    reply.result.assign(block_hash.data.begin(), block_hash.data.begin() + 8);
+    const std::size_t body_overhead = 45 + 8 * requests.size();
+    const std::size_t target = config_.reply_size * requests.size();
+    if (target > body_overhead) {
+      reply.padding.assign(target - body_overhead, 0xcd);
+    }
+    reply.requests = std::move(requests);
+    Payload wire(
+        types::make_envelope(MsgKind::kClientReply, reply).serialize());
+    trace({.type = obs::EventType::kMsgSent,
+           .kind = static_cast<std::uint8_t>(MsgKind::kClientReply),
+           .view = block.view,
+           .height = block.height,
+           .a = wire.size()});
+    transport_.send(config_.client_base + client, std::move(wire));
+  }
+
+  committed_ops_.record(mono_now(), executable.size());
+  metrics_.counter("replica.committed_blocks") += 1;
+  metrics_.counter("replica.committed_ops") += executable.size();
+  metrics_.gauge("replica.committed_height") =
+      static_cast<double>(block.height);
+  metrics_.sizes("replica.block_ops").record(executable.size());
+}
+
+void RealReplica::entered_view(ViewNumber v) {
+  trace({.type = obs::EventType::kViewEntered, .view = v});
+  metrics_.gauge("replica.view") = static_cast<double>(v);
+  commit_seen_in_view_ = false;
+  pacemaker_.on_view_entered();
+  arm_view_timer();
+}
+
+void RealReplica::progressed() { pacemaker_.on_progress(); }
+
+void RealReplica::persist_state(const consensus::PersistentState& state) {
+  // Write-ahead voting: this put returns before the protocol resumes and
+  // emits the dependent vote, so the vote is durable first. (With
+  // sync_writes the WAL is also fsynced; without it, durability is
+  // process-crash-level, which is what the kill+relaunch tests exercise.)
+  Writer w;
+  state.encode(w);
+  (void)db_->put(kPStateKey, w.buffer());
+  metrics_.counter("storage.pstate_writes") += 1;
+}
+
+void RealReplica::arm_view_timer() {
+  view_timer_.cancel();
+  view_timer_ = loop_.schedule(
+      pacemaker_.view_timeout(config_.replica.id, protocol_->current_view()),
+      [this] {
+        // Same policy as the simulated host: recovery ticks retransmit the
+        // snapshot request; idle views don't churn; the advance is
+        // quorum-gated inside the protocol.
+        if (protocol_->recovering()) {
+          protocol_->recovery_tick();
+          arm_view_timer();
+          return;
+        }
+        const bool idle = !config_.pacemaker.rotate_on_timer &&
+                          protocol_->pool().empty();
+        if (!idle && pacemaker_.should_advance_on_fire()) {
+          protocol_->on_view_timeout();
+        }
+        arm_view_timer();
+      });
+}
+
+void RealReplica::charge_signs(std::uint32_t count) {
+  metrics_.counter("crypto.signs") += count;
+}
+void RealReplica::charge_verifies(std::uint32_t count) {
+  metrics_.counter("crypto.verifies") += count;
+}
+void RealReplica::charge_hash_bytes(std::size_t bytes) {
+  metrics_.counter("crypto.hash_bytes") += bytes;
+}
+void RealReplica::charge_pairings(std::uint32_t count) {
+  metrics_.counter("crypto.pairings") += count;
+}
+void RealReplica::charge_threshold_signs(std::uint32_t count) {
+  metrics_.counter("crypto.threshold_signs") += count;
+}
+void RealReplica::charge_combine_shares(std::uint32_t count) {
+  metrics_.counter("crypto.combine_shares") += count;
+}
+
+}  // namespace marlin::realnet

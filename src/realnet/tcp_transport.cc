@@ -1,0 +1,426 @@
+#include "realnet/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace marlin::realnet {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64u << 10;
+constexpr int kListenBacklog = 64;
+
+int make_nonblocking_socket() {
+  return socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+}
+
+sockaddr_in make_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr);
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  // Consensus frames are small and latency-bound; never batch them behind
+  // Nagle. Sub-MTU writev batches do the coalescing explicitly instead.
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(EventLoop& loop, std::uint32_t node_id,
+                           TransportConfig config)
+    : loop_(loop), node_id_(node_id), config_(config) {}
+
+TcpTransport::~TcpTransport() {
+  if (!shut_down_) shutdown();
+}
+
+Result<std::uint16_t> TcpTransport::listen(std::uint16_t port) {
+  const int fd = make_nonblocking_socket();
+  if (fd < 0) return error(ErrorCode::kIoError, "socket: " + std::string(strerror(errno)));
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(Endpoint{"127.0.0.1", port});
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string msg = strerror(errno);
+    close(fd);
+    return error(ErrorCode::kIoError, "bind: " + msg);
+  }
+  if (::listen(fd, kListenBacklog) != 0) {
+    const std::string msg = strerror(errno);
+    close(fd);
+    return error(ErrorCode::kIoError, "listen: " + msg);
+  }
+  socklen_t len = sizeof addr;
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  adopt_listener(fd);
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+void TcpTransport::adopt_listener(int fd) {
+  assert(listen_fd_ < 0);
+  listen_fd_ = fd;
+  loop_.add_fd(listen_fd_, EPOLLIN, this);
+}
+
+void TcpTransport::set_peer(std::uint32_t id, Endpoint ep) {
+  peers_[id].ep = std::move(ep);
+}
+
+void TcpTransport::send(std::uint32_t to, Payload payload) {
+  if (shut_down_) return;
+  const std::size_t size = payload.size();
+  const std::size_t kind = wire::kind_slot(payload.view());
+
+  if (to == node_id_) {
+    // Loopback: skip the kernel entirely, deliver on a fresh loop
+    // iteration (mirrors the simulator's minimal local hop).
+    ++stats_.messages_sent;
+    stats_.bytes_sent += size;
+    ++stats_.msgs_sent_by_kind[kind];
+    stats_.bytes_sent_by_kind[kind] += size;
+    loop_.post([this, p = std::move(payload)]() mutable {
+      deliver_local(node_id_, std::move(p));
+    });
+    return;
+  }
+
+  auto it = peers_.find(to);
+  if (it == peers_.end()) {
+    // No endpoint for this id (e.g. a replica set smaller than the
+    // destination table) — indistinguishable from a dead link.
+    ++stats_.messages_dropped;
+    record_drop(payload, to);
+    return;
+  }
+  Peer& peer = it->second;
+  const std::size_t framed = wire::kHeaderSize + size;
+  if (peer.queue_bytes + framed > config_.max_queue_bytes) {
+    ++stats_.messages_dropped;
+    record_drop(payload, to);
+    return;
+  }
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += size;
+  ++stats_.msgs_sent_by_kind[kind];
+  stats_.bytes_sent_by_kind[kind] += size;
+
+  peer.queue.push_back(EgressFrame{
+      wire::encode_header(static_cast<std::uint32_t>(size)),
+      std::move(payload)});
+  peer.queue_bytes += framed;
+
+  if (peer.fd < 0 && !peer.connecting) {
+    dial(to);
+  } else if (peer.fd >= 0 && !peer.connecting) {
+    flush_peer(to);
+  }
+}
+
+std::size_t TcpTransport::pending_egress_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, peer] : peers_) total += peer.queue_bytes;
+  return total;
+}
+
+void TcpTransport::record_drop(const Payload& payload, std::uint32_t to) {
+  if (!trace_) return;
+  trace_->record({.node = node_id_,
+                  .type = obs::EventType::kMsgDropped,
+                  .kind = static_cast<std::uint8_t>(
+                      wire::kind_slot(payload.view())),
+                  .a = to,
+                  .b = obs::kDropBackpressure});
+}
+
+void TcpTransport::deliver_local(std::uint32_t from, Payload payload) {
+  if (shut_down_) return;
+  const std::size_t size = payload.size();
+  const std::size_t kind = wire::kind_slot(payload.view());
+  ++stats_.messages_delivered;
+  stats_.bytes_delivered += size;
+  ++stats_.msgs_delivered_by_kind[kind];
+  stats_.bytes_delivered_by_kind[kind] += size;
+  if (trace_) {
+    trace_->record({.node = node_id_,
+                    .type = obs::EventType::kMsgDelivered,
+                    .kind = static_cast<std::uint8_t>(kind),
+                    .a = from});
+  }
+  if (handler_) handler_(from, std::move(payload));
+}
+
+// -- dialing ----------------------------------------------------------------
+
+void TcpTransport::dial(std::uint32_t id) {
+  Peer& peer = peers_[id];
+  assert(peer.fd < 0);
+  const int fd = make_nonblocking_socket();
+  if (fd < 0) {
+    schedule_redial(id);
+    return;
+  }
+  set_nodelay(fd);
+  sockaddr_in addr = make_addr(peer.ep);
+  const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    schedule_redial(id);
+    return;
+  }
+  peer.fd = fd;
+  peer.connecting = true;
+  peer.want_write = true;
+  fd_to_peer_[fd] = id;
+  loop_.add_fd(fd, EPOLLOUT, this);
+}
+
+void TcpTransport::schedule_redial(std::uint32_t id) {
+  Peer& peer = peers_[id];
+  peer.backoff = peer.backoff == Duration::zero()
+                     ? config_.reconnect_min
+                     : std::min(peer.backoff * 2, config_.reconnect_max);
+  peer.reconnect = loop_.schedule(peer.backoff, [this, id] {
+    auto it = peers_.find(id);
+    if (it == peers_.end() || shut_down_) return;
+    if (it->second.fd < 0 && !it->second.queue.empty()) dial(id);
+  });
+}
+
+void TcpTransport::on_dial_writable(std::uint32_t id) {
+  Peer& peer = peers_[id];
+  if (peer.connecting) {
+    int err = 0;
+    socklen_t len = sizeof err;
+    getsockopt(peer.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close_peer_conn(id, /*redial=*/true);
+      return;
+    }
+    peer.connecting = false;
+    peer.backoff = Duration::zero();
+    // Identify ourselves before any consensus frame. The hello rides the
+    // same queue (front) so ordering is inherent. Hello bytes are not
+    // consensus traffic: excluded from stats, included in queue_bytes.
+    const Bytes hello = wire::hello_payload(node_id_);
+    peer.queue.push_front(EgressFrame{
+        wire::encode_header(static_cast<std::uint32_t>(hello.size())),
+        Payload(hello)});
+    peer.queue_bytes += wire::kHeaderSize + hello.size();
+    assert(peer.front_offset == 0);
+  }
+  flush_peer(id);
+}
+
+void TcpTransport::flush_peer(std::uint32_t id) {
+  Peer& peer = peers_[id];
+  if (peer.fd < 0 || peer.connecting) return;
+
+  while (!peer.queue.empty()) {
+    // Scatter-gather egress: up to 16 frames per writev, header and
+    // refcounted payload gathered without copying either.
+    iovec iov[32];
+    int iovcnt = 0;
+    std::size_t first_skip = peer.front_offset;
+    for (const EgressFrame& f : peer.queue) {
+      if (iovcnt + 2 > 32) break;
+      const std::uint8_t* hdr = f.header.data();
+      std::size_t hdr_len = f.header.size();
+      const std::uint8_t* body = f.payload.data();
+      std::size_t body_len = f.payload.size();
+      if (first_skip > 0) {  // only the front frame is partially written
+        const std::size_t skip_hdr = std::min(first_skip, hdr_len);
+        hdr += skip_hdr;
+        hdr_len -= skip_hdr;
+        first_skip -= skip_hdr;
+        body += first_skip;
+        body_len -= first_skip;
+        first_skip = 0;
+      }
+      if (hdr_len > 0) {
+        iov[iovcnt++] = {const_cast<std::uint8_t*>(hdr), hdr_len};
+      }
+      if (body_len > 0) {
+        iov[iovcnt++] = {const_cast<std::uint8_t*>(body), body_len};
+      }
+    }
+    if (iovcnt == 0) {
+      // Front frame fully skipped (empty payload edge case): retire it.
+      peer.queue.pop_front();
+      peer.front_offset = 0;
+      continue;
+    }
+    // sendmsg, not writev: MSG_NOSIGNAL turns a write to a peer that died
+    // mid-flight into an EPIPE (handled below) instead of a process-fatal
+    // SIGPIPE.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = sendmsg(peer.fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_peer_conn(id, /*redial=*/true);
+      return;
+    }
+    peer.queue_bytes -= static_cast<std::size_t>(n);
+    std::size_t written = static_cast<std::size_t>(n) + peer.front_offset;
+    while (!peer.queue.empty()) {
+      const std::size_t frame_size =
+          wire::kHeaderSize + peer.queue.front().payload.size();
+      if (written < frame_size) break;
+      written -= frame_size;
+      peer.queue.pop_front();
+    }
+    peer.front_offset = written;
+  }
+
+  const bool need_write = !peer.queue.empty();
+  if (need_write != peer.want_write) {
+    peer.want_write = need_write;
+    loop_.mod_fd(peer.fd, need_write ? EPOLLOUT : 0);
+  }
+}
+
+void TcpTransport::close_peer_conn(std::uint32_t id, bool redial) {
+  Peer& peer = peers_[id];
+  if (peer.fd < 0) return;
+  loop_.del_fd(peer.fd);
+  fd_to_peer_.erase(peer.fd);
+  close(peer.fd);
+  peer.fd = -1;
+  peer.connecting = false;
+  peer.want_write = false;
+  // Unflushed frames stay queued and ride the next connection; a partially
+  // written front frame cannot be resumed mid-stream, so drop it whole.
+  if (peer.front_offset > 0 && !peer.queue.empty()) {
+    peer.queue_bytes -=
+        wire::kHeaderSize + peer.queue.front().payload.size() -
+        peer.front_offset;
+    peer.queue.pop_front();
+    peer.front_offset = 0;
+  }
+  if (redial && !shut_down_ && !peer.queue.empty()) schedule_redial(id);
+}
+
+// -- ingress ----------------------------------------------------------------
+
+void TcpTransport::accept_ready() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for next EPOLLIN
+    set_nodelay(fd);
+    ingress_.emplace(fd, Ingress{wire::FrameDecoder(), kUnknownPeer});
+    loop_.add_fd(fd, EPOLLIN, this);
+  }
+}
+
+void TcpTransport::ingress_readable(int fd) {
+  auto it = ingress_.find(fd);
+  if (it == ingress_.end()) return;
+  std::uint8_t buf[kReadChunk];
+  while (true) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_ingress(fd);
+      return;
+    }
+    if (n == 0) {  // peer closed (crash or clean shutdown)
+      close_ingress(fd);
+      return;
+    }
+    Ingress& in = it->second;
+    if (!in.decoder.feed(BytesView(buf, static_cast<std::size_t>(n)))
+             .is_ok()) {
+      close_ingress(fd);  // oversize/corrupt stream: drop the connection
+      return;
+    }
+    Bytes frame;
+    while (in.decoder.next(frame)) {
+      std::uint32_t hello_id = 0;
+      if (wire::parse_hello(BytesView(frame.data(), frame.size()),
+                            &hello_id)) {
+        in.peer = hello_id;
+        continue;
+      }
+      if (in.peer == kUnknownPeer) {
+        close_ingress(fd);  // consensus frame before hello: protocol error
+        return;
+      }
+      deliver_local(in.peer, Payload(std::move(frame)));
+      frame = Bytes{};
+      // The handler may have shut the transport down (e.g. test teardown).
+      if (shut_down_ || ingress_.find(fd) == ingress_.end()) return;
+    }
+  }
+}
+
+void TcpTransport::close_ingress(int fd) {
+  loop_.del_fd(fd);
+  close(fd);
+  ingress_.erase(fd);
+}
+
+// -- events -----------------------------------------------------------------
+
+void TcpTransport::on_fd_event(int fd, std::uint32_t events) {
+  if (fd == listen_fd_) {
+    accept_ready();
+    return;
+  }
+  if (auto it = fd_to_peer_.find(fd); it != fd_to_peer_.end()) {
+    const std::uint32_t id = it->second;
+    if (events & (EPOLLERR | EPOLLHUP)) {
+      close_peer_conn(id, /*redial=*/true);
+      return;
+    }
+    if (events & EPOLLOUT) on_dial_writable(id);
+    return;
+  }
+  if (ingress_.count(fd)) {
+    if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) ingress_readable(fd);
+  }
+}
+
+void TcpTransport::shutdown() {
+  shut_down_ = true;
+  for (auto& [id, peer] : peers_) {
+    peer.reconnect.cancel();
+    if (peer.fd >= 0) {
+      loop_.del_fd(peer.fd);
+      close(peer.fd);
+      peer.fd = -1;
+    }
+    peer.queue.clear();
+    peer.queue_bytes = 0;
+    peer.front_offset = 0;
+  }
+  fd_to_peer_.clear();
+  std::vector<int> ingress_fds;
+  for (const auto& [fd, in] : ingress_) ingress_fds.push_back(fd);
+  for (int fd : ingress_fds) close_ingress(fd);
+  if (listen_fd_ >= 0) {
+    loop_.del_fd(listen_fd_);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace marlin::realnet

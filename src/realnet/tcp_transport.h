@@ -1,0 +1,154 @@
+// Real TCP transport for one node, driven by that node's EventLoop. The
+// contract mirrors sim::Network from a single node's perspective: send a
+// refcounted Payload to a node id, receive (from, Payload) callbacks, and
+// fill the same wire-level NodeNetStats the simulator fills — so traffic
+// analysis, per-kind accounting, and trace tooling work on either backend.
+//
+// Connection model (simplex): a connection is used in one direction only —
+// the dialer sends, the acceptor receives. Every node runs a listener, and
+// node A's frames to node B always travel on the A→B dialed connection.
+// This avoids duplex tie-breaking entirely: start order does not matter,
+// and a crashed peer is re-reached by the dialer's backoff loop alone.
+// A dialed connection opens with a hello frame ([kHelloKind][u32 LE node
+// id]) so the acceptor learns who is talking.
+//
+// Egress queues live on the *peer*, not the connection: frames queued
+// while a peer is down (or mid-reconnect) survive the reconnect and flush
+// in order once the new connection is writable. Queue overflow past
+// max_queue_bytes drops the newest frame (counted + traced, like a
+// simulator drop) — consensus tolerates loss by design, so backpressure
+// converts to the same fault model the protocol already handles.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/net_stats.h"
+#include "common/payload.h"
+#include "common/status.h"
+#include "common/wire_codec.h"
+#include "obs/trace.h"
+#include "realnet/event_loop.h"
+
+namespace marlin::realnet {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct TransportConfig {
+  Duration reconnect_min = Duration::millis(20);
+  Duration reconnect_max = Duration::seconds(1);
+  /// Per-peer egress cap; beyond it the newest frame is dropped (counted
+  /// in stats.messages_dropped, traced as kMsgDropped/kDropBackpressure).
+  std::size_t max_queue_bytes = 64u << 20;
+};
+
+class TcpTransport final : public FdHandler {
+ public:
+  /// `node_id` is this node's global id (replicas 0..n-1, then clients).
+  TcpTransport(EventLoop& loop, std::uint32_t node_id,
+               TransportConfig config = {});
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds + listens on 127.0.0.1:`port` (0 = ephemeral) and registers
+  /// with the loop. Returns the bound port.
+  Result<std::uint16_t> listen(std::uint16_t port = 0);
+
+  /// Adopts an already-listening socket (the cluster pre-binds every
+  /// node's listener on the main thread so the full endpoint table exists
+  /// before any node thread starts). Must be non-blocking.
+  void adopt_listener(int fd);
+
+  /// Declares where `id` can be dialed. Connections are opened lazily on
+  /// first send. Loop thread only (or before the loop starts).
+  void set_peer(std::uint32_t id, Endpoint ep);
+
+  /// Ingress callback: a complete consensus frame from `from`.
+  void set_handler(std::function<void(std::uint32_t, Payload)> handler) {
+    handler_ = std::move(handler);
+  }
+
+  /// Optional event trace (kMsgDelivered / kMsgDropped, same schema as the
+  /// simulated network). The sink's clock should be mono_now.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Queues `payload` to `to`. Loop thread only. Self-sends deliver via a
+  /// posted callback (the local hop, like the simulator's loopback path).
+  void send(std::uint32_t to, Payload payload);
+
+  /// Bytes queued but not yet handed to the kernel, across all peers.
+  /// Clean shutdown drains this to zero before closing sockets.
+  std::size_t pending_egress_bytes() const;
+
+  /// Closes every socket and cancels reconnect timers. Loop thread only.
+  /// The transport stays constructed (stats readable) but inert.
+  void shutdown();
+
+  const net::NodeNetStats& stats() const { return stats_; }
+  std::uint32_t node_id() const { return node_id_; }
+
+  // -- FdHandler ------------------------------------------------------------
+  void on_fd_event(int fd, std::uint32_t events) override;
+
+ private:
+  struct EgressFrame {
+    std::array<std::uint8_t, wire::kHeaderSize> header;
+    Payload payload;  // refcounted: broadcasts share one buffer n ways
+  };
+
+  /// Outbound state for a peer this node sends to.
+  struct Peer {
+    Endpoint ep;
+    int fd = -1;             // dialed socket, -1 while disconnected
+    bool connecting = false; // connect() in flight (await EPOLLOUT)
+    bool want_write = false; // EPOLLOUT currently registered
+    std::deque<EgressFrame> queue;
+    std::size_t queue_bytes = 0;   // header+payload bytes still unflushed
+    std::size_t front_offset = 0;  // bytes of queue.front() already written
+    Duration backoff = Duration::zero();
+    TimerHandle reconnect;
+  };
+
+  /// Inbound state for an accepted connection.
+  struct Ingress {
+    wire::FrameDecoder decoder;
+    std::uint32_t peer = kUnknownPeer;  // set by the hello frame
+  };
+
+  static constexpr std::uint32_t kUnknownPeer = 0xffffffffu;
+
+  void dial(std::uint32_t id);
+  void schedule_redial(std::uint32_t id);
+  void on_dial_writable(std::uint32_t id);
+  void flush_peer(std::uint32_t id);
+  void close_peer_conn(std::uint32_t id, bool redial);
+  void accept_ready();
+  void ingress_readable(int fd);
+  void close_ingress(int fd);
+  void record_drop(const Payload& payload, std::uint32_t to);
+  void deliver_local(std::uint32_t from, Payload payload);
+
+  EventLoop& loop_;
+  std::uint32_t node_id_;
+  TransportConfig config_;
+  int listen_fd_ = -1;
+  bool shut_down_ = false;
+
+  std::unordered_map<std::uint32_t, Peer> peers_;
+  std::unordered_map<int, std::uint32_t> fd_to_peer_;  // dialed fds
+  std::unordered_map<int, Ingress> ingress_;           // accepted fds
+
+  std::function<void(std::uint32_t, Payload)> handler_;
+  obs::TraceSink* trace_ = nullptr;
+  net::NodeNetStats stats_;
+};
+
+}  // namespace marlin::realnet

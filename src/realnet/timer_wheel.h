@@ -1,0 +1,89 @@
+// Hashed timing wheel driving the pacemaker and reconnect backoff on the
+// real runtime. Mirrors the simulator's timer semantics (schedule_at +
+// generation-counted cancellation handles, see simnet/simulator.h) so the
+// replica/client hosts can be written against one timer idiom on either
+// transport. Single-threaded: owned and advanced by one EventLoop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace marlin::realnet {
+
+class TimerWheel;
+
+/// Cancellation handle. Default-constructed handles are inert; cancelling
+/// an already-fired or stale handle is a no-op (generation check).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  void cancel();
+  bool active() const;
+
+ private:
+  friend class TimerWheel;
+  TimerHandle(TimerWheel* wheel, std::uint32_t slot, std::uint32_t gen)
+      : wheel_(wheel), slot_(slot), gen_(gen) {}
+
+  TimerWheel* wheel_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
+class TimerWheel {
+ public:
+  /// 1 ms ticks, 1024 buckets (~1 s per rotation): pacemaker timeouts are
+  /// hundreds of ms, reconnect backoff seconds — both a handful of
+  /// rotations at most.
+  static constexpr std::int64_t kTickNanos = 1'000'000;
+  static constexpr std::size_t kBuckets = 1024;
+
+  /// Schedules `fn` at absolute time `when` (clamped to now for past
+  /// deadlines: they fire on the next advance, never synchronously).
+  TimerHandle schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Fires every pending timer with deadline <= now, in deadline order
+  /// within a bucket. Callbacks may schedule/cancel freely.
+  void advance(TimePoint now);
+
+  /// Nanoseconds until the earliest pending deadline, clamped to >= 0;
+  /// -1 when no timers are pending (epoll_wait's "block forever").
+  std::int64_t next_timeout_ns(TimePoint now) const;
+
+  std::size_t pending() const { return pending_; }
+
+ private:
+  friend class TimerHandle;
+
+  struct Entry {
+    TimePoint deadline;
+    std::uint32_t slot;  // slab index for cancellation
+    std::function<void()> fn;
+  };
+
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool pending = false;
+    bool cancelled = false;
+  };
+
+  static std::size_t bucket_of(TimePoint t) {
+    return static_cast<std::size_t>(
+               static_cast<std::uint64_t>(t.as_nanos()) /
+               static_cast<std::uint64_t>(kTickNanos)) %
+           kBuckets;
+  }
+
+  std::uint32_t alloc_slot();
+
+  std::vector<Entry> buckets_[kBuckets];
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t pending_ = 0;
+  TimePoint last_advance_;
+};
+
+}  // namespace marlin::realnet

@@ -6,24 +6,11 @@
 namespace marlin::sim {
 
 namespace {
-// Mirrors types::MsgKind wire values 1..10; slot 0 = unknown kind byte.
-constexpr std::string_view kKindNames[kNetKindSlots] = {
-    "unknown",      "client_request", "client_reply",
-    "proposal",     "vote",           "qc_notice",
-    "view_change",  "fetch_request",  "fetch_response",
-    "snapshot_request", "snapshot_response",
-};
-
 std::size_t kind_slot(const Payload& payload) {
-  if (payload.empty()) return 0;
-  const std::uint8_t kind = payload[0];
-  return kind < kNetKindSlots ? kind : 0;
+  // Classification is the shared codec's: one table for both transports.
+  return wire::kind_slot(payload.view());
 }
 }  // namespace
-
-std::string_view net_kind_name(std::size_t kind) {
-  return kind < kNetKindSlots ? kKindNames[kind] : kKindNames[0];
-}
 
 NodeId Network::add_node(NetworkNode* handler) {
   assert(handler != nullptr);

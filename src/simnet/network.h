@@ -7,7 +7,6 @@
 // delay / loss, after GST delivery is bounded.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <string_view>
@@ -15,7 +14,9 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/net_stats.h"
 #include "common/payload.h"
+#include "common/wire_codec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simnet/simulator.h"
@@ -24,15 +25,16 @@ namespace marlin::sim {
 
 using NodeId = std::uint32_t;
 
-/// Per-message-type breakdown slots. Envelope wire format starts with the
-/// MsgKind byte (values 1..10), which the network reads without parsing the
-/// payload; slot 0 collects frames that don't carry a known kind byte.
-inline constexpr std::size_t kNetKindSlots = 11;
+/// Per-kind traffic accounting is shared with the real transport: the slot
+/// table and classification live in common/wire_codec; these aliases keep
+/// simnet call sites unchanged.
+inline constexpr std::size_t kNetKindSlots = net::kNetKindSlots;
 
 /// Stable label for a kind slot ("proposal", "vote", ...), mirroring
-/// types::MsgKind wire values; simnet keeps its own table to stay below
-/// the types layer.
-std::string_view net_kind_name(std::size_t kind);
+/// types::MsgKind wire values (delegates to wire::kind_slot_name).
+inline std::string_view net_kind_name(std::size_t kind) {
+  return wire::kind_slot_name(kind);
+}
 
 struct NetConfig {
   Duration one_way_delay = Duration::millis(40);
@@ -47,20 +49,9 @@ struct NetConfig {
   double pre_gst_drop_probability = 0.0;
 };
 
-struct NodeNetStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t messages_delivered = 0;
-  std::uint64_t bytes_delivered = 0;
-  std::uint64_t messages_dropped = 0;  // counted at the sender
-
-  // Per-message-type breakdowns, indexed by the payload's leading MsgKind
-  // byte (slot 0 = unrecognized). Totals above are the sums of these.
-  std::array<std::uint64_t, kNetKindSlots> msgs_sent_by_kind{};
-  std::array<std::uint64_t, kNetKindSlots> bytes_sent_by_kind{};
-  std::array<std::uint64_t, kNetKindSlots> msgs_delivered_by_kind{};
-  std::array<std::uint64_t, kNetKindSlots> bytes_delivered_by_kind{};
-};
+/// Shared with the real transport (common/net_stats.h): both backends fill
+/// the same wire-level counters, so traffic analysis works on either.
+using NodeNetStats = net::NodeNetStats;
 
 /// Receiver interface; implemented by replica/client runtimes. The payload
 /// is refcounted and may be shared with other receivers of the same

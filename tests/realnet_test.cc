@@ -1,0 +1,441 @@
+// Tests for the real-socket runtime (src/realnet): the timer wheel, the
+// epoll event loop, the TCP transport pair (framing, reconnect), and full
+// localhost clusters — commit liveness, clean shutdown draining in-flight
+// sends, and replica kill+relaunch reloading durable state over TCP.
+//
+// These tests run real threads and real sockets on 127.0.0.1, so they use
+// generous deadlines and poll for conditions instead of pinning exact
+// timings (wall-clock here is not the simulator's virtual clock).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "realnet/clock.h"
+#include "realnet/event_loop.h"
+#include "realnet/real_cluster.h"
+#include "realnet/tcp_transport.h"
+#include "realnet/timer_wheel.h"
+
+namespace marlin::realnet {
+namespace {
+
+// Polls `cond` (on this thread) until true or `patience` elapses.
+bool eventually(Duration patience, const std::function<bool()>& cond) {
+  const TimePoint deadline = mono_now() + patience;
+  while (mono_now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+// ---------------------------------------------------------------------------
+// TimerWheel
+// ---------------------------------------------------------------------------
+
+TEST(TimerWheel, FiresInDeadlineOrder) {
+  TimerWheel wheel;
+  std::vector<int> order;
+  const TimePoint t0 = TimePoint::origin();
+  wheel.schedule_at(t0 + Duration::millis(30), [&] { order.push_back(3); });
+  wheel.schedule_at(t0 + Duration::millis(10), [&] { order.push_back(1); });
+  wheel.schedule_at(t0 + Duration::millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(wheel.pending(), 3u);
+  wheel.advance(t0 + Duration::millis(40));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, DoesNotFireEarly) {
+  TimerWheel wheel;
+  bool fired = false;
+  wheel.schedule_at(TimePoint::from_nanos(50'000'000), [&] { fired = true; });
+  wheel.advance(TimePoint::from_nanos(49'000'000));
+  EXPECT_FALSE(fired);
+  wheel.advance(TimePoint::from_nanos(50'000'000));
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, CancelledTimerDoesNotFire) {
+  TimerWheel wheel;
+  bool fired = false;
+  TimerHandle h = wheel.schedule_at(TimePoint::from_nanos(10'000'000),
+                                    [&] { fired = true; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  wheel.advance(TimePoint::from_nanos(20'000'000));
+  EXPECT_FALSE(fired);
+  // Cancelling again (stale handle) is a no-op.
+  h.cancel();
+}
+
+TEST(TimerWheel, StaleHandleCannotCancelReusedSlot) {
+  TimerWheel wheel;
+  int fired = 0;
+  TimerHandle h1 = wheel.schedule_at(TimePoint::from_nanos(1'000'000),
+                                     [&] { ++fired; });
+  wheel.advance(TimePoint::from_nanos(2'000'000));
+  EXPECT_EQ(fired, 1);
+  // The slab slot is free now; a new timer may reuse it. The old handle's
+  // generation is stale and must not cancel the new timer.
+  TimerHandle h2 = wheel.schedule_at(TimePoint::from_nanos(3'000'000),
+                                     [&] { ++fired; });
+  h1.cancel();
+  EXPECT_TRUE(h2.active());
+  wheel.advance(TimePoint::from_nanos(4'000'000));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerWheel, FarDeadlineSurvivesWheelRotations) {
+  TimerWheel wheel;
+  // > kBuckets ticks out: hashes into a bucket that is visited several
+  // times before the deadline; must fire only at the deadline.
+  bool fired = false;
+  const TimePoint far = TimePoint::from_nanos(3'500'000'000);  // 3.5 s
+  wheel.schedule_at(far, [&] { fired = true; });
+  for (std::int64_t ms = 0; ms < 3500; ms += 100) {
+    wheel.advance(TimePoint::from_nanos(ms * 1'000'000));
+    ASSERT_FALSE(fired) << "fired early at " << ms << " ms";
+  }
+  wheel.advance(far);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, NextTimeoutTracksEarliestPending) {
+  TimerWheel wheel;
+  const TimePoint t0 = TimePoint::origin();
+  EXPECT_EQ(wheel.next_timeout_ns(t0), -1);
+  wheel.schedule_at(t0 + Duration::millis(50), [] {});
+  TimerHandle near = wheel.schedule_at(t0 + Duration::millis(10), [] {});
+  EXPECT_EQ(wheel.next_timeout_ns(t0), Duration::millis(10).as_nanos());
+  near.cancel();
+  EXPECT_EQ(wheel.next_timeout_ns(t0), Duration::millis(50).as_nanos());
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop
+// ---------------------------------------------------------------------------
+
+TEST(EventLoop, RunsPostedTasksOnLoopThread) {
+  EventLoop loop;
+  std::atomic<bool> ran{false};
+  std::atomic<bool> on_loop{false};
+  std::thread t([&] { loop.run(); });
+  loop.post([&] {
+    on_loop = loop.on_loop_thread();
+    ran = true;
+    loop.stop();
+  });
+  t.join();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(on_loop);
+}
+
+TEST(EventLoop, TimersFireAtRealTime) {
+  EventLoop loop;
+  std::atomic<std::int64_t> fired_at{0};
+  const TimePoint start = mono_now();
+  std::thread t([&] { loop.run(); });
+  loop.post([&] {
+    loop.schedule(Duration::millis(30), [&] {
+      fired_at = (mono_now() - start).as_nanos();
+      loop.stop();
+    });
+  });
+  t.join();
+  // Fired, and not before the deadline (wheel resolution is 1 ms).
+  EXPECT_GE(fired_at.load(), Duration::millis(29).as_nanos());
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
+
+struct TransportNode {
+  EventLoop loop;
+  std::unique_ptr<TcpTransport> transport;
+  std::thread thread;
+  std::uint16_t port = 0;
+
+  explicit TransportNode(std::uint32_t id) {
+    transport = std::make_unique<TcpTransport>(loop, id);
+    auto p = transport->listen(0);
+    EXPECT_TRUE(p.is_ok());
+    port = p.value();
+  }
+
+  void run() {
+    thread = std::thread([this] { loop.run(); });
+  }
+
+  void stop() {
+    loop.post([this] {
+      transport->shutdown();
+      loop.stop();
+    });
+    if (thread.joinable()) thread.join();
+  }
+};
+
+TEST(TcpTransport, DeliversFramesWithSenderId) {
+  TransportNode a(0), b(1);
+  std::mutex mu;
+  std::vector<std::pair<std::uint32_t, Bytes>> got;
+  b.transport->set_handler([&](std::uint32_t from, Payload p) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.emplace_back(from, Bytes(p.bytes()));
+  });
+  a.transport->set_peer(1, Endpoint{"127.0.0.1", b.port});
+  a.run();
+  b.run();
+
+  Bytes msg{3, 0xde, 0xad};  // a "proposal" frame
+  a.loop.post([&] { a.transport->send(1, Payload(msg)); });
+
+  ASSERT_TRUE(eventually(Duration::seconds(5), [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return got.size() == 1;
+  }));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(got[0].first, 0u);
+    EXPECT_EQ(got[0].second, msg);
+  }
+  // Stats: payload bytes only (no frame headers), by kind, both ends.
+  a.stop();
+  b.stop();
+  EXPECT_EQ(a.transport->stats().messages_sent, 1u);
+  EXPECT_EQ(a.transport->stats().bytes_sent, msg.size());
+  EXPECT_EQ(a.transport->stats().msgs_sent_by_kind[3], 1u);
+  EXPECT_EQ(b.transport->stats().messages_delivered, 1u);
+  EXPECT_EQ(b.transport->stats().bytes_delivered, msg.size());
+  EXPECT_EQ(b.transport->stats().msgs_delivered_by_kind[3], 1u);
+  EXPECT_EQ(a.transport->pending_egress_bytes(), 0u);
+}
+
+TEST(TcpTransport, SelfSendLoopsBack) {
+  TransportNode a(7);
+  std::atomic<int> got{0};
+  a.transport->set_handler([&](std::uint32_t from, Payload p) {
+    EXPECT_EQ(from, 7u);
+    EXPECT_EQ(p.size(), 3u);
+    ++got;
+  });
+  a.run();
+  a.loop.post([&] { a.transport->send(7, Payload(Bytes{4, 1, 2})); });
+  ASSERT_TRUE(eventually(Duration::seconds(2), [&] { return got == 1; }));
+  a.stop();
+  EXPECT_EQ(a.transport->stats().messages_sent, 1u);
+  EXPECT_EQ(a.transport->stats().messages_delivered, 1u);
+}
+
+TEST(TcpTransport, ManyFramesArriveInOrder) {
+  TransportNode a(0), b(1);
+  std::mutex mu;
+  std::vector<Bytes> got;
+  b.transport->set_handler([&](std::uint32_t, Payload p) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(Bytes(p.bytes()));
+  });
+  a.transport->set_peer(1, Endpoint{"127.0.0.1", b.port});
+  a.run();
+  b.run();
+
+  constexpr int kFrames = 500;
+  a.loop.post([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      Bytes msg{4};  // vote kind
+      msg.push_back(static_cast<std::uint8_t>(i));
+      msg.push_back(static_cast<std::uint8_t>(i >> 8));
+      msg.resize(3 + static_cast<std::size_t>(i % 97) * 11, 0xab);
+      a.transport->send(1, Payload(std::move(msg)));
+    }
+  });
+
+  ASSERT_TRUE(eventually(Duration::seconds(5), [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return got.size() == kFrames;
+  }));
+  std::lock_guard<std::mutex> lock(mu);
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_EQ(got[i][1], static_cast<std::uint8_t>(i)) << "frame " << i;
+    ASSERT_EQ(got[i][2], static_cast<std::uint8_t>(i >> 8)) << "frame " << i;
+  }
+  a.stop();
+  b.stop();
+}
+
+TEST(TcpTransport, ReconnectsAfterReceiverRestart) {
+  TransportNode a(0);
+  std::atomic<int> got{0};
+
+  std::uint16_t b_port = 0;
+  {
+    TransportNode b(1);
+    b_port = b.port;
+    b.transport->set_handler([&](std::uint32_t, Payload) { ++got; });
+    a.transport->set_peer(1, Endpoint{"127.0.0.1", b_port});
+    a.run();
+    b.run();
+    a.loop.post([&] { a.transport->send(1, Payload(Bytes{4, 1})); });
+    ASSERT_TRUE(eventually(Duration::seconds(5), [&] { return got == 1; }));
+    b.stop();  // receiver dies; a's dialed connection breaks
+  }
+
+  // New incarnation on the same port (a's endpoint table is unchanged).
+  EventLoop loop2;
+  TcpTransport b2(loop2, 1);
+  {
+    // Rebinding an ephemeral port can race another process grabbing it;
+    // retry briefly (SO_REUSEADDR covers TIME_WAIT).
+    Result<std::uint16_t> p = b2.listen(b_port);
+    ASSERT_TRUE(p.is_ok()) << p.status().message();
+  }
+  b2.set_handler([&](std::uint32_t, Payload) { ++got; });
+  std::thread t2([&] { loop2.run(); });
+
+  // Sends queued/dropped while b was down get a new connection: the send
+  // below dials afresh (or rides a backoff retry) and must arrive.
+  ASSERT_TRUE(eventually(Duration::seconds(8), [&] {
+    a.loop.post([&] { a.transport->send(1, Payload(Bytes{4, 2})); });
+    return got.load() >= 2;
+  }));
+
+  loop2.post([&] {
+    b2.shutdown();
+    loop2.stop();
+  });
+  t2.join();
+  a.stop();
+}
+
+// ---------------------------------------------------------------------------
+// RealCluster: commit liveness on localhost TCP
+// ---------------------------------------------------------------------------
+
+runtime::ClusterConfig quick_cluster_config(std::uint32_t f) {
+  runtime::ClusterConfig cfg;
+  cfg.f = f;
+  cfg.seed = 7;
+  cfg.clients.count = 2;
+  cfg.clients.window = 8;
+  cfg.clients.payload_size = 32;
+  cfg.consensus.pacemaker.base_timeout = Duration::millis(500);
+  cfg.consensus.pacemaker.timeout_jitter = 0.2;
+  return cfg;
+}
+
+TEST(RealCluster, CommitsClientOpsOverTcp) {
+  RealCluster cluster(quick_cluster_config(1));
+  ASSERT_TRUE(cluster.ok().is_ok()) << cluster.ok().message();
+  cluster.start();
+  ASSERT_TRUE(eventually(Duration::seconds(20), [&] {
+    return cluster.client(0).completed().total() > 50 &&
+           cluster.client(1).completed().total() > 50;
+  }));
+  cluster.stop();
+
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+  EXPECT_GT(cluster.min_committed_height(), 0u);
+  // Every replica moved real bytes on the wire.
+  for (std::uint32_t i = 0; i < cluster.n(); ++i) {
+    EXPECT_GT(cluster.node_stats(i).bytes_delivered, 0u) << "replica " << i;
+  }
+}
+
+TEST(RealCluster, CleanShutdownDrainsEgress) {
+  RealCluster cluster(quick_cluster_config(1));
+  ASSERT_TRUE(cluster.ok().is_ok());
+  cluster.start();
+  ASSERT_TRUE(eventually(Duration::seconds(20), [&] {
+    return cluster.total_completed() > 20;
+  }));
+  cluster.stop();
+  // Drain-on-shutdown: no node may strand queued frames.
+  for (std::uint32_t id = 0; id < cluster.n(); ++id) {
+    EXPECT_EQ(cluster.transport(id).pending_egress_bytes(), 0u)
+        << "node " << id;
+  }
+}
+
+TEST(RealCluster, TracesRecordCommitsAndDeliveries) {
+  runtime::ClusterConfig cfg = quick_cluster_config(1);
+  RealClusterOptions opts;
+  opts.trace = true;
+  RealCluster cluster(cfg, opts);
+  ASSERT_TRUE(cluster.ok().is_ok());
+  cluster.start();
+  ASSERT_TRUE(eventually(Duration::seconds(20), [&] {
+    return cluster.total_completed() > 10;
+  }));
+  cluster.stop();
+
+  const auto events = cluster.merged_trace_events();
+  ASSERT_FALSE(events.empty());
+  bool saw_commit = false, saw_delivery = false, saw_reply = false;
+  for (const auto& e : events) {
+    saw_commit |= e.type == obs::EventType::kCommit;
+    saw_delivery |= e.type == obs::EventType::kMsgDelivered;
+    saw_reply |= e.type == obs::EventType::kReplyAccepted;
+  }
+  EXPECT_TRUE(saw_commit);
+  EXPECT_TRUE(saw_delivery);
+  EXPECT_TRUE(saw_reply);
+  // Merged events are time-sorted.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_LE(events[i - 1].at.as_nanos(), events[i].at.as_nanos());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RealCluster: kill + relaunch over a durable store
+// ---------------------------------------------------------------------------
+
+TEST(RealCluster, KilledReplicaRelaunchesFromDiskAndRejoins) {
+  const std::string dir = "/tmp/marlin_realnet_relaunch_test";
+  std::filesystem::remove_all(dir);
+
+  runtime::ClusterConfig cfg = quick_cluster_config(1);
+  RealClusterOptions opts;
+  opts.data_dir = dir;
+  RealCluster cluster(cfg, opts);
+  ASSERT_TRUE(cluster.ok().is_ok()) << cluster.ok().message();
+  cluster.start();
+
+  // Let the cluster commit, then hard-kill a non-leader replica.
+  ASSERT_TRUE(eventually(Duration::seconds(20), [&] {
+    return cluster.total_completed() > 30;
+  }));
+  cluster.kill_replica(2);
+  EXPECT_FALSE(cluster.replica_alive(2));
+
+  // n=4 tolerates one crash: progress must continue while 2 is down.
+  const std::uint64_t before = cluster.total_completed();
+  ASSERT_TRUE(eventually(Duration::seconds(20), [&] {
+    return cluster.total_completed() > before + 30;
+  }));
+
+  // Relaunch over the surviving data dir: the new incarnation must restore
+  // the persisted consensus state (write-ahead voting record) and rejoin.
+  ASSERT_TRUE(cluster.relaunch_replica(2).is_ok());
+  EXPECT_TRUE(cluster.replica_alive(2));
+  EXPECT_TRUE(cluster.replica(2).recovered());
+
+  // The relaunched replica catches up over TCP: its committed height must
+  // start advancing again (fetch/catch-up runs over the same transport).
+  ASSERT_TRUE(eventually(Duration::seconds(30), [&] {
+    return cluster.replica(2).protocol().committed_height() > 0;
+  }));
+
+  cluster.stop();
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace marlin::realnet

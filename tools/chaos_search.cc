@@ -139,6 +139,22 @@ bool parse_options(int argc, char** argv, Options* opt) {
     std::fprintf(stderr, "--replay needs a single --protocol\n");
     return false;
   }
+  // Replay-only flags must not be silently ignored: a sweep that "ran" a
+  // hand-edited plan which never loaded is a false all-clear.
+  if (opt->replay < 0) {
+    const char* stray = nullptr;
+    if (!opt->plan_in.empty()) stray = "--plan";
+    else if (!opt->plan_out.empty()) stray = "--plan-out";
+    else if (!opt->trace_out.empty()) stray = "--trace-out";
+    else if (opt->determinism_check) stray = "--determinism-check";
+    if (stray != nullptr) {
+      std::fprintf(stderr,
+                   "%s only applies to replay mode; add --replay=I "
+                   "(sweep mode would ignore it)\n",
+                   stray);
+      return false;
+    }
+  }
   return true;
 }
 
@@ -324,11 +340,17 @@ int main(int argc, char** argv) {
     faults::FaultPlan plan;
     if (!opt.plan_in.empty()) {
       std::ifstream in(opt.plan_in);
+      if (!in) {
+        std::fprintf(stderr, "cannot read fault plan %s\n",
+                     opt.plan_in.c_str());
+        return 2;
+      }
       std::ostringstream body;
       body << in.rdbuf();
       auto parsed = faults::FaultPlan::from_json(body.str());
-      if (!in || !parsed.is_ok()) {
-        std::fprintf(stderr, "bad fault plan %s\n", opt.plan_in.c_str());
+      if (!parsed.is_ok()) {
+        std::fprintf(stderr, "bad fault plan %s: %s\n", opt.plan_in.c_str(),
+                     parsed.status().message().c_str());
         return 2;
       }
       plan = std::move(parsed).take();

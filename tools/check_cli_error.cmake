@@ -1,0 +1,22 @@
+# Asserts that a CLI invocation fails loudly: non-zero exit status AND a
+# diagnostic matching an expected regex. CTest's PASS_REGULAR_EXPRESSION
+# alone can't express this (once set, the exit code is ignored), and these
+# regressions exist precisely because a bad --faults/--plan/--config must
+# never look like a successful run.
+#
+# Usage:
+#   cmake -DCMD="<prog> <args...>" -DEXPECT=<regex> -P check_cli_error.cmake
+separate_arguments(cmd_list UNIX_COMMAND "${CMD}")
+execute_process(COMMAND ${cmd_list}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "expected non-zero exit from: ${CMD}\n"
+                      "stdout+stderr:\n${out}${err}")
+endif()
+string(APPEND out "${err}")
+if(NOT out MATCHES "${EXPECT}")
+  message(FATAL_ERROR "exit ${rc} ok, but output did not match '${EXPECT}'.\n"
+                      "command: ${CMD}\nstdout+stderr:\n${out}")
+endif()
