@@ -1,0 +1,76 @@
+// Minimal HTTP/1.0 telemetry endpoint served from a node's own epoll
+// EventLoop — no extra threads, no external dependencies. Each replica
+// host registers one TelemetryServer and wires three callbacks:
+//
+//   GET /metrics  -> Prometheus text exposition (metrics callback)
+//   GET /status   -> JSON replica status (status callback)
+//   GET /healthz  -> 200 "ok" / 503 "stalled" (healthy callback)
+//   GET /         -> plain-text index of the routes above
+//
+// Because the server runs on the loop thread, the callbacks read replica
+// state (MetricsRegistry, transport stats, protocol view) without locks —
+// the same single-threaded discipline as the rest of the host. Responses
+// are Connection: close; a scrape is one short-lived connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "realnet/event_loop.h"
+
+namespace marlin::obs {
+
+struct TelemetryHandlers {
+  std::function<std::string()> metrics;  // /metrics body (text exposition)
+  std::function<std::string()> status;   // /status body (JSON)
+  std::function<bool()> healthy;         // /healthz: true -> 200, false -> 503
+};
+
+class TelemetryServer final : public realnet::FdHandler {
+ public:
+  TelemetryServer(realnet::EventLoop& loop, TelemetryHandlers handlers);
+  ~TelemetryServer() override;
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and registers with the loop.
+  /// Call before the loop thread starts, or from the loop thread. Returns
+  /// the bound port.
+  Result<std::uint16_t> listen(std::uint16_t port = 0);
+
+  /// Closes the listener and every connection; loop thread only (the
+  /// destructor calls it too, for hosts torn down after their loop stops).
+  void shutdown();
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const { return served_; }
+
+  void on_fd_event(int fd, std::uint32_t events) override;
+
+ private:
+  struct Conn {
+    std::string in;       // request bytes until the blank line
+    std::string out;      // fully rendered response
+    std::size_t out_off = 0;
+    bool responding = false;
+  };
+
+  void accept_ready();
+  void conn_event(int fd, std::uint32_t events);
+  void respond(int fd, Conn& conn);
+  bool flush(int fd, Conn& conn);  // false when the connection was closed
+  void close_conn(int fd);
+
+  realnet::EventLoop& loop_;
+  TelemetryHandlers handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::unordered_map<int, Conn> conns_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace marlin::obs

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/histogram.h"
 #include "common/sim_time.h"
 #include "realnet/clock.h"
 #include "realnet/timer_wheel.h"
@@ -72,7 +73,31 @@ class EventLoop {
   /// True when called from the thread currently inside run()/run_once().
   bool on_loop_thread() const;
 
+  // -- instrumentation -------------------------------------------------------
+  // Non-owning histogram hooks (loop-thread writes only): the caller wires
+  // them to registry-owned histograms before the loop thread starts and
+  // must keep them alive until the loop stops. Left unset, recording is
+  // skipped entirely.
+  /// Active time per run_once iteration (epoll return → iteration end),
+  /// decimated 1-in-8 so long runs don't grow an unbounded sample vector.
+  void set_iteration_histogram(LatencyHistogram* h) { iter_hist_ = h; }
+  /// post() enqueue → callback run latency (eventfd wake-to-run).
+  void set_wake_histogram(LatencyHistogram* h) { wake_hist_ = h; }
+  /// Forwards to the timer wheel's fire-drift histogram.
+  void set_timer_drift_histogram(LatencyHistogram* h) {
+    wheel_.set_fire_drift_histogram(h);
+  }
+
+  std::uint64_t iterations() const { return iterations_; }
+  std::uint64_t posted_tasks_run() const { return posted_run_; }
+  std::uint64_t timers_fired() const { return wheel_.fired(); }
+
  private:
+  struct PostedTask {
+    TimePoint enqueued;
+    std::function<void()> fn;
+  };
+
   void drain_posted();
   void wake();
 
@@ -82,10 +107,15 @@ class EventLoop {
   std::unordered_map<int, FdHandler*> handlers_;
 
   std::mutex posted_mu_;
-  std::deque<std::function<void()>> posted_;
+  std::deque<PostedTask> posted_;
 
   std::atomic<bool> stop_{false};
   std::atomic<const void*> loop_thread_{nullptr};
+
+  LatencyHistogram* iter_hist_ = nullptr;
+  LatencyHistogram* wake_hist_ = nullptr;
+  std::uint64_t iterations_ = 0;
+  std::uint64_t posted_run_ = 0;
 };
 
 }  // namespace marlin::realnet

@@ -1,0 +1,142 @@
+#include "realnet/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "realnet/clock.h"
+
+namespace marlin::realnet {
+
+namespace {
+
+// Milliseconds left before `deadline`, clamped to >= 0.
+int ms_left(TimePoint deadline) {
+  const std::int64_t ns = (deadline - mono_now()).as_nanos();
+  if (ns <= 0) return 0;
+  return static_cast<int>((ns + 999'999) / 1'000'000);
+}
+
+// Waits for `events` on `fd` until `deadline`; false on timeout/error.
+bool wait_fd(int fd, short events, TimePoint deadline) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int rc = poll(&p, 1, ms_left(deadline));
+    if (rc > 0) return true;
+    if (rc == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+Result<HttpResponse> http_get(const std::string& host, std::uint16_t port,
+                              const std::string& path, Duration timeout) {
+  const TimePoint deadline = mono_now() + timeout;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return error(ErrorCode::kInvalidArgument, "bad IPv4 address: " + host);
+  }
+
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return error(ErrorCode::kIoError, "socket: failed");
+  struct FdGuard {
+    int fd;
+    ~FdGuard() { close(fd); }
+  } guard{fd};
+
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      return error(ErrorCode::kUnavailable, "connect: refused");
+    }
+    if (!wait_fd(fd, POLLOUT, deadline)) {
+      return error(ErrorCode::kUnavailable, "connect: timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      return error(ErrorCode::kUnavailable,
+                   std::string("connect: ") + std::strerror(err));
+    }
+  }
+
+  const std::string req = "GET " + path +
+                          " HTTP/1.0\r\n"
+                          "Host: " +
+                          host + "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = send(fd, req.data() + sent, req.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(fd, POLLOUT, deadline)) {
+        return error(ErrorCode::kUnavailable, "send: timed out");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return error(ErrorCode::kIoError, "send: connection lost");
+  }
+
+  // HTTP/1.0 close-delimited: read until EOF (bounded by the deadline).
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      raw.append(buf, static_cast<std::size_t>(n));
+      if (raw.size() > (64u << 20)) {
+        return error(ErrorCode::kCorruption, "response exceeds 64 MiB");
+      }
+      continue;
+    }
+    if (n == 0) break;  // EOF: response complete
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_fd(fd, POLLIN, deadline)) {
+        return error(ErrorCode::kUnavailable, "recv: timed out");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return error(ErrorCode::kIoError, "recv: connection lost");
+  }
+
+  // Parse "HTTP/1.x NNN ..." status line + skip headers.
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    return error(ErrorCode::kCorruption, "malformed status line");
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    return error(ErrorCode::kCorruption, "malformed status line");
+  }
+  HttpResponse resp;
+  resp.status_code = std::atoi(raw.c_str() + sp + 1);
+  if (resp.status_code < 100 || resp.status_code > 599) {
+    return error(ErrorCode::kCorruption, "bad status code");
+  }
+  const std::size_t body_at = raw.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    return error(ErrorCode::kCorruption, "missing header terminator");
+  }
+  resp.body = raw.substr(body_at + 4);
+  return resp;
+}
+
+}  // namespace marlin::realnet

@@ -1,0 +1,28 @@
+// Minimal blocking HTTP/1.0 GET client for scraping the telemetry plane
+// (tools/marlin_top, tests, CI probes). Deliberately tiny: one request per
+// connection, close-delimited bodies, no TLS, no redirects — exactly the
+// subset obs::TelemetryServer speaks. Lives in marlin_netcore so tools and
+// tests can link it without the full realnet runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace marlin::realnet {
+
+struct HttpResponse {
+  int status_code = 0;   // e.g. 200, 404, 503
+  std::string body;      // payload after the header block
+};
+
+/// Blocking GET http://host:port/path with an overall wall-clock budget
+/// covering connect + request + full response. `host` is a dotted-quad
+/// IPv4 address (no DNS). Errors: kUnavailable (connect/refused/timeout),
+/// kIoError (socket errors mid-exchange), kCorruption (malformed response).
+Result<HttpResponse> http_get(const std::string& host, std::uint16_t port,
+                              const std::string& path, Duration timeout);
+
+}  // namespace marlin::realnet

@@ -7,7 +7,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+
+#include "obs/telemetry.h"
 
 namespace marlin::realnet {
 
@@ -125,6 +130,28 @@ Status RealCluster::build_node(std::uint32_t id) {
     node.transport->set_handler([host](std::uint32_t from, Payload p) {
       host->on_message(from, std::move(p));
     });
+    if (options_.telemetry) {
+      obs::TelemetryHandlers th;
+      th.metrics = [host] {
+        return obs::metrics_to_prometheus(host->snapshot_metrics());
+      };
+      th.status = [host] { return host->status_json(); };
+      th.healthy = [host] { return host->healthy(); };
+      node.telemetry =
+          std::make_unique<obs::TelemetryServer>(*node.loop, std::move(th));
+      std::uint16_t want = node.telemetry_port;  // relaunch: same port
+      if (want == 0 && options_.telemetry_base_port != 0) {
+        want = static_cast<std::uint16_t>(options_.telemetry_base_port + id);
+      }
+      auto port = node.telemetry->listen(want);
+      if (!port.is_ok() && node.telemetry_port != 0) {
+        // Relaunch with the old ephemeral port stolen meanwhile: any port
+        // beats no telemetry.
+        port = node.telemetry->listen(0);
+      }
+      if (!port.is_ok()) return port.status();
+      node.telemetry_port = port.value();
+    }
   } else {
     RealClientConfig cc;
     cc.id = id - n();
@@ -172,6 +199,7 @@ void RealCluster::begin_stop(std::uint32_t id, bool drain) {
   if (!node.alive) return;
   EventLoop* loop = node.loop.get();
   TcpTransport* transport = node.transport.get();
+  obs::TelemetryServer* telemetry = node.telemetry.get();
 
   // Clean shutdown drains in-flight sends: poll the egress queues on the
   // loop thread until empty (or patience runs out), then close everything
@@ -179,12 +207,19 @@ void RealCluster::begin_stop(std::uint32_t id, bool drain) {
   // live on the heap until the final round.
   const TimePoint deadline = mono_now() + (drain ? options_.drain_timeout
                                                  : Duration::zero());
+  // The closure holds only a weak self-reference; each rescheduled task
+  // carries the strong one. A strong capture here would be a
+  // shared_ptr cycle (the function owning itself) and leak every stop.
   auto step = std::make_shared<std::function<void()>>();
-  *step = [loop, transport, deadline, step] {
+  std::weak_ptr<std::function<void()>> weak = step;
+  *step = [loop, transport, telemetry, deadline, weak] {
     if (transport->pending_egress_bytes() > 0 && mono_now() < deadline) {
-      loop->post_after(Duration::millis(1), [step] { (*step)(); });
+      if (auto self = weak.lock()) {
+        loop->post_after(Duration::millis(1), [self] { (*self)(); });
+      }
       return;
     }
+    if (telemetry != nullptr) telemetry->shutdown();
     transport->shutdown();
     loop->stop();
   };
@@ -234,6 +269,7 @@ Status RealCluster::relaunch_replica(ReplicaId i) {
   if (node.alive) return Status::ok();
   // Tear down the dead incarnation (its data dir survives), rebind the
   // same port, rebuild, rejoin. Peers redial lazily via backoff.
+  node.telemetry.reset();  // before the loop it registered with
   node.replica.reset();
   node.transport.reset();
   node.loop.reset();
@@ -330,6 +366,92 @@ Height RealCluster::min_committed_height() const {
     first = false;
   }
   return min;
+}
+
+obs::MetricsRegistry RealCluster::sample_metrics(Duration patience) {
+  // Per-node snapshots are taken on each node's own loop thread (host
+  // state has no locks); this thread merges them. A killed node is read
+  // directly — its loop is joined, so this thread owns its state.
+  struct Sample {
+    std::uint32_t id;
+    obs::MetricsRegistry registry;
+    LatencyHistogram client_latency;
+    bool is_replica;
+  };
+  // Shared-ownership state: every posted closure keeps it alive, so a task
+  // that runs after the patience deadline (or is dropped with a stopping
+  // loop) appends into — or releases — heap state, never this stack frame.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Sample> samples;
+    std::size_t outstanding = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    Node& node = nodes_[id];
+    const bool is_replica = node.replica != nullptr;
+    if (!is_replica && node.client == nullptr) continue;
+    if (!node.alive) {
+      // Joined node: this thread owns its state, read directly.
+      Sample s{id, {}, {}, is_replica};
+      if (is_replica) {
+        s.registry = node.replica->snapshot_metrics();
+      } else {
+        s.client_latency = node.client->latency();
+      }
+      std::lock_guard<std::mutex> lock(shared->mu);
+      shared->samples.push_back(std::move(s));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      ++shared->outstanding;
+    }
+    RealReplica* replica = node.replica.get();
+    RealClient* client = node.client.get();
+    node.loop->post([shared, id, is_replica, replica, client] {
+      Sample s{id, {}, {}, is_replica};
+      if (is_replica) {
+        s.registry = replica->snapshot_metrics();
+      } else {
+        s.client_latency = client->latency();
+      }
+      std::lock_guard<std::mutex> lock(shared->mu);
+      shared->samples.push_back(std::move(s));
+      --shared->outstanding;
+      shared->cv.notify_all();
+    });
+  }
+
+  std::vector<Sample> samples;
+  {
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->cv.wait_for(lock, std::chrono::nanoseconds(patience.as_nanos()),
+                        [&shared] { return shared->outstanding == 0; });
+    samples = std::move(shared->samples);  // late arrivals are skipped
+  }
+
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.id < b.id; });
+
+  obs::MetricsRegistry out;
+  char label[32];
+  for (const Sample& s : samples) {
+    if (s.is_replica) {
+      out.merge_from(s.registry);
+      // Gauges are meaningless summed across replicas; keep the distinct
+      // values under per-replica labels (same shape as the sim cluster).
+      std::snprintf(label, sizeof label, "replica=%u", s.id);
+      for (const auto& [key, value] : s.registry.gauges()) {
+        out.gauge(key.name, label) = value;
+      }
+    } else {
+      out.latency("client.latency").merge_from(s.client_latency);
+    }
+  }
+  return out;
 }
 
 std::vector<obs::TraceEvent> RealCluster::merged_trace_events() const {

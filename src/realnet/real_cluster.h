@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "crypto/signer.h"
+#include "obs/telemetry_server.h"
 #include "realnet/real_client.h"
 #include "realnet/real_replica.h"
 #include "runtime/cluster.h"
@@ -37,6 +38,12 @@ struct RealClusterOptions {
   TransportConfig transport;
   /// Patience for egress drain during stop().
   Duration drain_timeout = Duration::seconds(2);
+  /// Serve live GET /metrics, /status, /healthz per replica (127.0.0.1,
+  /// on the replica's own loop thread — no extra threads).
+  bool telemetry = false;
+  /// Fixed telemetry ports: replica i listens on telemetry_base_port + i.
+  /// 0 = ephemeral ports (read them back via telemetry_port(i)).
+  std::uint16_t telemetry_base_port = 0;
 };
 
 class RealCluster {
@@ -91,9 +98,34 @@ class RealCluster {
   bool committed_heights_consistent() const;
   Height min_committed_height() const;
 
-  /// All nodes' trace events merged and time-sorted (requires
-  /// options.trace; empty otherwise).
+  /// All nodes' trace events merged and time-sorted.
+  ///
+  /// Contract: tracing is opt-in at construction. When options.trace is
+  /// false no sink exists anywhere, and this returns an EMPTY vector — it
+  /// cannot distinguish "tracing off" from "nothing happened". Callers that
+  /// need events must check tracing() first (marlin_run warns on
+  /// --trace-out without it).
   std::vector<obs::TraceEvent> merged_trace_events() const;
+  /// True when the cluster was built with options.trace (sinks exist and
+  /// merged_trace_events() is meaningful).
+  bool tracing() const { return options_.trace; }
+
+  // -- live telemetry --------------------------------------------------------
+  /// Replica i's telemetry port (0 when options.telemetry is off). Valid
+  /// after construction; stable across relaunch. A killed replica keeps
+  /// its port number but stops answering until relaunched.
+  std::uint16_t telemetry_port(ReplicaId i) const {
+    return nodes_[i].telemetry_port;
+  }
+
+  /// Live cluster-wide metrics snapshot, safe WHILE RUNNING: posts a copy
+  /// task onto every live node's loop and merges the results exactly like
+  /// runtime::Cluster::export_metrics (counters add, gauges re-exported
+  /// per-replica, client latency pooled) so sim and realnet series share a
+  /// schema. Replicas that fail to respond within `patience` (wedged loop)
+  /// are skipped. Also callable on a stopped cluster (reads directly).
+  obs::MetricsRegistry sample_metrics(
+      Duration patience = Duration::seconds(1));
 
  private:
   struct Node {
@@ -103,8 +135,12 @@ class RealCluster {
     std::unique_ptr<crypto::SignatureSuite> suite;  // replicas only
     std::unique_ptr<RealReplica> replica;           // replicas only
     std::unique_ptr<RealClient> client;             // clients only
+    // Declared after the hosts it reads from: destroyed first, while the
+    // loop (declared first) is still alive for del_fd calls.
+    std::unique_ptr<obs::TelemetryServer> telemetry;  // replicas only
     std::thread thread;
     std::uint16_t port = 0;
+    std::uint16_t telemetry_port = 0;  // kept across relaunch
     int pending_listen_fd = -1;  // bound, not yet adopted by a transport
     bool alive = false;
   };

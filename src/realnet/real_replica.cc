@@ -1,9 +1,11 @@
 #include "realnet/real_replica.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
 #include "common/serialize.h"
+#include "obs/telemetry.h"
 
 namespace marlin::realnet {
 
@@ -24,6 +26,13 @@ RealReplica::RealReplica(EventLoop& loop, TcpTransport& transport,
       suite_(suite),
       config_(std::move(config)),
       pacemaker_(config_.pacemaker) {
+  last_activity_ = mono_now();
+  // Loop/wheel health histograms live in this replica's registry (std::map
+  // nodes are reference-stable); the loop records into them from its own
+  // thread, the same thread that serves /metrics.
+  loop_.set_iteration_histogram(&metrics_.latency("loop.iteration"));
+  loop_.set_wake_histogram(&metrics_.latency("loop.wake_delay"));
+  loop_.set_timer_drift_histogram(&metrics_.latency("timer.fire_drift"));
   if (config_.data_dir.empty()) {
     db_env_ = storage::make_mem_env();
   } else {
@@ -78,7 +87,10 @@ void RealReplica::make_protocol() {
   }
 }
 
-void RealReplica::start() { protocol_->start(); }
+void RealReplica::start() {
+  last_activity_ = mono_now();
+  protocol_->start();
+}
 
 void RealReplica::on_message(std::uint32_t from, Payload payload) {
   auto env = Envelope::parse(payload.view());
@@ -165,6 +177,7 @@ void RealReplica::deliver(const types::Block& block,
     transport_.send(config_.client_base + client, std::move(wire));
   }
 
+  last_activity_ = mono_now();
   committed_ops_.record(mono_now(), executable.size());
   metrics_.counter("replica.committed_blocks") += 1;
   metrics_.counter("replica.committed_ops") += executable.size();
@@ -174,6 +187,7 @@ void RealReplica::deliver(const types::Block& block,
 }
 
 void RealReplica::entered_view(ViewNumber v) {
+  last_activity_ = mono_now();
   trace({.type = obs::EventType::kViewEntered, .view = v});
   metrics_.gauge("replica.view") = static_cast<double>(v);
   commit_seen_in_view_ = false;
@@ -199,6 +213,9 @@ void RealReplica::arm_view_timer() {
   view_timer_ = loop_.schedule(
       pacemaker_.view_timeout(config_.replica.id, protocol_->current_view()),
       [this] {
+        // The timer firing at all proves the loop is turning; healthz
+        // freshness rides on it even across idle views.
+        last_activity_ = mono_now();
         // Same policy as the simulated host: recovery ticks retransmit the
         // snapshot request; idle views don't churn; the advance is
         // quorum-gated inside the protocol.
@@ -233,6 +250,68 @@ void RealReplica::charge_threshold_signs(std::uint32_t count) {
 }
 void RealReplica::charge_combine_shares(std::uint32_t count) {
   metrics_.counter("crypto.combine_shares") += count;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+bool RealReplica::healthy() const {
+  // Three missed view timers (at the current backoff) or 5 s, whichever is
+  // longer: tolerant of view-change grind, still sharp on a wedged loop.
+  const Duration window =
+      std::max(Duration::seconds(5), pacemaker_.view_timeout() * 3);
+  return mono_now() - last_activity_ <= window;
+}
+
+std::string RealReplica::status_json() {
+  std::string out = "{";
+  out += "\"node\":" + std::to_string(config_.replica.id);
+  out += ",\"protocol\":\"";
+  out += config_.protocol == runtime::ProtocolKind::kMarlin ? "marlin"
+                                                            : "hotstuff";
+  out += "\"";
+  out += ",\"view\":" + std::to_string(protocol_->current_view());
+  out += ",\"committed_height\":" +
+         std::to_string(static_cast<std::uint64_t>(
+             metrics_.gauge_value("replica.committed_height")));
+  out += ",\"committed_ops\":" + std::to_string(committed_ops_.total());
+  out += ",\"txpool\":" + std::to_string(protocol_->pool().pending());
+  out += std::string(",\"recovered\":") + (recovered_ ? "true" : "false");
+  out += std::string(",\"recovering\":") +
+         (protocol_->recovering() ? "true" : "false");
+  out += std::string(",\"healthy\":") + (healthy() ? "true" : "false");
+  out += ",\"queued_bytes\":" + std::to_string(transport_.queued_bytes());
+  out += ",\"peers\":[";
+  bool first = true;
+  for (const TcpTransport::PeerStatus& p : transport_.peer_statuses()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(p.id);
+    out += std::string(",\"connected\":") + (p.connected ? "true" : "false");
+    out += std::string(",\"connecting\":") +
+           (p.connecting ? "true" : "false");
+    out += ",\"queued_bytes\":" + std::to_string(p.queued_bytes);
+    out += ",\"high_water_bytes\":" + std::to_string(p.high_water_bytes);
+    out += ",\"backoff_ms\":" + std::to_string(p.backoff_ms);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+obs::MetricsRegistry RealReplica::snapshot_metrics() const {
+  obs::MetricsRegistry snap = metrics_;
+  transport_.export_metrics(snap);
+  // Same labeling as sim::Network::export_metrics — per-node totals under
+  // node=<id>, per-kind totals under kind=<name> — so a merged realnet
+  // series is key-compatible with a sim series.
+  obs::net_stats_to_metrics(transport_.stats(), snap,
+                            "node=" + std::to_string(config_.replica.id));
+  snap.counter("loop.iterations") += loop_.iterations();
+  snap.counter("loop.posted_tasks") += loop_.posted_tasks_run();
+  snap.counter("loop.timers_fired") += loop_.timers_fired();
+  return snap;
 }
 
 }  // namespace marlin::realnet

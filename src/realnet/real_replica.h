@@ -95,6 +95,23 @@ class RealReplica final : public consensus::ProtocolEnv {
   obs::MetricsRegistry& metrics() { return metrics_; }
   ViewNumber current_view() const { return protocol_->current_view(); }
 
+  // -- telemetry (loop thread only) ------------------------------------------
+  /// Liveness: true while the host shows recent activity (view timer
+  /// firing, commits, view entries). The window adapts to the pacemaker's
+  /// current backoff so a cluster grinding through view changes is not
+  /// misreported as stalled. Backs GET /healthz.
+  bool healthy() const;
+
+  /// JSON body for GET /status: node id, protocol, view, committed height,
+  /// tx-pool depth, recovery flags, and per-peer connection state.
+  std::string status_json();
+
+  /// Self-contained metrics snapshot for /metrics and the series sampler:
+  /// a copy of the registry plus the transport health series, the wire
+  /// NodeNetStats (same names the simulated network exports), and event
+  /// loop counters.
+  obs::MetricsRegistry snapshot_metrics() const;
+
  private:
   void make_protocol();
   void arm_view_timer();
@@ -125,6 +142,7 @@ class RealReplica final : public consensus::ProtocolEnv {
   WindowedCounter committed_ops_;
   obs::MetricsRegistry metrics_;
   bool commit_seen_in_view_ = false;
+  TimePoint last_activity_;  // freshness signal behind healthy()
 };
 
 }  // namespace marlin::realnet

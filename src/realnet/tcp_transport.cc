@@ -105,6 +105,7 @@ void TcpTransport::send(std::uint32_t to, Payload payload) {
     // No endpoint for this id (e.g. a replica set smaller than the
     // destination table) — indistinguishable from a dead link.
     ++stats_.messages_dropped;
+    ++frames_dropped_no_peer_;
     record_drop(payload, to);
     return;
   }
@@ -112,6 +113,7 @@ void TcpTransport::send(std::uint32_t to, Payload payload) {
   const std::size_t framed = wire::kHeaderSize + size;
   if (peer.queue_bytes + framed > config_.max_queue_bytes) {
     ++stats_.messages_dropped;
+    ++frames_dropped_backpressure_;
     record_drop(payload, to);
     return;
   }
@@ -125,6 +127,7 @@ void TcpTransport::send(std::uint32_t to, Payload payload) {
       wire::encode_header(static_cast<std::uint32_t>(size)),
       std::move(payload)});
   peer.queue_bytes += framed;
+  peer.high_water = std::max(peer.high_water, peer.queue_bytes);
 
   if (peer.fd < 0 && !peer.connecting) {
     dial(to);
@@ -137,6 +140,52 @@ std::size_t TcpTransport::pending_egress_bytes() const {
   std::size_t total = 0;
   for (const auto& [id, peer] : peers_) total += peer.queue_bytes;
   return total;
+}
+
+std::size_t TcpTransport::egress_high_water_bytes() const {
+  std::size_t hw = 0;
+  for (const auto& [id, peer] : peers_) hw = std::max(hw, peer.high_water);
+  return hw;
+}
+
+std::vector<TcpTransport::PeerStatus> TcpTransport::peer_statuses() const {
+  std::vector<PeerStatus> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, peer] : peers_) {
+    out.push_back(PeerStatus{id, peer.fd >= 0 && !peer.connecting,
+                             peer.connecting, peer.queue_bytes,
+                             peer.high_water,
+                             peer.backoff.as_nanos() / 1'000'000});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PeerStatus& a, const PeerStatus& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void TcpTransport::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.counter("transport.dials") += dials_;
+  reg.counter("transport.connects_ok") += connects_ok_;
+  reg.counter("transport.connect_failures") += connect_failures_;
+  reg.counter("transport.connections_lost") += connections_lost_;
+  reg.counter("transport.redials_scheduled") += redials_scheduled_;
+  reg.counter("transport.frames_dropped", "reason=backpressure") +=
+      frames_dropped_backpressure_;
+  reg.counter("transport.frames_dropped", "reason=no_peer") +=
+      frames_dropped_no_peer_;
+  reg.counter("transport.decode_errors") += decode_errors_;
+  reg.gauge("transport.egress_queued_bytes") =
+      static_cast<double>(queued_bytes());
+  reg.gauge("transport.egress_high_water_bytes") =
+      static_cast<double>(egress_high_water_bytes());
+  std::size_t connected = 0;
+  for (const auto& [id, peer] : peers_) {
+    if (peer.fd >= 0 && !peer.connecting) ++connected;
+  }
+  reg.gauge("transport.peers_connected") = static_cast<double>(connected);
+  reg.gauge("transport.ingress_connections") =
+      static_cast<double>(ingress_.size());
 }
 
 void TcpTransport::record_drop(const Payload& payload, std::uint32_t to) {
@@ -171,8 +220,10 @@ void TcpTransport::deliver_local(std::uint32_t from, Payload payload) {
 void TcpTransport::dial(std::uint32_t id) {
   Peer& peer = peers_[id];
   assert(peer.fd < 0);
+  ++dials_;
   const int fd = make_nonblocking_socket();
   if (fd < 0) {
+    ++connect_failures_;
     schedule_redial(id);
     return;
   }
@@ -181,6 +232,7 @@ void TcpTransport::dial(std::uint32_t id) {
   const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
   if (rc != 0 && errno != EINPROGRESS) {
     close(fd);
+    ++connect_failures_;
     schedule_redial(id);
     return;
   }
@@ -196,6 +248,7 @@ void TcpTransport::schedule_redial(std::uint32_t id) {
   peer.backoff = peer.backoff == Duration::zero()
                      ? config_.reconnect_min
                      : std::min(peer.backoff * 2, config_.reconnect_max);
+  ++redials_scheduled_;
   peer.reconnect = loop_.schedule(peer.backoff, [this, id] {
     auto it = peers_.find(id);
     if (it == peers_.end() || shut_down_) return;
@@ -215,6 +268,7 @@ void TcpTransport::on_dial_writable(std::uint32_t id) {
     }
     peer.connecting = false;
     peer.backoff = Duration::zero();
+    ++connects_ok_;
     // Identify ourselves before any consensus frame. The hello rides the
     // same queue (front) so ordering is inherent. Hello bytes are not
     // consensus traffic: excluded from stats, included in queue_bytes.
@@ -223,6 +277,7 @@ void TcpTransport::on_dial_writable(std::uint32_t id) {
         wire::encode_header(static_cast<std::uint32_t>(hello.size())),
         Payload(hello)});
     peer.queue_bytes += wire::kHeaderSize + hello.size();
+    peer.high_water = std::max(peer.high_water, peer.queue_bytes);
     assert(peer.front_offset == 0);
   }
   flush_peer(id);
@@ -300,6 +355,11 @@ void TcpTransport::flush_peer(std::uint32_t id) {
 void TcpTransport::close_peer_conn(std::uint32_t id, bool redial) {
   Peer& peer = peers_[id];
   if (peer.fd < 0) return;
+  if (peer.connecting) {
+    ++connect_failures_;  // dial never became writable
+  } else if (redial) {
+    ++connections_lost_;  // established stream reset under us
+  }
   loop_.del_fd(peer.fd);
   fd_to_peer_.erase(peer.fd);
   close(peer.fd);
@@ -349,6 +409,7 @@ void TcpTransport::ingress_readable(int fd) {
     Ingress& in = it->second;
     if (!in.decoder.feed(BytesView(buf, static_cast<std::size_t>(n)))
              .is_ok()) {
+      ++decode_errors_;
       close_ingress(fd);  // oversize/corrupt stream: drop the connection
       return;
     }

@@ -25,11 +25,13 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/net_stats.h"
 #include "common/payload.h"
 #include "common/status.h"
 #include "common/wire_codec.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "realnet/event_loop.h"
 
@@ -95,6 +97,51 @@ class TcpTransport final : public FdHandler {
   const net::NodeNetStats& stats() const { return stats_; }
   std::uint32_t node_id() const { return node_id_; }
 
+  // -- health instrumentation (loop thread only) -----------------------------
+  /// Current egress backlog across all peers (alias of
+  /// pending_egress_bytes, named for the telemetry plane).
+  std::size_t queued_bytes() const { return pending_egress_bytes(); }
+  /// Largest per-peer egress backlog ever observed (bytes).
+  std::size_t egress_high_water_bytes() const;
+  /// connect() attempts (first dials and re-dials alike).
+  std::uint64_t dials() const { return dials_; }
+  /// Dials that completed the TCP handshake.
+  std::uint64_t connects_ok() const { return connects_ok_; }
+  /// Dials that failed before becoming writable.
+  std::uint64_t connect_failures() const { return connect_failures_; }
+  /// Established connections lost mid-stream (reset, EPIPE, HUP).
+  std::uint64_t connections_lost() const { return connections_lost_; }
+  /// Backoff timers armed by the reconnect loop.
+  std::uint64_t redials_scheduled() const { return redials_scheduled_; }
+  /// Frames dropped because a peer's queue exceeded max_queue_bytes.
+  std::uint64_t frames_dropped_backpressure() const {
+    return frames_dropped_backpressure_;
+  }
+  /// Frames dropped because the destination id has no endpoint.
+  std::uint64_t frames_dropped_no_peer() const {
+    return frames_dropped_no_peer_;
+  }
+  /// Inbound connections torn down on FrameDecoder errors (oversize or
+  /// corrupt framing).
+  std::uint64_t decode_errors() const { return decode_errors_; }
+
+  /// Point-in-time view of one outbound peer link, for /status.
+  struct PeerStatus {
+    std::uint32_t id = 0;
+    bool connected = false;   // dialed socket established
+    bool connecting = false;  // connect() in flight
+    std::size_t queued_bytes = 0;
+    std::size_t high_water_bytes = 0;
+    std::int64_t backoff_ms = 0;  // current reconnect backoff (0 = healthy)
+  };
+  /// All known peers, ascending id order.
+  std::vector<PeerStatus> peer_statuses() const;
+
+  /// Writes transport health series (transport.dials, transport.decode_
+  /// errors, transport.egress_queued_bytes, ...) into `reg`. Counters add:
+  /// pass a fresh snapshot registry.
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
   // -- FdHandler ------------------------------------------------------------
   void on_fd_event(int fd, std::uint32_t events) override;
 
@@ -112,6 +159,7 @@ class TcpTransport final : public FdHandler {
     bool want_write = false; // EPOLLOUT currently registered
     std::deque<EgressFrame> queue;
     std::size_t queue_bytes = 0;   // header+payload bytes still unflushed
+    std::size_t high_water = 0;    // max queue_bytes ever reached
     std::size_t front_offset = 0;  // bytes of queue.front() already written
     Duration backoff = Duration::zero();
     TimerHandle reconnect;
@@ -149,6 +197,16 @@ class TcpTransport final : public FdHandler {
   std::function<void(std::uint32_t, Payload)> handler_;
   obs::TraceSink* trace_ = nullptr;
   net::NodeNetStats stats_;
+
+  // Health counters (see the accessors above for semantics).
+  std::uint64_t dials_ = 0;
+  std::uint64_t connects_ok_ = 0;
+  std::uint64_t connect_failures_ = 0;
+  std::uint64_t connections_lost_ = 0;
+  std::uint64_t redials_scheduled_ = 0;
+  std::uint64_t frames_dropped_backpressure_ = 0;
+  std::uint64_t frames_dropped_no_peer_ = 0;
+  std::uint64_t decode_errors_ = 0;
 };
 
 }  // namespace marlin::realnet

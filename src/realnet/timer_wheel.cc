@@ -75,7 +75,11 @@ void TimerWheel::advance(TimePoint now) {
       s.cancelled = false;
       free_slots_.push_back(e.slot);
       --pending_;
-      if (run) e.fn();
+      if (run) {
+        ++fired_;
+        if (drift_hist_ != nullptr) drift_hist_->record(now - e.deadline);
+        e.fn();
+      }
     }
   }
 }

@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/sim_time.h"
 
 namespace marlin::realnet {
@@ -55,6 +56,15 @@ class TimerWheel {
 
   std::size_t pending() const { return pending_; }
 
+  // -- instrumentation -------------------------------------------------------
+  /// Total timers fired (cancelled entries excluded).
+  std::uint64_t fired() const { return fired_; }
+
+  /// When set, every fired timer records `advance_now - deadline` (how late
+  /// the wheel ran it). Non-owning; the histogram must outlive the wheel or
+  /// be detached with nullptr. Wheel and histogram live on the loop thread.
+  void set_fire_drift_histogram(LatencyHistogram* h) { drift_hist_ = h; }
+
  private:
   friend class TimerHandle;
 
@@ -84,6 +94,8 @@ class TimerWheel {
   std::vector<std::uint32_t> free_slots_;
   std::size_t pending_ = 0;
   TimePoint last_advance_;
+  std::uint64_t fired_ = 0;
+  LatencyHistogram* drift_hist_ = nullptr;
 };
 
 }  // namespace marlin::realnet

@@ -384,8 +384,28 @@ TEST(Histogram, PercentileIsConstAndSortsLazily) {
 
 TEST(Histogram, EmptyIsZero) {
   LatencyHistogram h;
+  EXPECT_EQ(h.percentile(0), Duration::zero());
   EXPECT_EQ(h.percentile(50), Duration::zero());
+  EXPECT_EQ(h.percentile(100), Duration::zero());
   EXPECT_EQ(h.mean(), Duration::zero());
+  EXPECT_EQ(h.min(), Duration::zero());
+  EXPECT_EQ(h.max(), Duration::zero());
+  EXPECT_EQ(h.median(), Duration::zero());
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  LatencyHistogram h;
+  h.record(Duration::millis(7));
+  // n == 1 means rank 0 for every p, so both quantile bounds and the
+  // median all collapse to the lone sample.
+  EXPECT_EQ(h.percentile(0), Duration::millis(7));
+  EXPECT_EQ(h.percentile(50), Duration::millis(7));
+  EXPECT_EQ(h.percentile(99), Duration::millis(7));
+  EXPECT_EQ(h.percentile(100), Duration::millis(7));
+  EXPECT_EQ(h.median(), Duration::millis(7));
+  EXPECT_EQ(h.min(), Duration::millis(7));
+  EXPECT_EQ(h.max(), Duration::millis(7));
+  EXPECT_EQ(h.mean(), Duration::millis(7));
 }
 
 TEST(Histogram, Merge) {

@@ -213,6 +213,33 @@ TEST(ValueHistogramTest, InterpolatedPercentiles) {
   EXPECT_DOUBLE_EQ(h.mean(), 25);
 }
 
+TEST(ValueHistogramTest, EmptyIsZeroEverywhere) {
+  ValueHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(ValueHistogramTest, SingleSampleIsEveryPercentile) {
+  ValueHistogram h;
+  h.record(42);
+  // With n == 1 the interpolation rank is always 0, so every quantile,
+  // including both bounds, is the lone sample.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 42);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 42);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 42);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 42);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.mean(), 42);
+  EXPECT_EQ(h.sum(), 42u);
+}
+
 // ---------------------------------------------------------------------------
 // Exporters
 // ---------------------------------------------------------------------------

@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <thread>
 
 #include "realnet/clock.h"
 #include "realnet/event_loop.h"
+#include "realnet/http_client.h"
 #include "realnet/real_cluster.h"
 #include "realnet/tcp_transport.h"
 #include "realnet/timer_wheel.h"
@@ -435,6 +437,88 @@ TEST(RealCluster, KilledReplicaRelaunchesFromDiskAndRejoins) {
   EXPECT_FALSE(cluster.any_safety_violation());
   EXPECT_TRUE(cluster.committed_heights_consistent());
   std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane observes transport faults from outside the process
+// ---------------------------------------------------------------------------
+
+// Scrape helper: GET /metrics and pull one series value out of the
+// Prometheus text (exact-name match at line start, value after the space).
+double scraped_metric(std::uint16_t port, const std::string& series) {
+  auto resp =
+      http_get("127.0.0.1", port, "/metrics", Duration::seconds(2));
+  if (!resp.is_ok() || resp.value().status_code != 200) return -1;
+  const std::string& body = resp.value().body;
+  const std::string needle = series + " ";
+  std::size_t pos = body.find(needle);
+  while (pos != std::string::npos && pos != 0 && body[pos - 1] != '\n') {
+    pos = body.find(needle, pos + 1);
+  }
+  if (pos == std::string::npos) return -1;
+  return std::atof(body.c_str() + pos + needle.size());
+}
+
+TEST(RealCluster, ScrapedMetricsObserveKilledPeerAndReconnect) {
+  runtime::ClusterConfig cfg = quick_cluster_config(1);
+  RealClusterOptions opts;
+  opts.telemetry = true;
+  RealCluster cluster(cfg, opts);
+  ASSERT_TRUE(cluster.ok().is_ok()) << cluster.ok().message();
+  cluster.start();
+
+  ASSERT_TRUE(eventually(Duration::seconds(20), [&] {
+    return cluster.total_completed() > 30;
+  }));
+  const std::uint16_t port0 = cluster.telemetry_port(0);
+  ASSERT_NE(port0, 0);
+
+  // Baseline scrape of replica 0: the transport health series exist and
+  // the egress queue high-water mark shows frames actually queued.
+  EXPECT_GE(scraped_metric(port0, "marlin_transport_connects_ok"), 1.0);
+  EXPECT_GT(scraped_metric(port0,
+                           "marlin_transport_egress_high_water_bytes"),
+            0.0);
+
+  // Kill replica 2. Marlin's linearity means followers only talk to the
+  // leader, so replica 2's death is invisible to most transports — but the
+  // leader broadcasts proposals to everyone and must observe the stream
+  // reset plus redial/backoff churn. Scrape every survivor and find it.
+  cluster.kill_replica(2);
+  const std::uint32_t survivors[] = {0, 1, 3};
+  auto observer = [&]() -> std::uint16_t {
+    for (std::uint32_t i : survivors) {
+      const std::uint16_t p = cluster.telemetry_port(i);
+      if (scraped_metric(p, "marlin_transport_connections_lost") >= 1.0 &&
+          scraped_metric(p, "marlin_transport_redials_scheduled") >= 1.0) {
+        return p;
+      }
+    }
+    return 0;
+  };
+  ASSERT_TRUE(eventually(Duration::seconds(15),
+                         [&] { return observer() != 0; }))
+      << "no survivor observed the lost connection";
+  const std::uint16_t leader_port = observer();
+
+  // Redials to the dead peer keep failing: the failure counter climbs.
+  ASSERT_TRUE(eventually(Duration::seconds(15), [&] {
+    return scraped_metric(leader_port, "marlin_transport_connect_failures") >=
+           1.0;
+  }));
+
+  // /status agrees: peer 2 shows disconnected on the observer's peer table.
+  auto status =
+      http_get("127.0.0.1", leader_port, "/status", Duration::seconds(2));
+  ASSERT_TRUE(status.is_ok());
+  EXPECT_NE(
+      status.value().body.find(
+          "{\"id\":2,\"connected\":false"),
+      std::string::npos)
+      << status.value().body;
+
+  cluster.stop();
+  EXPECT_FALSE(cluster.any_safety_violation());
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 // generator, drives the run).
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -413,21 +414,50 @@ int main(int argc, char** argv) {
   std::vector<SweepResult> results(items.size());
   const std::uint32_t jobs =
       std::min<std::uint32_t>(opt.jobs, static_cast<std::uint32_t>(items.size()));
+
+  // Progress heartbeat: long sweeps print a stderr line every couple of
+  // seconds (plans done/total, rate, verdict counts) so a CI log or a
+  // terminal shows the sweep is alive. stderr only — stdout and --out stay
+  // byte-identical across --jobs values and heartbeat timing.
+  const auto sweep_start = std::chrono::steady_clock::now();
+  auto emit_heartbeat = [&](std::size_t done_count, std::uint32_t fail_count) {
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
+    std::fprintf(stderr, "progress: %zu/%zu plans (%.1f plans/s, ok=%zu "
+                         "fail=%u)\n",
+                 done_count, items.size(), secs > 0 ? done_count / secs : 0.0,
+                 done_count - fail_count, fail_count);
+  };
+  constexpr auto kHeartbeatPeriod = std::chrono::seconds(2);
+
   if (jobs <= 1) {
     // Sequential: stream each verdict as it lands.
+    auto last_beat = sweep_start;
+    std::uint32_t fail_count = 0;
     for (std::size_t i = 0; i < items.size(); ++i) {
       results[i] = run_sweep_item(opt, items[i]);
+      if (!results[i].ok) ++fail_count;
       std::printf("%s\n", results[i].line.c_str());
       std::fflush(stdout);
       std::fputs(results[i].errs.c_str(), stderr);
       if (out) out << results[i].line << "\n";
+      if (const auto now = std::chrono::steady_clock::now();
+          now - last_beat >= kHeartbeatPeriod && i + 1 < items.size()) {
+        emit_heartbeat(i + 1, fail_count);
+        last_beat = now;
+      }
     }
   } else {
     // Parallel: every schedule owns its Simulator, cluster, and TraceSink;
     // shared crypto memos are thread_local or per-suite, so jobs never
     // share mutable state. Claim items off an atomic cursor, then emit in
-    // item order after the join.
+    // item order after the join. The main thread doubles as the heartbeat
+    // monitor while workers run.
     std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::uint32_t> failed{0};
     std::vector<std::thread> workers;
     workers.reserve(jobs);
     for (std::uint32_t w = 0; w < jobs; ++w) {
@@ -436,8 +466,19 @@ int main(int argc, char** argv) {
           const std::size_t i = next.fetch_add(1);
           if (i >= items.size()) return;
           results[i] = run_sweep_item(opt, items[i]);
+          if (!results[i].ok) failed.fetch_add(1);
+          done.fetch_add(1);
         }
       });
+    }
+    auto last_beat = sweep_start;
+    while (done.load() < items.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (const auto now = std::chrono::steady_clock::now();
+          now - last_beat >= kHeartbeatPeriod) {
+        emit_heartbeat(done.load(), failed.load());
+        last_beat = now;
+      }
     }
     for (std::thread& w : workers) w.join();
     for (const SweepResult& r : results) {

@@ -30,6 +30,7 @@
 
 #include "common/json.h"
 #include "obs/export.h"
+#include "obs/telemetry.h"
 #include "realnet/real_cluster.h"
 
 using namespace marlin;
@@ -56,6 +57,9 @@ struct Options {
   std::string config_path;
   std::string metrics_out;
   std::string trace_out;
+  std::string metrics_series_out;
+  std::string metrics_prom_out;
+  double metrics_interval = 0;  // 0 = default 1 s when a series is written
   bool help = false;
 };
 
@@ -80,7 +84,17 @@ void usage() {
       "                      from its data dir and rejoins over TCP)\n"
       "  --min-commits=N     exit 1 unless >= N client ops commit\n"
       "  --metrics-out=PATH  write a JSON metrics snapshot\n"
-      "  --trace-out=PATH    dump the merged protocol trace as JSONL\n");
+      "  --trace-out=PATH    dump the merged protocol trace as JSONL\n"
+      "  --telemetry         serve live /metrics /status /healthz per\n"
+      "                      replica on ephemeral 127.0.0.1 ports\n"
+      "  --telemetry-port=P  fixed telemetry ports: replica i on P+i\n"
+      "                      (implies --telemetry)\n"
+      "  --metrics-series-out=PATH  append JSONL metric snapshots every\n"
+      "                      --metrics-interval seconds (live trajectory;\n"
+      "                      same schema as marlin_sim's series)\n"
+      "  --metrics-interval=S  sampling period for the series (default 1)\n"
+      "  --metrics-prom-out=PATH  write the final metrics snapshot as\n"
+      "                      Prometheus text exposition\n");
 }
 
 bool parse_flag(const char* arg, const char* name, std::string* value) {
@@ -250,6 +264,18 @@ bool parse_options(int argc, char** argv, Options* opt) {
       opt->metrics_out = v;
     } else if (parse_flag(argv[i], "--trace-out", &v)) {
       opt->trace_out = v;
+    } else if (parse_flag(argv[i], "--telemetry", &v)) {
+      opt->real.telemetry = true;
+    } else if (parse_flag(argv[i], "--telemetry-port", &v)) {
+      opt->real.telemetry = true;
+      opt->real.telemetry_base_port =
+          static_cast<std::uint16_t>(std::atoi(v.c_str()));
+    } else if (parse_flag(argv[i], "--metrics-series-out", &v)) {
+      opt->metrics_series_out = v;
+    } else if (parse_flag(argv[i], "--metrics-interval", &v)) {
+      opt->metrics_interval = std::atof(v.c_str());
+    } else if (parse_flag(argv[i], "--metrics-prom-out", &v)) {
+      opt->metrics_prom_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       return false;
@@ -319,18 +345,57 @@ int main(int argc, char** argv) {
                  cluster.ok().message().c_str());
     return 2;
   }
+  if (!opt.trace_out.empty() && !cluster.tracing()) {
+    // merged_trace_events() is silently empty without tracing; make the
+    // would-be-empty dump loud instead of mysterious.
+    std::fprintf(stderr,
+                 "warning: --trace-out given but tracing is disabled; the "
+                 "trace file will be empty\n");
+  }
+
+  std::ofstream series;
+  if (!opt.metrics_series_out.empty()) {
+    series.open(opt.metrics_series_out, std::ios::trunc);
+    if (!series) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   opt.metrics_series_out.c_str());
+      return 2;
+    }
+    if (opt.metrics_interval <= 0) opt.metrics_interval = 1.0;
+  } else if (opt.metrics_interval > 0) {
+    std::fprintf(stderr,
+                 "warning: --metrics-interval without --metrics-series-out "
+                 "has no effect\n");
+  }
 
   const TimePoint t0 = realnet::mono_now();
   cluster.set_measurement_window(t0 + Duration::from_seconds_f(opt.warmup),
                                  t0 + Duration::from_seconds_f(opt.seconds));
   cluster.start();
 
+  if (opt.real.telemetry) {
+    std::printf("telemetry:");
+    for (std::uint32_t i = 0; i < cluster.n(); ++i) {
+      std::printf(" r%u=http://127.0.0.1:%u", i, cluster.telemetry_port(i));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
   // Drive the wall clock: sleep in short slices, firing any scheduled
-  // kill/relaunch events as their times pass.
+  // kill/relaunch events as their times pass and appending metric-series
+  // samples on their own cadence.
   bool relaunch_ok = true;
   const TimePoint end = t0 + Duration::from_seconds_f(opt.seconds);
+  double next_sample = opt.metrics_interval;
   while (realnet::mono_now() < end) {
     const double elapsed = (realnet::mono_now() - t0).as_seconds_f();
+    if (series.is_open() && elapsed >= next_sample) {
+      obs::MetricsRegistry snap = cluster.sample_metrics();
+      series << obs::metrics_series_line(elapsed, snap) << '\n';
+      series.flush();
+      next_sample += opt.metrics_interval;
+    }
     for (CrashEvent& e : opt.events) {
       if (e.done || elapsed < e.at_seconds) continue;
       e.done = true;
@@ -384,15 +449,22 @@ int main(int argc, char** argv) {
       safety_ok ? "ok" : "VIOLATED", consistent ? "yes" : "NO",
       wire.bytes_sent / 1e6, wire.bytes_delivered / 1e6,
       static_cast<unsigned long long>(wire.messages_dropped));
-  std::printf("%-8s %10s %12s %14s %10s\n", "replica", "height", "bytes_out",
-              "bytes_in", "recovered");
+  std::printf("%-8s %10s %12s %14s %10s %8s %8s %10s\n", "replica", "height",
+              "bytes_out", "bytes_in", "q_hw", "dropped", "redials",
+              "recovered");
   for (std::uint32_t i = 0; i < cluster.n(); ++i) {
     const net::NodeNetStats& s = cluster.node_stats(i);
-    std::printf("r%-7u %10llu %12llu %14llu %10s\n", i,
+    const realnet::TcpTransport& t = cluster.transport(i);
+    std::printf("r%-7u %10llu %12llu %14llu %10llu %8llu %8llu %10s\n", i,
                 static_cast<unsigned long long>(
                     cluster.replica(i).protocol().committed_height()),
                 static_cast<unsigned long long>(s.bytes_sent),
                 static_cast<unsigned long long>(s.bytes_delivered),
+                static_cast<unsigned long long>(t.egress_high_water_bytes()),
+                static_cast<unsigned long long>(
+                    t.frames_dropped_backpressure() +
+                    t.frames_dropped_no_peer()),
+                static_cast<unsigned long long>(t.redials_scheduled()),
                 cluster.replica(i).recovered() ? "yes" : "-");
   }
 
@@ -400,6 +472,15 @@ int main(int argc, char** argv) {
     if (!obs::write_text_file(opt.metrics_out,
                               metrics_json(cluster, opt, wire, relaunch_ok))) {
       std::fprintf(stderr, "failed to write %s\n", opt.metrics_out.c_str());
+      return 2;
+    }
+  }
+  if (!opt.metrics_prom_out.empty()) {
+    obs::MetricsRegistry snap = cluster.sample_metrics();
+    if (!obs::write_text_file(opt.metrics_prom_out,
+                              obs::metrics_to_prometheus(snap))) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   opt.metrics_prom_out.c_str());
       return 2;
     }
   }

@@ -26,6 +26,7 @@
 #include "obs/critical_path.h"
 #include "obs/export.h"
 #include "obs/span.h"
+#include "obs/telemetry.h"
 #include "runtime/cluster.h"
 
 using namespace marlin;
@@ -42,6 +43,8 @@ struct Options {
   std::string trace_out;        // JSONL protocol trace path
   std::string metrics_out;      // JSON metrics snapshot path
   std::string metrics_csv;      // CSV metrics snapshot path
+  std::string metrics_series_out;  // JSONL time-series of metric snapshots
+  double metrics_interval = 0;  // 0 = default 1 s when a series is written
   std::string spans_out;        // Chrome trace-event JSON (Perfetto) path
   bool critical_path = false;   // print the critical-path report
   bool timeline = false;        // print per-view timeline
@@ -75,6 +78,10 @@ void usage() {
       "  --trace-out=PATH             dump the protocol trace as JSONL\n"
       "  --metrics-out=PATH           dump a metrics snapshot as JSON\n"
       "  --metrics-csv=PATH           dump a metrics snapshot as CSV\n"
+      "  --metrics-series-out=PATH    append JSONL metric snapshots every\n"
+      "                               --metrics-interval simulated seconds\n"
+      "                               (same schema as marlin_run's series)\n"
+      "  --metrics-interval=S         series sampling period (default 1)\n"
       "  --spans-out=PATH             dump per-block lifecycle spans as\n"
       "                               Chrome trace-event JSON (Perfetto)\n"
       "  --critical-path              print per-block critical-path report\n"
@@ -158,6 +165,10 @@ bool parse_options(int argc, char** argv, Options* opt) {
       opt->metrics_out = v;
     } else if (parse_flag(argv[i], "--metrics-csv", &v)) {
       opt->metrics_csv = v;
+    } else if (parse_flag(argv[i], "--metrics-series-out", &v)) {
+      opt->metrics_series_out = v;
+    } else if (parse_flag(argv[i], "--metrics-interval", &v)) {
+      opt->metrics_interval = std::atof(v.c_str());
     } else if (parse_flag(argv[i], "--spans-out", &v)) {
       opt->spans_out = v;
     } else if (parse_flag(argv[i], "--critical-path", &v)) {
@@ -232,6 +243,30 @@ int main(int argc, char** argv) {
   cluster.set_measurement_window(start, end);
   cluster.start();
 
+  // The series sampler interleaves run_until slices with metric snapshots:
+  // same schema as marlin_run's live sampler, but on the virtual clock, so
+  // the trajectory is bit-deterministic from the seed.
+  if (!opt.metrics_series_out.empty()) {
+    std::ofstream series(opt.metrics_series_out, std::ios::trunc);
+    if (!series) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   opt.metrics_series_out.c_str());
+      return 2;
+    }
+    const double step =
+        opt.metrics_interval > 0 ? opt.metrics_interval : 1.0;
+    for (double t = step; t < opt.seconds; t += step) {
+      sim.run_until(TimePoint::origin() + Duration::from_seconds_f(t));
+      obs::MetricsRegistry snap;
+      cluster.export_metrics(snap);
+      series << obs::metrics_series_line(sim.now().as_seconds_f(), snap)
+             << '\n';
+    }
+  } else if (opt.metrics_interval > 0) {
+    std::fprintf(stderr,
+                 "warning: --metrics-interval without --metrics-series-out "
+                 "has no effect\n");
+  }
   sim.run_until(end + Duration::seconds(1));
 
   for (const auto& a : cluster.faults().log()) {
