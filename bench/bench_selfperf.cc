@@ -157,6 +157,41 @@ WorkloadResult run_workload(double sim_seconds) {
   return r;
 }
 
+/// Large-n steady state: n=100 (f=33) with a light client load. The event
+/// heap, timer slab, and network links are pre-sized from the cluster size
+/// (Cluster reserves n-proportional capacity up front), so the run phase
+/// should stay allocation-lean no matter how many replicas churn timers —
+/// the --max-bigload-allocs-per-event gate pins that.
+WorkloadResult run_bigload(double sim_seconds) {
+  sim::Simulator sim(1);
+  runtime::ClusterConfig cfg;
+  cfg.f = 33;  // n = 100
+  cfg.seed = 1;
+  cfg.clients.count = 8;
+  cfg.clients.window = 8;
+  cfg.clients.payload_size = 64;
+  runtime::Cluster cluster(sim, cfg);
+  cluster.start();
+
+  alloc_hook::reset();
+  const std::uint64_t t0 = wall_now_ns();
+  sim.run_until(TimePoint::origin() + Duration::from_seconds_f(sim_seconds));
+  const std::uint64_t t1 = wall_now_ns();
+
+  WorkloadResult r;
+  r.n = cluster.n();
+  r.sim_seconds = sim_seconds;
+  r.events = sim.events_executed();
+  r.wall_ns = t1 - t0;
+  r.allocs = alloc_hook::allocations();
+  for (ReplicaId i = 0; i < cluster.n(); ++i) {
+    r.committed_ops = std::max(
+        r.committed_ops,
+        cluster.replica(i).metrics().counter("replica.committed_ops"));
+  }
+  return r;
+}
+
 /// Minimal flat-JSON number lookup ("\"key\":123.45"), sufficient for the
 /// baseline files this bench writes itself.
 bool find_number(const std::string& json, const char* key, double* out) {
@@ -196,6 +231,7 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_selfperf.json";
   std::string baseline_in;
   std::string baseline_out;
+  double max_bigload_allocs = 0;  // 0 = no gate
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--quick") == 0) {
@@ -206,11 +242,15 @@ int main(int argc, char** argv) {
       baseline_in = arg + 11;
     } else if (std::strncmp(arg, "--baseline-out=", 15) == 0) {
       baseline_out = arg + 15;
+    } else if (std::strncmp(arg, "--max-bigload-allocs-per-event=", 31) == 0) {
+      max_bigload_allocs = std::atof(arg + 31);
     } else {
       std::fprintf(stderr,
                    "usage: bench_selfperf [--quick] [--out=PATH]\n"
                    "                      [--baseline=PATH] "
-                   "[--baseline-out=PATH]\n");
+                   "[--baseline-out=PATH]\n"
+                   "                      "
+                   "[--max-bigload-allocs-per-event=X]\n");
       return 2;
     }
   }
@@ -238,6 +278,24 @@ int main(int argc, char** argv) {
                wl.events_per_sec() / 1e6, wl.sim_per_wall(),
                wl.allocs_per_event(),
                static_cast<unsigned long long>(wl.committed_ops));
+
+  const double bigload_sim_seconds = quick ? 0.5 : 2.0;
+  std::fprintf(stderr, "bigload: n=100, %.1f sim-seconds...\n",
+               bigload_sim_seconds);
+  const WorkloadResult big = run_bigload(bigload_sim_seconds);
+  std::fprintf(stderr,
+               "bigload: %.1f ms wall, %.2fM events/s, %.2f allocs/event, "
+               "%llu ops committed\n",
+               static_cast<double>(big.wall_ns) / 1e6,
+               big.events_per_sec() / 1e6, big.allocs_per_event(),
+               static_cast<unsigned long long>(big.committed_ops));
+  if (max_bigload_allocs > 0 && big.allocs_per_event() > max_bigload_allocs) {
+    std::fprintf(stderr,
+                 "ALLOCS-PER-EVENT REGRESSION: bigload %.3f > limit %.3f "
+                 "(is the n-proportional pre-sizing still wired up?)\n",
+                 big.allocs_per_event(), max_bigload_allocs);
+    return 1;
+  }
 
   Baseline base;
   if (!baseline_in.empty()) {
@@ -269,7 +327,7 @@ int main(int argc, char** argv) {
                  engine_speedup, workload_speedup);
   }
 
-  char buf[2048];
+  char buf[3072];
   std::snprintf(
       buf, sizeof buf,
       "{\"schema\":\"marlin/selfperf/v1\",\"quick\":%s,\n"
@@ -278,6 +336,9 @@ int main(int argc, char** argv) {
       " \"workload\":{\"n\":%u,\"sim_seconds\":%.3f,\"events\":%llu,"
       "\"wall_ns\":%llu,\"events_per_sec\":%.0f,"
       "\"sim_seconds_per_wall_second\":%.4f,\"allocs\":%llu,"
+      "\"allocs_per_event\":%.4f,\"committed_ops\":%llu},\n"
+      " \"bigload\":{\"n\":%u,\"sim_seconds\":%.3f,\"events\":%llu,"
+      "\"wall_ns\":%llu,\"events_per_sec\":%.0f,\"allocs\":%llu,"
       "\"allocs_per_event\":%.4f,\"committed_ops\":%llu},\n"
       " \"baseline_loaded\":%s,"
       "\"speedup_vs_baseline\":{\"engine\":%.3f,\"workload\":%.3f}}\n",
@@ -289,6 +350,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(wl.wall_ns), wl.events_per_sec(),
       wl.sim_per_wall(), static_cast<unsigned long long>(wl.allocs),
       wl.allocs_per_event(), static_cast<unsigned long long>(wl.committed_ops),
+      big.n, big.sim_seconds, static_cast<unsigned long long>(big.events),
+      static_cast<unsigned long long>(big.wall_ns), big.events_per_sec(),
+      static_cast<unsigned long long>(big.allocs), big.allocs_per_event(),
+      static_cast<unsigned long long>(big.committed_ops),
       base.loaded ? "true" : "false", engine_speedup, workload_speedup);
 
   std::ofstream of(out);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/ids.h"
+#include "common/scheduler.h"
 #include "consensus/persistent_state.h"
 #include "obs/trace.h"
 #include "types/messages.h"
@@ -20,6 +21,13 @@ class ProtocolEnv {
   /// Structured event trace the protocol records into, or nullptr when the
   /// host is not tracing (unit-test envs). Protocols must tolerate null.
   virtual obs::TraceSink* trace_sink() { return nullptr; }
+
+  /// The host's scheduler (backend-neutral: global sim clock, shard-local
+  /// clock, or the realnet timer wheel), or nullptr in untimed hosts
+  /// (unit-test envs). Protocol state machines stay event-driven and never
+  /// schedule directly; this exists for host-side plumbing that receives
+  /// only a ProtocolEnv&.
+  virtual marlin::Scheduler* scheduler() { return nullptr; }
 
   /// Simulation time of the event being handled; origin outside a timed
   /// host (unit-test envs). Used only for observability (txpool wait

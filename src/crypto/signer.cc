@@ -1,10 +1,23 @@
 #include "crypto/signer.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
+#include <mutex>
 #include <unordered_map>
 
 namespace marlin::crypto {
+
+namespace {
+std::atomic<bool> g_parallel_crypto{false};
+}  // namespace
+
+void set_parallel_crypto(bool on) {
+  g_parallel_crypto.store(on, std::memory_order_relaxed);
+}
+bool parallel_crypto() {
+  return g_parallel_crypto.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -30,6 +43,7 @@ class TagCache {
   // the bandwidth model must see identical message lengths.
   const Bytes& tag(std::uint32_t key_index, BytesView message) const {
     if (message.size() <= CacheKey::kMaxMsg) {
+      if (parallel_crypto()) return tag_locked(key_index, message);
       CacheKey k;
       k.key_index = key_index;
       k.len = static_cast<std::uint8_t>(message.size());
@@ -46,8 +60,10 @@ class TagCache {
       }
       return it->second;
     }
-    scratch_ = compute(key_index, message);
-    return scratch_;
+    // Per-thread scratch: long messages bypass the cache on any engine.
+    static thread_local Bytes scratch;
+    scratch = compute(key_index, message);
+    return scratch;
   }
 
  private:
@@ -78,9 +94,32 @@ class TagCache {
     return out;
   }
 
+  /// Parallel-worker path: same memoization under a mutex, with the result
+  /// copied into thread-local storage (the concurrent kMaxEntries clear
+  /// would otherwise invalidate a reference another worker still holds).
+  const Bytes& tag_locked(std::uint32_t key_index, BytesView message) const {
+    static thread_local Bytes local;
+    CacheKey k;
+    k.key_index = key_index;
+    k.len = static_cast<std::uint8_t>(message.size());
+    std::memcpy(k.msg.data(), message.data(), message.size());
+    std::lock_guard<std::mutex> guard(mu_);
+    auto [it, inserted] = cache_.try_emplace(k);
+    if (inserted) {
+      it->second = compute(key_index, message);
+      if (cache_.size() > kMaxEntries) {
+        Bytes value = std::move(it->second);
+        cache_.clear();
+        it = cache_.try_emplace(k, std::move(value)).first;
+      }
+    }
+    local = it->second;
+    return local;
+  }
+
   std::vector<HmacKey> keys_;
+  mutable std::mutex mu_;
   mutable std::unordered_map<CacheKey, Bytes, CacheKeyHash> cache_;
-  mutable Bytes scratch_;
 };
 
 // Shared implementation of the simulated threshold-signature combine /

@@ -4,7 +4,7 @@
 
 namespace marlin::faults {
 
-FaultController::FaultController(sim::Simulator& sim, sim::Network& net,
+FaultController::FaultController(marlin::Scheduler& sim, sim::Network& net,
                                  FaultPlan plan, FaultHooks hooks,
                                  std::uint32_t num_replicas,
                                  obs::TraceSink* trace)

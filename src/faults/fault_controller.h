@@ -47,7 +47,12 @@ class FaultController {
   /// `num_replicas` bounds the node ids the plan may touch; the filter
   /// composed from partitions/silences constrains only replica↔replica
   /// edges (clients always reach every live replica).
-  FaultController(sim::Simulator& sim, sim::Network& net, FaultPlan plan,
+  ///
+  /// `sched` is the run's control lane: the shared simulator on the
+  /// single-queue engine, the barrier-synchronized control queue on the
+  /// partitioned one (fault actions mutate network state every shard
+  /// reads, so they must run while shards are quiescent).
+  FaultController(marlin::Scheduler& sched, sim::Network& net, FaultPlan plan,
                   FaultHooks hooks, std::uint32_t num_replicas,
                   obs::TraceSink* trace = nullptr);
 
@@ -68,7 +73,7 @@ class FaultController {
   void install_filter();
   void record(std::size_t index, FaultKind kind, ReplicaId target);
 
-  sim::Simulator& sim_;
+  marlin::Scheduler& sim_;
   sim::Network& net_;
   FaultPlan plan_;
   FaultHooks hooks_;

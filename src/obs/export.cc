@@ -89,8 +89,12 @@ std::string event_to_json(const TraceEvent& e) {
 }
 
 std::string trace_to_jsonl(const TraceSink& sink) {
+  return trace_to_jsonl(sink.events());
+}
+
+std::string trace_to_jsonl(const std::vector<TraceEvent>& events) {
   std::string out;
-  for (const TraceEvent& e : sink.events()) {
+  for (const TraceEvent& e : events) {
     out += event_to_json(e);
     out += '\n';
   }

@@ -20,6 +20,9 @@ std::string event_to_json(const TraceEvent& e);
 
 /// Full buffered trace, one JSON object per line.
 std::string trace_to_jsonl(const TraceSink& sink);
+/// Same format from an already-materialized event list (e.g. the sharded
+/// engine's deterministic cross-shard merge).
+std::string trace_to_jsonl(const std::vector<TraceEvent>& events);
 void write_trace_jsonl(const TraceSink& sink, std::ostream& out);
 
 /// Minimal field extraction from an event_to_json line — the parser

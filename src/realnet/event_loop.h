@@ -43,16 +43,20 @@ class EventLoop {
   void del_fd(int fd);
 
   // -- timers (loop thread only) ---------------------------------------------
-  TimerHandle schedule_at(TimePoint when, std::function<void()> fn) {
+  TimerHandle schedule_at(TimePoint when, EventFn fn) {
     return wheel_.schedule_at(when, std::move(fn));
   }
-  TimerHandle schedule(Duration delay, std::function<void()> fn) {
+  TimerHandle schedule(Duration delay, EventFn fn) {
     return wheel_.schedule_at(mono_now() + delay, std::move(fn));
   }
   /// Fire-and-forget (drops the handle; mirrors Simulator::post).
-  void post_after(Duration delay, std::function<void()> fn) {
+  void post_after(Duration delay, EventFn fn) {
     wheel_.schedule_at(mono_now() + delay, std::move(fn));
   }
+
+  /// The loop's timers as a backend-neutral Scheduler (the wheel): lets
+  /// hosts written against marlin::Scheduler& run on the real transport.
+  marlin::Scheduler& scheduler() { return wheel_; }
 
   // -- cross-thread ----------------------------------------------------------
   /// Enqueues `fn` to run on the loop thread; safe from any thread and

@@ -4,18 +4,6 @@
 
 namespace marlin::realnet {
 
-void TimerHandle::cancel() {
-  if (!wheel_ || slot_ >= wheel_->slots_.size()) return;
-  TimerWheel::Slot& s = wheel_->slots_[slot_];
-  if (s.gen == gen_ && s.pending) s.cancelled = true;
-}
-
-bool TimerHandle::active() const {
-  if (!wheel_ || slot_ >= wheel_->slots_.size()) return false;
-  const TimerWheel::Slot& s = wheel_->slots_[slot_];
-  return s.gen == gen_ && s.pending && !s.cancelled;
-}
-
 std::uint32_t TimerWheel::alloc_slot() {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();
@@ -26,7 +14,7 @@ std::uint32_t TimerWheel::alloc_slot() {
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-TimerHandle TimerWheel::schedule_at(TimePoint when, std::function<void()> fn) {
+TimerHandle TimerWheel::schedule_at(TimePoint when, EventFn fn) {
   if (when < last_advance_) when = last_advance_;
   const std::uint32_t slot = alloc_slot();
   Slot& s = slots_[slot];
@@ -35,7 +23,7 @@ TimerHandle TimerWheel::schedule_at(TimePoint when, std::function<void()> fn) {
   s.cancelled = false;
   buckets_[bucket_of(when)].push_back(Entry{when, slot, std::move(fn)});
   ++pending_;
-  return TimerHandle(this, slot, s.gen);
+  return make_handle(slot, s.gen);
 }
 
 void TimerWheel::advance(TimePoint now) {

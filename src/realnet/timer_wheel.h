@@ -1,40 +1,27 @@
 // Hashed timing wheel driving the pacemaker and reconnect backoff on the
-// real runtime. Mirrors the simulator's timer semantics (schedule_at +
-// generation-counted cancellation handles, see simnet/simulator.h) so the
-// replica/client hosts can be written against one timer idiom on either
-// transport. Single-threaded: owned and advanced by one EventLoop.
+// real runtime. It is the realnet implementation of marlin::Scheduler
+// (common/scheduler.h): same schedule_at + generation-counted cancellation
+// protocol as the simulated engines, so host code written against
+// Scheduler& runs on either transport. Single-threaded: owned and advanced
+// by one EventLoop; now() is the time of the last advance (the loop
+// advances every iteration, so it trails the monotonic clock by at most
+// one epoll wait).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/scheduler.h"
 #include "common/sim_time.h"
 
 namespace marlin::realnet {
 
-class TimerWheel;
+/// Cancellation handles are the shared generation-counted kind; the alias
+/// keeps the historical realnet::TimerHandle spelling working.
+using TimerHandle = marlin::TimerHandle;
 
-/// Cancellation handle. Default-constructed handles are inert; cancelling
-/// an already-fired or stale handle is a no-op (generation check).
-class TimerHandle {
- public:
-  TimerHandle() = default;
-  void cancel();
-  bool active() const;
-
- private:
-  friend class TimerWheel;
-  TimerHandle(TimerWheel* wheel, std::uint32_t slot, std::uint32_t gen)
-      : wheel_(wheel), slot_(slot), gen_(gen) {}
-
-  TimerWheel* wheel_ = nullptr;
-  std::uint32_t slot_ = 0;
-  std::uint32_t gen_ = 0;
-};
-
-class TimerWheel {
+class TimerWheel final : public marlin::Scheduler {
  public:
   /// 1 ms ticks, 1024 buckets (~1 s per rotation): pacemaker timeouts are
   /// hundreds of ms, reconnect backoff seconds — both a handful of
@@ -42,9 +29,16 @@ class TimerWheel {
   static constexpr std::int64_t kTickNanos = 1'000'000;
   static constexpr std::size_t kBuckets = 1024;
 
+  /// Time of the last advance() — the loop iteration's timestamp.
+  TimePoint now() const override { return last_advance_; }
+
   /// Schedules `fn` at absolute time `when` (clamped to now for past
   /// deadlines: they fire on the next advance, never synchronously).
-  TimerHandle schedule_at(TimePoint when, std::function<void()> fn);
+  TimerHandle schedule_at(TimePoint when, EventFn fn) override;
+
+  /// Fire-and-forget (still consumes a wheel slot; the wheel has no
+  /// handle-free fast path, timers here are rare and coarse).
+  void post_at(TimePoint when, EventFn fn) override { schedule_at(when, std::move(fn)); }
 
   /// Fires every pending timer with deadline <= now, in deadline order
   /// within a bucket. Callbacks may schedule/cancel freely.
@@ -65,13 +59,23 @@ class TimerWheel {
   /// be detached with nullptr. Wheel and histogram live on the loop thread.
   void set_fire_drift_histogram(LatencyHistogram* h) { drift_hist_ = h; }
 
- private:
-  friend class TimerHandle;
+ protected:
+  void cancel_timer(std::uint32_t slot, std::uint32_t gen) override {
+    if (slot >= slots_.size()) return;
+    Slot& s = slots_[slot];
+    if (s.gen == gen && s.pending) s.cancelled = true;
+  }
+  bool timer_active(std::uint32_t slot, std::uint32_t gen) const override {
+    if (slot >= slots_.size()) return false;
+    const Slot& s = slots_[slot];
+    return s.gen == gen && s.pending && !s.cancelled;
+  }
 
+ private:
   struct Entry {
     TimePoint deadline;
     std::uint32_t slot;  // slab index for cancellation
-    std::function<void()> fn;
+    EventFn fn;
   };
 
   struct Slot {

@@ -4,12 +4,12 @@
 
 namespace marlin::runtime {
 
-ClientProcess::ClientProcess(sim::Simulator& sim, sim::Network& net,
-                             ClientProcessConfig config)
-    : sim_(sim), net_(net), config_(config), rng_(sim.rng().fork()) {}
+ClientProcess::ClientProcess(marlin::Scheduler& sched, sim::Network& net,
+                             ClientProcessConfig config, Rng rng)
+    : sim_(sched), net_(net), config_(config), rng_(std::move(rng)) {}
 
 sim::NodeId ClientProcess::attach() {
-  node_id_ = net_.add_node(this);
+  node_id_ = net_.add_node(this, &sim_);
   return node_id_;
 }
 

@@ -33,8 +33,11 @@ struct ClientProcessConfig {
 
 class ClientProcess final : public sim::NetworkNode {
  public:
-  ClientProcess(sim::Simulator& sim, sim::Network& net,
-                ClientProcessConfig config);
+  /// `sched` is the client's home scheduler; `rng` jitters the paced
+  /// request stream. The caller owns the rng fork order — Cluster forks
+  /// client streams in id order, which the golden traces pin.
+  ClientProcess(marlin::Scheduler& sched, sim::Network& net,
+                ClientProcessConfig config, Rng rng);
 
   sim::NodeId attach();
   void start();
@@ -59,7 +62,7 @@ class ClientProcess final : public sim::NetworkNode {
   void flush_burst();
   Bytes payload_for(RequestId id);
 
-  sim::Simulator& sim_;
+  marlin::Scheduler& sim_;
   sim::Network& net_;
   ClientProcessConfig config_;
   sim::NodeId node_id_ = 0;

@@ -1,15 +1,70 @@
 #include "runtime/cluster.h"
 
+#include <cassert>
 #include <cstdio>
 
 namespace marlin::runtime {
 
 Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
-    : sim_(sim), config_(config) {
+    : config_(std::move(config)) {
+  EngineBinding engine;
+  engine.control = &sim;
+  engine.node_sched = [&sim](sim::NodeId) { return &sim; };
+  engine.setup_rng = &sim.rng();
+  // Same fanout heuristic as the sharded root, on the single global queue
+  // (capacity only; pop order and goldens are unaffected).
+  const std::size_t nodes = 3 * config_.f + 1 + config_.clients.count;
+  sim.reserve(nodes * 64 + 256, nodes * 4 + 64);
+  build(engine);
+}
+
+Cluster::Cluster(sim::ShardedSimulator& engine, ClusterConfig config)
+    : config_(std::move(config)) {
+  // Conservative-window safety: no message may arrive sooner than one
+  // lookahead after it was sent.
+  assert(engine.lookahead() <= config_.net.one_way_delay);
+  EngineBinding binding;
+  binding.control = &engine.control();
+  binding.node_sched = [&engine](sim::NodeId id) {
+    return engine.node_scheduler(id);
+  };
+  binding.setup_rng = &engine.rng();
+  if (engine.tracing()) {
+    binding.node_trace = [&engine](sim::NodeId id) {
+      return engine.node_trace(id);
+    };
+    // Control-lane records (fault injections) go to the engine's own
+    // barrier-phase sink unless the caller supplied one.
+    if (config_.trace == nullptr) config_.trace = engine.control_trace();
+  }
+  binding.per_sender_net_rng = true;
+  // Pre-size shard heaps/slabs from the cluster's fanout: a leader
+  // broadcast plus replies keeps O(n) messages in flight per protocol
+  // phase, and clients add a window each. 64 events/node absorbs several
+  // overlapping phases plus CPU/storage charging events.
   const std::uint32_t n = 3 * config_.f + 1;
-  net_ = std::make_unique<sim::Network>(sim_, config_.net);
+  const std::size_t nodes = n + config_.clients.count;
+  engine.reserve(/*events_per_shard=*/nodes * 64 / engine.shards() + 256,
+                 /*timers_per_shard=*/nodes * 4 / engine.shards() + 64);
+  build(binding);
+}
+
+Cluster::Cluster(const EngineBinding& engine, ClusterConfig config)
+    : config_(std::move(config)) {
+  build(engine);
+}
+
+void Cluster::build(const EngineBinding& engine) {
+  control_ = engine.control;
+  sched_of_ = engine.node_sched;
+  const std::uint32_t n = 3 * config_.f + 1;
+  // Fork order (network stream first, client streams later, in id order)
+  // is part of the determinism contract the golden traces pin.
+  net_ = std::make_unique<sim::Network>(*control_, config_.net,
+                                        engine.setup_rng->fork());
   if (config_.trace) {
-    config_.trace->set_clock([&sim] { return sim.now(); });
+    config_.trace->set_clock(
+        [sched = control_] { return sched->now(); });
     net_->set_trace(config_.trace);
   }
 
@@ -36,12 +91,13 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     rc.checkpoint_interval = cons.checkpoint_interval;
     rc.reply_size = cons.reply_size;
     rc.client_base = n;
-    rc.trace = config_.trace;
+    rc.trace = engine.node_trace ? engine.node_trace(r) : config_.trace;
     rc.disable_persistence = cons.disable_persistence;
     replicas_.push_back(
-        std::make_unique<ReplicaProcess>(sim_, *net_, *suite_, rc));
+        std::make_unique<ReplicaProcess>(*sched_of_(r), *net_, *suite_, rc));
     replicas_.back()->set_count_authenticators(config_.count_authenticators);
     replicas_.back()->attach();
+    if (engine.node_trace) net_->set_node_trace(r, engine.node_trace(r));
   }
 
   for (ClientId c = 0; c < config_.clients.count; ++c) {
@@ -52,10 +108,15 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     cc.payload_size = config_.clients.payload_size;
     cc.retransmit_timeout = config_.clients.retransmit_timeout;
     cc.max_requests = config_.clients.max_requests;
-    cc.trace = config_.trace;
-    clients_.push_back(std::make_unique<ClientProcess>(sim_, *net_, cc));
+    const sim::NodeId node = n + c;
+    cc.trace = engine.node_trace ? engine.node_trace(node) : config_.trace;
+    clients_.push_back(std::make_unique<ClientProcess>(
+        *sched_of_(node), *net_, cc, engine.setup_rng->fork()));
     clients_.back()->attach();
+    if (engine.node_trace) net_->set_node_trace(node, engine.node_trace(node));
   }
+
+  if (engine.per_sender_net_rng) net_->split_rng_per_sender();
 
   faults::FaultHooks hooks;
   hooks.current_leader = [this] { return current_leader(); };
@@ -67,7 +128,7 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     return restart_replica(r, wipe);
   };
   faults_ = std::make_unique<faults::FaultController>(
-      sim_, *net_, config_.faults, std::move(hooks), n, config_.trace);
+      *control_, *net_, config_.faults, std::move(hooks), n, config_.trace);
 }
 
 void Cluster::start() {
@@ -75,12 +136,15 @@ void Cluster::start() {
   for (auto& r : replicas_) r->start();
   // Clients begin shortly after the replicas have entered view 1, with
   // staggered starts: synchronized closed-loop clients otherwise refill in
-  // lockstep "generations" that quantize throughput measurements.
+  // lockstep "generations" that quantize throughput measurements. Each
+  // start is posted on the client's home scheduler so it runs on the
+  // client's shard (the global queue, when there is only one).
   for (std::size_t c = 0; c < clients_.size(); ++c) {
     ClientProcess* client = clients_[c].get();
-    sim_.post(Duration::millis(5) +
-                  Duration::millis(41) * static_cast<std::int64_t>(c),
-              [client] { client->start(); });
+    sched_of_(n() + static_cast<sim::NodeId>(c))
+        ->post(Duration::millis(5) +
+                   Duration::millis(41) * static_cast<std::int64_t>(c),
+               [client] { client->start(); });
   }
 }
 

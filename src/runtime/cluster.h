@@ -10,6 +10,7 @@
 #include "faults/fault_controller.h"
 #include "runtime/client_process.h"
 #include "runtime/replica_process.h"
+#include "simnet/sharded.h"
 
 namespace marlin::runtime {
 
@@ -63,7 +64,35 @@ struct ClusterConfig {
 
 class Cluster {
  public:
+  /// How a cluster binds to an event engine. The composition root (the
+  /// ctor taking a concrete engine) fills this in; everything downstream —
+  /// processes, network, faults — sees only Scheduler&.
+  struct EngineBinding {
+    /// Control lane: fault actions, trace clock, anything that must not
+    /// race shard execution. On the single-queue engine this is the
+    /// simulator itself.
+    marlin::Scheduler* control = nullptr;
+    /// Home scheduler per node id (replicas 0..n-1, clients n..n+m-1).
+    std::function<marlin::Scheduler*(sim::NodeId)> node_sched;
+    /// Setup-time randomness source; forked in a fixed order (network
+    /// first, then clients in id order) that the golden traces pin.
+    Rng* setup_rng = nullptr;
+    /// Per-node trace sink override (shard-local sinks), or null for the
+    /// shared config trace.
+    std::function<obs::TraceSink*(sim::NodeId)> node_trace;
+    /// Give each network sender its own rng stream (required when senders
+    /// run concurrently on the partitioned engine).
+    bool per_sender_net_rng = false;
+  };
+
   Cluster(sim::Simulator& sim, ClusterConfig config);
+  /// Partitioned-engine composition root: nodes bind to their home-shard
+  /// schedulers and trace sinks, the control lane runs faults, network
+  /// randomness splits per sender, and the shard heaps are pre-sized from
+  /// the cluster's fanout. Requires engine.lookahead() <= net.one_way_delay
+  /// (the conservative-window safety condition).
+  Cluster(sim::ShardedSimulator& engine, ClusterConfig config);
+  Cluster(const EngineBinding& engine, ClusterConfig config);
 
   /// Arms the fault plan, then starts all replicas, then all clients.
   void start();
@@ -120,7 +149,10 @@ class Cluster {
   bool committed_heights_consistent() const;
 
  private:
-  sim::Simulator& sim_;
+  void build(const EngineBinding& engine);
+
+  marlin::Scheduler* control_ = nullptr;
+  std::function<marlin::Scheduler*(sim::NodeId)> sched_of_;
   ClusterConfig config_;
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<crypto::SignatureSuite> suite_;

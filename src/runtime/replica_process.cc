@@ -13,7 +13,7 @@ namespace {
 constexpr const char* kPStateKey = "meta/pstate";
 }  // namespace
 
-ReplicaProcess::ReplicaProcess(sim::Simulator& sim, sim::Network& net,
+ReplicaProcess::ReplicaProcess(marlin::Scheduler& sim, sim::Network& net,
                                const crypto::SignatureSuite& suite,
                                ReplicaProcessConfig config)
     : sim_(sim),
@@ -44,7 +44,7 @@ void ReplicaProcess::make_protocol() {
 }
 
 sim::NodeId ReplicaProcess::attach() {
-  node_id_ = net_.add_node(this);
+  node_id_ = net_.add_node(this, &sim_);
   assert(node_id_ == config_.replica.id &&
          "replicas must occupy node ids [0, n)");
   return node_id_;

@@ -57,7 +57,9 @@ struct TrafficStats {
 class ReplicaProcess final : public sim::NetworkNode,
                              public consensus::ProtocolEnv {
  public:
-  ReplicaProcess(sim::Simulator& sim, sim::Network& net,
+  /// `sched` is the replica's home scheduler: the shared simulator on the
+  /// single-queue engine, its shard's clock on the partitioned one.
+  ReplicaProcess(marlin::Scheduler& sched, sim::Network& net,
                  const crypto::SignatureSuite& suite,
                  ReplicaProcessConfig config);
 
@@ -88,6 +90,7 @@ class ReplicaProcess final : public sim::NetworkNode,
   void progressed() override;
   void persist_state(const consensus::PersistentState& state) override;
   obs::TraceSink* trace_sink() override { return config_.trace; }
+  marlin::Scheduler* scheduler() override { return &sim_; }
   TimePoint now() const override { return sim_.now(); }
   void charge_signs(std::uint32_t count) override;
   void charge_verifies(std::uint32_t count) override;
@@ -162,7 +165,7 @@ class ReplicaProcess final : public sim::NetworkNode,
     }
   }
 
-  sim::Simulator& sim_;
+  marlin::Scheduler& sim_;
   sim::Network& net_;
   const crypto::SignatureSuite& suite_;  // kept for restart()
   ReplicaProcessConfig config_;

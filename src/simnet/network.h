@@ -11,9 +11,11 @@
 #include <functional>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/scheduler.h"
 #include "common/net_stats.h"
 #include "common/payload.h"
 #include "common/wire_codec.h"
@@ -64,11 +66,25 @@ class NetworkNode {
 
 class Network {
  public:
-  Network(Simulator& sim, NetConfig config)
-      : sim_(sim), config_(config), rng_(sim.rng().fork()) {}
+  /// Backend-neutral construction: the scheduler drives deliveries, the rng
+  /// feeds drop/jitter draws. Callers own the fork order of `rng` (it is
+  /// part of the determinism contract).
+  Network(marlin::Scheduler& sched, NetConfig config, Rng rng)
+      : sched_(sched), config_(config), rng_(std::move(rng)) {}
 
-  /// Registers a handler (non-owning; must outlive the network).
-  NodeId add_node(NetworkNode* handler);
+  /// Legacy convenience: fork the network's rng stream from the simulator,
+  /// exactly as every seeded run has always done (byte-identity contract).
+  Network(Simulator& sim, NetConfig config)
+      : Network(static_cast<marlin::Scheduler&>(sim), config,
+                sim.rng().fork()) {}
+
+  /// Registers a handler (non-owning; must outlive the network). `sched`
+  /// optionally binds the node to its own scheduler (its shard's clock on
+  /// the partitioned engine); defaults to the network-wide one. Deliveries
+  /// to the node are posted on its scheduler, and sends from it read its
+  /// clock — on a single-queue engine both are the global clock, so
+  /// behaviour is unchanged.
+  NodeId add_node(NetworkNode* handler, marlin::Scheduler* sched = nullptr);
 
   std::size_t node_count() const { return nodes_.size(); }
 
@@ -117,6 +133,21 @@ class Network {
   /// b = NIC/link queueing ns, c = total send-to-arrival transit ns).
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Per-node sink override (sharded runs: each node records into its home
+  /// shard's sink, so recording stays single-writer). Falls back to the
+  /// global sink when unset. Call after add_node(node).
+  void set_node_trace(NodeId node, obs::TraceSink* sink) {
+    node_trace_[node] = sink;
+  }
+
+  /// Splits drop/jitter randomness into one stream per sender, forked from
+  /// the network's stream in node-id order. Required on the partitioned
+  /// engine, where senders draw concurrently and a shared stream would make
+  /// the draw sequence depend on shard interleaving. Call once, after all
+  /// add_node calls. (Legacy single-queue runs keep the shared stream:
+  /// its draw order is pinned by the golden traces.)
+  void split_rng_per_sender();
+
   /// Test-only hook: called on every delivery, just before the receiver's
   /// on_message, with the exact Payload instance being handed over. Lets
   /// tests assert buffer identity across receivers (zero-copy broadcast)
@@ -132,24 +163,33 @@ class Network {
   void export_metrics(obs::MetricsRegistry& reg) const;
 
  private:
-  std::uint64_t pair_key(NodeId from, NodeId to) const {
-    return static_cast<std::uint64_t>(from) << 32 | to;
+  obs::TraceSink* sink_for(NodeId node) const {
+    obs::TraceSink* s = node_trace_[node];
+    return s != nullptr ? s : trace_;
+  }
+  Rng& rng_for(NodeId from) {
+    return sender_rng_.empty() ? rng_ : sender_rng_[from];
   }
 
-  Simulator& sim_;
+  marlin::Scheduler& sched_;
   NetConfig config_;
   Rng rng_;
+  std::vector<Rng> sender_rng_;  // empty = shared stream (legacy)
   TimePoint gst_;  // origin: synchronous from the start
   double extra_drop_ = 0.0;             // injected loss window (faults)
   Duration extra_delay_ = Duration::zero();  // injected slow-link window
   std::vector<NetworkNode*> nodes_;
+  std::vector<marlin::Scheduler*> scheds_;  // per-node clock/queue binding
   std::vector<bool> down_;
   std::vector<NodeNetStats> stats_;
   std::vector<TimePoint> nic_free_;
-  std::unordered_map<std::uint64_t, TimePoint> link_free_;
+  // Keyed per sender so concurrent shards never touch each other's
+  // entries; a sender's sends are serialized on its home scheduler.
+  std::vector<std::unordered_map<NodeId, TimePoint>> link_free_;
   std::function<bool(NodeId, NodeId)> filter_;
   std::function<void(NodeId, NodeId, const Payload&)> delivery_probe_;
   obs::TraceSink* trace_ = nullptr;
+  std::vector<obs::TraceSink*> node_trace_;  // per-node overrides
 };
 
 }  // namespace marlin::sim

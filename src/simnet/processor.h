@@ -7,7 +7,7 @@
 #include <deque>
 #include <functional>
 
-#include "simnet/simulator.h"
+#include "common/scheduler.h"
 
 namespace marlin::sim {
 
@@ -17,7 +17,9 @@ class SequentialProcessor {
   /// time it consumed; the next task starts after that charge elapses.
   using Task = std::function<Duration()>;
 
-  explicit SequentialProcessor(Simulator& sim) : sim_(sim) {}
+  /// Charges against whatever clock its host runs on: the global sim, a
+  /// shard-local clock, never a backend named here.
+  explicit SequentialProcessor(marlin::Scheduler& sched) : sim_(sched) {}
 
   void post(Task task) {
     queue_.push_back(std::move(task));
@@ -52,7 +54,7 @@ class SequentialProcessor {
     }
   }
 
-  Simulator& sim_;
+  marlin::Scheduler& sim_;
   std::deque<Task> queue_;
   TimePoint free_at_;
   Duration total_busy_;

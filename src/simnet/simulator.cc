@@ -81,7 +81,15 @@ TimerHandle Simulator::schedule_at(TimePoint when, EventFn fn) {
   std::uint32_t slot = acquire_slot();
   std::uint32_t gen = slots_[slot].gen;
   push_event(when, slot, std::move(fn));
-  return TimerHandle(this, slot, gen);
+  return make_handle(slot, gen);
+}
+
+void Simulator::reserve(std::size_t events, std::size_t timers) {
+  if (heap_.capacity() < events) heap_.reserve(events);
+  if (slots_.capacity() < timers) {
+    slots_.reserve(timers);
+    free_slots_.reserve(timers);
+  }
 }
 
 void Simulator::post_at(TimePoint when, EventFn fn) {

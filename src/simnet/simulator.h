@@ -14,61 +14,45 @@
 // Ordering is the strict (when, seq) total order the golden traces pin;
 // post and schedule share one seq counter, so replacing the queue/handle
 // machinery cannot reorder anything.
+//
+// Simulator is the single-queue implementation of marlin::Scheduler
+// (common/scheduler.h); hosts written against Scheduler& run unchanged on
+// the sharded engine (simnet/sharded.h) and the realnet timer wheel.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/scheduler.h"
 #include "common/sim_time.h"
 #include "simnet/event_fn.h"
 
 namespace marlin::sim {
 
-class Simulator;
+/// Scheduled-event handles are the shared generation-counted kind; the
+/// alias keeps the historical sim::TimerHandle spelling working.
+using TimerHandle = marlin::TimerHandle;
 
-/// Cancellation handle for a scheduled event. Default-constructed handles
-/// are inert. Cancelling an already-fired event is a no-op; a handle that
-/// outlives its event (or whose slot was recycled for a newer event) is
-/// detected via the slot's generation counter and also no-ops.
-class TimerHandle {
- public:
-  TimerHandle() = default;
-  inline void cancel();
-  inline bool active() const;
-
- private:
-  friend class Simulator;
-  TimerHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
-      : sim_(sim), slot_(slot), gen_(gen) {}
-  Simulator* sim_ = nullptr;
-  std::uint32_t slot_ = 0;
-  std::uint32_t gen_ = 0;
-};
-
-class Simulator {
+class Simulator final : public marlin::Scheduler {
  public:
   explicit Simulator(std::uint64_t seed) : rng_(seed) {}
 
-  TimePoint now() const { return now_; }
+  TimePoint now() const override { return now_; }
   Rng& rng() { return rng_; }
 
-  /// Schedules `fn` to run `delay` after now. Negative delays clamp to 0.
-  /// Returns a cancellation handle; this path allocates a slab slot, so
-  /// prefer post() when the handle would be dropped.
-  TimerHandle schedule(Duration delay, EventFn fn) {
-    if (delay < Duration::zero()) delay = Duration::zero();
-    return schedule_at(now_ + delay, std::move(fn));
-  }
-  TimerHandle schedule_at(TimePoint when, EventFn fn);
+  /// schedule()/post() (delay-relative, negative clamps to zero) are
+  /// inherited from Scheduler and funnel into the two overrides below.
+  TimerHandle schedule_at(TimePoint when, EventFn fn) override;
 
   /// Fire-and-forget scheduling: no cancellation handle, no slab slot, and
   /// (for inline-storable callbacks) no allocation at all.
-  void post(Duration delay, EventFn fn) {
-    if (delay < Duration::zero()) delay = Duration::zero();
-    post_at(now_ + delay, std::move(fn));
-  }
-  void post_at(TimePoint when, EventFn fn);
+  void post_at(TimePoint when, EventFn fn) override;
+
+  /// Pre-sizes the event heap and cancellation slab so steady state never
+  /// grows them in the hot loop. Sizing heuristic lives with the caller
+  /// (Cluster knows n and fanout); extra calls only ever grow capacity.
+  void reserve(std::size_t events, std::size_t timers);
 
   /// Runs the earliest pending event; returns false when the queue is empty.
   bool step();
@@ -84,9 +68,17 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   std::size_t pending_events() const { return heap_.size(); }
 
- private:
-  friend class TimerHandle;
+ protected:
+  void cancel_timer(std::uint32_t slot, std::uint32_t gen) override {
+    Slot& s = slots_[slot];
+    if (s.gen == gen && s.pending) s.cancelled = true;
+  }
+  bool timer_active(std::uint32_t slot, std::uint32_t gen) const override {
+    const Slot& s = slots_[slot];
+    return s.gen == gen && s.pending && !s.cancelled;
+  }
 
+ private:
   static constexpr std::uint32_t kNoSlot = ~0u;
 
   struct Event {
@@ -128,17 +120,5 @@ class Simulator {
   std::vector<std::uint32_t> free_slots_;
   Rng rng_;
 };
-
-inline void TimerHandle::cancel() {
-  if (sim_ == nullptr) return;
-  Simulator::Slot& s = sim_->slots_[slot_];
-  if (s.gen == gen_ && s.pending) s.cancelled = true;
-}
-
-inline bool TimerHandle::active() const {
-  if (sim_ == nullptr) return false;
-  const Simulator::Slot& s = sim_->slots_[slot_];
-  return s.gen == gen_ && s.pending && !s.cancelled;
-}
 
 }  // namespace marlin::sim

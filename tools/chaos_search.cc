@@ -22,13 +22,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cli_flags.h"
 #include "faults/chaos.h"
 #include "faults/safety_oracle.h"
 #include "obs/export.h"
@@ -79,58 +79,30 @@ void usage() {
       "blocks across restart/wipe_disk incarnations.\n");
 }
 
-bool parse_flag(const char* arg, const char* name, std::string* value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '\0') {
-    *value = "";
-    return true;
-  }
-  if (arg[len] != '=') return false;
-  *value = arg + len + 1;
-  return true;
-}
-
 bool parse_options(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
-    std::string v;
-    // Value flags accept both --flag=value and --flag value.
-    const auto grab = [&]() {
-      if (v.empty() && i + 1 < argc) v = argv[++i];
-      return v;
-    };
-    if (parse_flag(argv[i], "--help", &v)) {
+  cli::ArgCursor args(argc, argv);
+  while (args.next()) {
+    if (args.flag("--help")) {
       opt->help = true;
-    } else if (parse_flag(argv[i], "--plans", &v)) {
-      opt->plans = static_cast<std::uint32_t>(std::atoi(grab().c_str()));
-    } else if (parse_flag(argv[i], "--jobs", &v)) {
-      opt->jobs = static_cast<std::uint32_t>(std::atoi(grab().c_str()));
+    } else if (args.u32("--plans", &opt->plans)) {
+    } else if (args.u32("--jobs", &opt->jobs)) {
       if (opt->jobs == 0) opt->jobs = 1;
-    } else if (parse_flag(argv[i], "--protocol", &v)) {
-      opt->protocol = grab();
-    } else if (parse_flag(argv[i], "--seed", &v)) {
-      opt->seed = static_cast<std::uint64_t>(std::atoll(grab().c_str()));
-    } else if (parse_flag(argv[i], "--f", &v)) {
-      opt->f = static_cast<std::uint32_t>(std::atoi(grab().c_str()));
-    } else if (parse_flag(argv[i], "--horizon-ms", &v)) {
-      opt->horizon_ms = std::atoll(grab().c_str());
-    } else if (parse_flag(argv[i], "--out", &v)) {
-      opt->out = grab();
-    } else if (parse_flag(argv[i], "--replay", &v)) {
-      opt->replay = std::atoll(grab().c_str());
-    } else if (parse_flag(argv[i], "--plan-out", &v)) {
-      opt->plan_out = grab();
-    } else if (parse_flag(argv[i], "--plan", &v)) {
-      opt->plan_in = grab();
-    } else if (parse_flag(argv[i], "--trace-out", &v)) {
-      opt->trace_out = grab();
-    } else if (parse_flag(argv[i], "--determinism-check", &v)) {
+    } else if (args.str("--protocol", &opt->protocol)) {
+    } else if (args.u64("--seed", &opt->seed)) {
+    } else if (args.u32("--f", &opt->f)) {
+    } else if (args.i64("--horizon-ms", &opt->horizon_ms)) {
+    } else if (args.str("--out", &opt->out)) {
+    } else if (args.i64("--replay", &opt->replay)) {
+    } else if (args.str("--plan-out", &opt->plan_out)) {
+    } else if (args.str("--plan", &opt->plan_in)) {
+    } else if (args.str("--trace-out", &opt->trace_out)) {
+    } else if (args.flag("--determinism-check")) {
       opt->determinism_check = true;
     } else {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
-      return false;
+      args.fail_unknown();
     }
   }
+  if (!args.ok()) return false;
   if (opt->protocol != "marlin" && opt->protocol != "hotstuff" &&
       opt->protocol != "both") {
     std::fprintf(stderr, "unknown protocol '%s'\n", opt->protocol.c_str());

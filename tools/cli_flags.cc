@@ -1,0 +1,149 @@
+#include "cli_flags.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace marlin::cli {
+
+namespace {
+
+/// Name-prefix match: "--f" must not claim "--faults". Returns the
+/// remainder after the name: "" (bare), or "=..." (inline value);
+/// nullptr when the token is a different flag.
+const char* after_name(const char* arg, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return nullptr;
+  if (arg[len] != '\0' && arg[len] != '=') return nullptr;
+  return arg + len;
+}
+
+bool parse_i64(const std::string& text, std::int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_f64(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool ArgCursor::flag(const char* name) {
+  const char* rest = after_name(argv_[i_], name);
+  return rest != nullptr;
+}
+
+bool ArgCursor::take_value(const char* name, std::string* out) {
+  const char* rest = after_name(argv_[i_], name);
+  if (rest == nullptr) return false;
+  if (rest[0] == '=') {
+    *out = rest + 1;
+    return true;
+  }
+  // The next token is the value — unless it is itself a flag, in which
+  // case the value is missing ("--trace-out --timeline" is an error, not
+  // a file named "--timeline"). Negative numbers ("-1") are still values.
+  if (i_ + 1 < argc_ && std::strncmp(argv_[i_ + 1], "--", 2) != 0) {
+    *out = argv_[++i_];
+    return true;
+  }
+  std::fprintf(stderr, "missing value for %s (try --help)\n", name);
+  ok_ = false;
+  out->clear();
+  return true;
+}
+
+bool ArgCursor::str(const char* name, std::string* out) {
+  return take_value(name, out);
+}
+
+bool ArgCursor::i64(const char* name, std::int64_t* out) {
+  std::string text;
+  if (!take_value(name, &text)) return false;
+  if (!ok_) return true;
+  if (!parse_i64(text, out)) fail_value(name, text, "integer");
+  return true;
+}
+
+bool ArgCursor::u64(const char* name, std::uint64_t* out) {
+  std::int64_t v = 0;
+  if (!i64(name, &v)) return false;
+  if (ok_ && v < 0) {
+    fail_value(name, std::to_string(v), "non-negative integer");
+    return true;
+  }
+  if (ok_) *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool ArgCursor::u32(const char* name, std::uint32_t* out) {
+  std::uint64_t v = 0;
+  if (!u64(name, &v)) return false;
+  if (ok_ && v > std::numeric_limits<std::uint32_t>::max()) {
+    fail_value(name, std::to_string(v), "32-bit integer");
+    return true;
+  }
+  if (ok_) *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool ArgCursor::u16(const char* name, std::uint16_t* out) {
+  std::uint64_t v = 0;
+  if (!u64(name, &v)) return false;
+  if (ok_ && v > std::numeric_limits<std::uint16_t>::max()) {
+    fail_value(name, std::to_string(v), "16-bit integer");
+    return true;
+  }
+  if (ok_) *out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+bool ArgCursor::size(const char* name, std::size_t* out) {
+  std::uint64_t v = 0;
+  if (!u64(name, &v)) return false;
+  if (ok_) *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool ArgCursor::f64(const char* name, double* out) {
+  std::string text;
+  if (!take_value(name, &text)) return false;
+  if (!ok_) return true;
+  if (!parse_f64(text, out)) fail_value(name, text, "number");
+  return true;
+}
+
+bool ArgCursor::millis(const char* name, Duration* out) {
+  std::int64_t ms = 0;
+  if (!i64(name, &ms)) return false;
+  if (ok_) *out = Duration::millis(ms);
+  return true;
+}
+
+void ArgCursor::fail_unknown() {
+  std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv_[i_]);
+  ok_ = false;
+}
+
+void ArgCursor::fail_value(const char* name, const std::string& text,
+                           const char* expected) {
+  std::fprintf(stderr, "invalid value for %s: '%s' (expected %s)\n", name,
+               text.c_str(), expected);
+  ok_ = false;
+}
+
+}  // namespace marlin::cli

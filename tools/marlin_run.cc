@@ -21,13 +21,13 @@
 // too little progress — which is what the CI smoke job pins.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cli_flags.h"
 #include "common/json.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
@@ -95,18 +95,6 @@ void usage() {
       "  --metrics-interval=S  sampling period for the series (default 1)\n"
       "  --metrics-prom-out=PATH  write the final metrics snapshot as\n"
       "                      Prometheus text exposition\n");
-}
-
-bool parse_flag(const char* arg, const char* name, std::string* value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '\0') {
-    *value = "";
-    return true;
-  }
-  if (arg[len] != '=') return false;
-  *value = arg + len + 1;
-  return true;
 }
 
 bool parse_crash(const std::string& v, bool relaunch, Options* opt) {
@@ -215,72 +203,57 @@ bool parse_options(int argc, char** argv, Options* opt) {
 
   // Two passes so "flags override config" regardless of argument order:
   // find --config first, then let every other flag overwrite it.
-  for (int i = 1; i < argc; ++i) {
-    std::string v;
-    if (parse_flag(argv[i], "--config", &v)) opt->config_path = v;
+  {
+    cli::ArgCursor scan(argc, argv);
+    while (scan.next()) {
+      std::string v;
+      if (scan.str("--config", &v)) opt->config_path = v;
+    }
   }
   if (!opt->config_path.empty() &&
       !load_config(opt->config_path, &opt->cluster)) {
     return false;
   }
 
-  for (int i = 1; i < argc; ++i) {
+  cli::ArgCursor args(argc, argv);
+  while (args.next()) {
     std::string v;
-    if (parse_flag(argv[i], "--help", &v)) {
+    if (args.flag("--help")) {
       opt->help = true;
-    } else if (parse_flag(argv[i], "--config", &v)) {
+    } else if (args.str("--config", &v)) {
       // handled above
-    } else if (parse_flag(argv[i], "--protocol", &v)) {
+    } else if (args.str("--protocol", &v)) {
       if (!parse_protocol(v, &opt->cluster.consensus.protocol)) return false;
-    } else if (parse_flag(argv[i], "--f", &v)) {
-      opt->cluster.f = static_cast<std::uint32_t>(std::atoi(v.c_str()));
-    } else if (parse_flag(argv[i], "--clients", &v)) {
-      opt->cluster.clients.count =
-          static_cast<std::uint32_t>(std::atoi(v.c_str()));
-    } else if (parse_flag(argv[i], "--window", &v)) {
-      opt->cluster.clients.window =
-          static_cast<std::uint32_t>(std::atoi(v.c_str()));
-    } else if (parse_flag(argv[i], "--payload", &v)) {
-      opt->cluster.clients.payload_size =
-          static_cast<std::size_t>(std::atoll(v.c_str()));
-    } else if (parse_flag(argv[i], "--seconds", &v)) {
-      opt->seconds = std::atof(v.c_str());
-    } else if (parse_flag(argv[i], "--warmup", &v)) {
-      opt->warmup = std::atof(v.c_str());
-    } else if (parse_flag(argv[i], "--seed", &v)) {
-      opt->cluster.seed = static_cast<std::uint64_t>(std::atoll(v.c_str()));
-    } else if (parse_flag(argv[i], "--timeout-ms", &v)) {
-      opt->cluster.consensus.pacemaker.base_timeout =
-          Duration::millis(std::atoll(v.c_str()));
-    } else if (parse_flag(argv[i], "--data-dir", &v)) {
+    } else if (args.u32("--f", &opt->cluster.f)) {
+    } else if (args.u32("--clients", &opt->cluster.clients.count)) {
+    } else if (args.u32("--window", &opt->cluster.clients.window)) {
+    } else if (args.size("--payload", &opt->cluster.clients.payload_size)) {
+    } else if (args.f64("--seconds", &opt->seconds)) {
+    } else if (args.f64("--warmup", &opt->warmup)) {
+    } else if (args.u64("--seed", &opt->cluster.seed)) {
+    } else if (args.millis("--timeout-ms",
+                           &opt->cluster.consensus.pacemaker.base_timeout)) {
+    } else if (args.str("--data-dir", &v)) {
       opt->real.data_dir = v;
-    } else if (parse_flag(argv[i], "--kill", &v)) {
+    } else if (args.str("--kill", &v)) {
       if (!parse_crash(v, /*relaunch=*/false, opt)) return false;
-    } else if (parse_flag(argv[i], "--relaunch", &v)) {
+    } else if (args.str("--relaunch", &v)) {
       if (!parse_crash(v, /*relaunch=*/true, opt)) return false;
-    } else if (parse_flag(argv[i], "--min-commits", &v)) {
-      opt->min_commits = static_cast<std::uint64_t>(std::atoll(v.c_str()));
-    } else if (parse_flag(argv[i], "--metrics-out", &v)) {
-      opt->metrics_out = v;
-    } else if (parse_flag(argv[i], "--trace-out", &v)) {
-      opt->trace_out = v;
-    } else if (parse_flag(argv[i], "--telemetry", &v)) {
+    } else if (args.u64("--min-commits", &opt->min_commits)) {
+    } else if (args.str("--metrics-out", &opt->metrics_out)) {
+    } else if (args.str("--trace-out", &opt->trace_out)) {
+    } else if (args.flag("--telemetry")) {
       opt->real.telemetry = true;
-    } else if (parse_flag(argv[i], "--telemetry-port", &v)) {
+    } else if (args.u16("--telemetry-port", &opt->real.telemetry_base_port)) {
       opt->real.telemetry = true;
-      opt->real.telemetry_base_port =
-          static_cast<std::uint16_t>(std::atoi(v.c_str()));
-    } else if (parse_flag(argv[i], "--metrics-series-out", &v)) {
-      opt->metrics_series_out = v;
-    } else if (parse_flag(argv[i], "--metrics-interval", &v)) {
-      opt->metrics_interval = std::atof(v.c_str());
-    } else if (parse_flag(argv[i], "--metrics-prom-out", &v)) {
-      opt->metrics_prom_out = v;
+    } else if (args.str("--metrics-series-out", &opt->metrics_series_out)) {
+    } else if (args.f64("--metrics-interval", &opt->metrics_interval)) {
+    } else if (args.str("--metrics-prom-out", &opt->metrics_prom_out)) {
     } else {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
-      return false;
+      args.fail_unknown();
     }
   }
+  if (!args.ok()) return false;
 
   for (const CrashEvent& e : opt->events) {
     const std::uint32_t n = 3 * opt->cluster.f + 1;

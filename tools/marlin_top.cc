@@ -15,12 +15,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cli_flags.h"
 #include "common/json.h"
 #include "realnet/http_client.h"
 
@@ -52,18 +52,6 @@ void usage() {
       "                       the table\n");
 }
 
-bool parse_flag(const char* arg, const char* name, std::string* value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '\0') {
-    *value = "";
-    return true;
-  }
-  if (arg[len] != '=') return false;
-  *value = arg + len + 1;
-  return true;
-}
-
 bool parse_endpoint(const std::string& spec,
                     std::pair<std::string, std::uint16_t>* out) {
   std::string host = "127.0.0.1";
@@ -83,11 +71,12 @@ bool parse_endpoint(const std::string& spec,
 }
 
 bool parse_options(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
+  cli::ArgCursor args(argc, argv);
+  while (args.next()) {
     std::string v;
-    if (parse_flag(argv[i], "--help", &v)) {
+    if (args.flag("--help")) {
       opt->help = true;
-    } else if (parse_flag(argv[i], "--endpoints", &v)) {
+    } else if (args.str("--endpoints", &v)) {
       std::size_t pos = 0;
       while (pos <= v.size()) {
         const std::size_t comma = v.find(',', pos);
@@ -101,21 +90,18 @@ bool parse_options(int argc, char** argv, Options* opt) {
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
-    } else if (parse_flag(argv[i], "--base-port", &v)) {
-      opt->base_port = static_cast<std::uint16_t>(std::atoi(v.c_str()));
-    } else if (parse_flag(argv[i], "--n", &v)) {
-      opt->n = static_cast<std::uint32_t>(std::atoi(v.c_str()));
-    } else if (parse_flag(argv[i], "--interval", &v)) {
-      opt->interval = std::atof(v.c_str());
-    } else if (parse_flag(argv[i], "--once", &v)) {
+    } else if (args.u16("--base-port", &opt->base_port)) {
+    } else if (args.u32("--n", &opt->n)) {
+    } else if (args.f64("--interval", &opt->interval)) {
+    } else if (args.flag("--once")) {
       opt->once = true;
-    } else if (parse_flag(argv[i], "--json", &v)) {
+    } else if (args.flag("--json")) {
       opt->json = true;
     } else {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
-      return false;
+      args.fail_unknown();
     }
   }
+  if (!args.ok()) return false;
   if (opt->base_port != 0) {
     for (std::uint32_t i = 0; i < opt->n; ++i) {
       opt->endpoints.emplace_back(
