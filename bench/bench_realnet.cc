@@ -1,21 +1,24 @@
 // bench_realnet — the "one stack, two transports" cross-validation bench.
 //
 // Runs the same workload (same ClusterConfig: protocol, f, clients, window,
-// payload, pacemaker) on both backends at n = 4, 7, 10:
+// payload, pacemaker) on both backends at n = 4, 7, 10, 19:
 //
 //   sim    the deterministic simulator, with its network model calibrated
 //          to localhost-class links (50 us one-way, 10 Gbps) so the two
 //          backends model the same deployment;
 //   metal  src/realnet — real threads, real epoll, real 127.0.0.1 TCP.
 //
-// Prints one row per (n, backend) and writes the comparison as JSON
-// (schema marlin/realnet/v1); the repo pins a representative run as
+// Prints one row per (n, backend) — throughput, latency percentiles, and
+// getrusage CPU/context-switch deltas — and writes the comparison as JSON
+// (schema marlin/realnet/v2); the repo pins a representative run as
 // BENCH_realnet.json. Wall-clock metal numbers are machine-dependent, so
 // CI only smoke-runs --quick and checks that the artifact is written.
 //
-//   bench_realnet                      # full sweep, n = 4, 7, 10
+//   bench_realnet                      # full sweep, n = 4, 7, 10, 19
 //   bench_realnet --quick              # short windows, n = 4 only
 //   bench_realnet --out=PATH           # also write the JSON artifact
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -39,7 +42,40 @@ struct Row {
   double mean_ms = 0;
   std::uint64_t completed = 0;
   bool ok = false;
+  // getrusage(RUSAGE_SELF) deltas across the row: CPU burned (user+sys)
+  // and scheduler pressure. On a 1-core host involuntary switches are the
+  // tell for "more runnable threads than cores".
+  double cpu_s = 0;
+  std::uint64_t vol_ctx_switches = 0;
+  std::uint64_t invol_ctx_switches = 0;
 };
+
+struct UsageSnap {
+  double cpu_s = 0;
+  std::uint64_t nvcsw = 0;
+  std::uint64_t nivcsw = 0;
+};
+
+UsageSnap usage_now() {
+  struct rusage ru;
+  UsageSnap s;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return s;
+  auto tv_s = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  s.cpu_s = tv_s(ru.ru_utime) + tv_s(ru.ru_stime);
+  s.nvcsw = static_cast<std::uint64_t>(ru.ru_nvcsw);
+  s.nivcsw = static_cast<std::uint64_t>(ru.ru_nivcsw);
+  return s;
+}
+
+void fill_usage(Row* row, const UsageSnap& before) {
+  const UsageSnap after = usage_now();
+  row->cpu_s = after.cpu_s - before.cpu_s;
+  row->vol_ctx_switches = after.nvcsw - before.nvcsw;
+  row->invol_ctx_switches = after.nivcsw - before.nivcsw;
+}
 
 /// The workload both backends run: identical consensus + client settings;
 /// only the transport underneath differs.
@@ -61,10 +97,12 @@ runtime::ClusterConfig workload(std::uint32_t f) {
 }
 
 Row run_sim(std::uint32_t f, Duration warmup, Duration measure) {
+  const UsageSnap before = usage_now();
   runtime::ExperimentOptions exp =
       runtime::throughput_options(workload(f), warmup, measure);
   const runtime::ExperimentReport rep = runtime::run_experiment(exp);
   Row row;
+  fill_usage(&row, before);
   row.n = 3 * f + 1;
   row.backend = "sim";
   row.throughput_ops = rep.throughput_ops;
@@ -77,6 +115,7 @@ Row run_sim(std::uint32_t f, Duration warmup, Duration measure) {
 }
 
 Row run_metal(std::uint32_t f, Duration warmup, Duration measure) {
+  const UsageSnap before = usage_now();
   realnet::RealCluster cluster(workload(f));
   Row row;
   row.n = 3 * f + 1;
@@ -92,6 +131,7 @@ Row run_metal(std::uint32_t f, Duration warmup, Duration measure) {
   std::this_thread::sleep_for(
       std::chrono::nanoseconds((warmup + measure).as_nanos()));
   cluster.stop();
+  fill_usage(&row, before);
   row.throughput_ops = cluster.client_throughput();
   row.p50_ms = cluster.latency_ms(50);
   row.p95_ms = cluster.latency_ms(95);
@@ -104,20 +144,27 @@ Row run_metal(std::uint32_t f, Duration warmup, Duration measure) {
 }
 
 void print_row(const Row& r) {
-  std::printf("%4u  %-6s %12.1f %10.2f %10.2f %10.2f %12llu  %s\n", r.n,
-              r.backend, r.throughput_ops, r.p50_ms, r.p95_ms, r.mean_ms,
-              static_cast<unsigned long long>(r.completed),
+  std::printf("%4u  %-6s %12.1f %10.2f %10.2f %10.2f %12llu %8.2f %8llu %8llu  %s\n",
+              r.n, r.backend, r.throughput_ops, r.p50_ms, r.p95_ms, r.mean_ms,
+              static_cast<unsigned long long>(r.completed), r.cpu_s,
+              static_cast<unsigned long long>(r.vol_ctx_switches),
+              static_cast<unsigned long long>(r.invol_ctx_switches),
               r.ok ? "ok" : "FAIL");
 }
 
 std::string row_json(const Row& r) {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof buf,
                 "  {\"n\":%u,\"backend\":\"%s\",\"throughput_ops\":%.1f,"
                 "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"mean_ms\":%.3f,"
-                "\"completed\":%llu,\"ok\":%s}",
+                "\"completed\":%llu,\"cpu_s\":%.3f,"
+                "\"vol_ctx_switches\":%llu,\"invol_ctx_switches\":%llu,"
+                "\"ok\":%s}",
                 r.n, r.backend, r.throughput_ops, r.p50_ms, r.p95_ms,
                 r.mean_ms, static_cast<unsigned long long>(r.completed),
+                r.cpu_s,
+                static_cast<unsigned long long>(r.vol_ctx_switches),
+                static_cast<unsigned long long>(r.invol_ctx_switches),
                 r.ok ? "true" : "false");
   return buf;
 }
@@ -141,14 +188,18 @@ int main(int argc, char** argv) {
 
   const Duration warmup = quick ? Duration::millis(500) : Duration::seconds(1);
   const Duration measure = quick ? Duration::seconds(2) : Duration::seconds(5);
+  // f = 1, 2, 3, 6 → n = 4, 7, 10, 19: the n=19 row shows how both
+  // backends degrade once quadratic vote traffic dominates on one core.
   const std::vector<std::uint32_t> fs =
-      quick ? std::vector<std::uint32_t>{1} : std::vector<std::uint32_t>{1, 2, 3};
+      quick ? std::vector<std::uint32_t>{1}
+            : std::vector<std::uint32_t>{1, 2, 3, 6};
 
   std::printf(
       "bench_realnet — same workload, two transports (sim vs localhost TCP)\n"
       "clients=4 window=16 payload=150B; sim net: 50us one-way, 10 Gbps\n\n"
-      "%4s  %-6s %12s %10s %10s %10s %12s\n", "n", "trans", "ops/s", "p50 ms",
-      "p95 ms", "mean ms", "completed");
+      "%4s  %-6s %12s %10s %10s %10s %12s %8s %8s %8s\n", "n", "trans",
+      "ops/s", "p50 ms", "p95 ms", "mean ms", "completed", "cpu s", "nvcsw",
+      "nivcsw");
 
   std::vector<Row> rows;
   bool all_ok = true;
@@ -168,7 +219,7 @@ int main(int argc, char** argv) {
   }
 
   if (!out_path.empty()) {
-    std::string json = "{\"schema\":\"marlin/realnet/v1\",\"quick\":";
+    std::string json = "{\"schema\":\"marlin/realnet/v2\",\"quick\":";
     json += quick ? "true" : "false";
     json +=
         ",\n \"workload\":{\"clients\":4,\"window\":16,\"payload\":150,"

@@ -101,6 +101,14 @@ Row run_row(std::uint32_t f, std::uint32_t shards, std::uint32_t workers,
   cfg.clients.count = 8;
   cfg.clients.window = 8;
   cfg.clients.payload_size = 64;
+  // At n=1000 a modeled round takes ~1.3 s (leader-side crypto plus
+  // O(n²) vote/QC traffic), so the first commit lands just inside a flat
+  // 2 s view timeout — zero headroom: any extra delay (faults, larger
+  // payloads, a slow leader) tips the first round into a spurious view
+  // change. Scale the timer with n instead (2 s + 5 ms per replica);
+  // the committed_ops column in this short horizon remains bounded by
+  // round latency, not by timer churn.
+  cfg.consensus.pacemaker.base_timeout_per_replica = Duration::millis(5);
 
   Row r;
   r.n = 3 * f + 1;

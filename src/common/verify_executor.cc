@@ -1,0 +1,10 @@
+#include "common/verify_executor.h"
+
+namespace marlin::common {
+
+InlineVerifyExecutor& InlineVerifyExecutor::instance() {
+  static InlineVerifyExecutor inline_executor;
+  return inline_executor;
+}
+
+}  // namespace marlin::common

@@ -1,0 +1,57 @@
+// Execution seam for deferrable signature/MAC verification work.
+//
+// Replica ingress (consensus/replica_base.h's ingress()) plans a
+// self-contained crypto closure per inbound envelope — work that warms the
+// signature suite's verification caches without touching protocol state —
+// and hands it to a VerifyExecutor together with a completion that runs
+// the normal dispatch path. Two implementations exist:
+//
+//  * InlineVerifyExecutor (here): deferred() is false, so callers dispatch
+//    immediately and the plan step is skipped entirely. The simulator and
+//    unit tests use this — behavior (and cost charging) is bit-identical
+//    to calling handle_message directly.
+//  * realnet::VerifyPool: deferred() is true; the work closure runs on a
+//    small worker pool off the event-loop thread and the completion is
+//    posted back to the owning loop in submission order.
+//
+// Contract for `work` closures: they may run on any thread, so they must
+// only read immutable state (captured message copies, the const suite /
+// verifier) — crypto::set_parallel_crypto(true) must be on before a
+// deferred executor runs them. Completions always run on the submitter's
+// thread (inline, or via the executor's post-back), in submission order.
+#pragma once
+
+#include <functional>
+
+namespace marlin::common {
+
+class VerifyExecutor {
+ public:
+  virtual ~VerifyExecutor() = default;
+
+  /// False: submit() runs work and done synchronously before returning
+  /// (callers may skip planning work entirely). True: work may run on
+  /// another thread and done is delivered later, in submission order.
+  virtual bool deferred() const { return false; }
+
+  /// Executes `work` (may be null) and then `done`. Per-executor
+  /// submission order of `done` callbacks is preserved even when the
+  /// corresponding `work` closures finish out of order.
+  virtual void submit(std::function<void()> work,
+                      std::function<void()> done) = 0;
+};
+
+/// Synchronous executor: work and done run in the caller's stack frame.
+class InlineVerifyExecutor final : public VerifyExecutor {
+ public:
+  void submit(std::function<void()> work,
+              std::function<void()> done) override {
+    if (work) work();
+    if (done) done();
+  }
+
+  /// Shared process-wide instance (stateless).
+  static InlineVerifyExecutor& instance();
+};
+
+}  // namespace marlin::common

@@ -61,7 +61,11 @@ void EventLoop::post(std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(posted_mu_);
     posted_.push_back(PostedTask{mono_now(), std::move(fn)});
   }
-  wake();
+  // Posts from the loop thread itself (loopback sends, rescheduling
+  // closures) need no eventfd syscall: the loop is not blocked in
+  // epoll_wait right now, and run_once checks posted_ before choosing the
+  // next timeout, so the task runs this iteration or immediately after.
+  if (!on_loop_thread()) wake();
 }
 
 void EventLoop::stop() {
@@ -134,6 +138,7 @@ void EventLoop::run_once(Duration max_wait) {
   }
   wheel_.advance(mono_now());
   drain_posted();
+  if (tick_) tick_();
   if (time_this) iter_hist_->record(mono_now() - iter_start);
 }
 

@@ -77,6 +77,13 @@ class EventLoop {
   /// True when called from the thread currently inside run()/run_once().
   bool on_loop_thread() const;
 
+  /// Installed once per loop (loop thread only, or before it starts):
+  /// invoked at the end of every run_once iteration, after fd handlers,
+  /// timers, and posted tasks — the egress-coalescing point where the
+  /// transport flushes everything the iteration queued, just before the
+  /// loop blocks again. Pass nullptr to uninstall.
+  void set_tick_handler(std::function<void()> fn) { tick_ = std::move(fn); }
+
   // -- instrumentation -------------------------------------------------------
   // Non-owning histogram hooks (loop-thread writes only): the caller wires
   // them to registry-owned histograms before the loop thread starts and
@@ -112,6 +119,7 @@ class EventLoop {
 
   std::mutex posted_mu_;
   std::deque<PostedTask> posted_;
+  std::function<void()> tick_;
 
   std::atomic<bool> stop_{false};
   std::atomic<const void*> loop_thread_{nullptr};

@@ -28,6 +28,11 @@ Duration client_stagger(std::size_t c) {
 RealCluster::RealCluster(runtime::ClusterConfig config,
                          RealClusterOptions options)
     : config_(std::move(config)), options_(std::move(options)) {
+  // Worker threads verify through per-replica suites concurrently with the
+  // owning loop's signing; switch the tag caches to their locked mode
+  // before any suite exists. Never unset: other clusters in the process
+  // may still rely on it, and the locked path is correct (just slower).
+  if (options_.verify_workers > 0) crypto::set_parallel_crypto(true);
   const std::uint32_t total = n() + config_.clients.count;
   nodes_.resize(total);
   endpoints_.resize(total);
@@ -122,6 +127,11 @@ Status RealCluster::build_node(std::uint32_t id) {
     rc.trace = node.trace.get();
     if (!options_.data_dir.empty()) {
       rc.data_dir = options_.data_dir + "/r" + std::to_string(id);
+    }
+    if (options_.verify_workers > 0) {
+      node.verify =
+          std::make_unique<VerifyPool>(*node.loop, options_.verify_workers);
+      rc.verify_pool = node.verify.get();
     }
     node.replica = std::make_unique<RealReplica>(*node.loop, *node.transport,
                                                  *node.suite, rc);
@@ -271,6 +281,7 @@ Status RealCluster::relaunch_replica(ReplicaId i) {
   // same port, rebuild, rejoin. Peers redial lazily via backoff.
   node.telemetry.reset();  // before the loop it registered with
   node.replica.reset();
+  node.verify.reset();  // joins workers before suite/loop go away
   node.transport.reset();
   node.loop.reset();
   node.suite.reset();

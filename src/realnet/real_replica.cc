@@ -25,7 +25,7 @@ RealReplica::RealReplica(EventLoop& loop, TcpTransport& transport,
       transport_(transport),
       suite_(suite),
       config_(std::move(config)),
-      pacemaker_(config_.pacemaker) {
+      pacemaker_(config_.pacemaker.scaled_for(config_.replica.quorum.n)) {
   last_activity_ = mono_now();
   // Loop/wheel health histograms live in this replica's registry (std::map
   // nodes are reference-stable); the loop records into them from its own
@@ -98,7 +98,11 @@ void RealReplica::on_message(std::uint32_t from, Payload payload) {
   if (env.value().kind == MsgKind::kSnapshotResponse) {
     metrics_.counter("state_transfer.bytes") += payload.size();
   }
-  protocol_->handle_message(static_cast<ReplicaId>(from), env.value());
+  common::VerifyExecutor& exec =
+      config_.verify_pool != nullptr
+          ? static_cast<common::VerifyExecutor&>(*config_.verify_pool)
+          : common::InlineVerifyExecutor::instance();
+  protocol_->ingress(static_cast<ReplicaId>(from), std::move(env).take(), exec);
 }
 
 // ---------------------------------------------------------------------------
@@ -311,6 +315,9 @@ obs::MetricsRegistry RealReplica::snapshot_metrics() const {
   snap.counter("loop.iterations") += loop_.iterations();
   snap.counter("loop.posted_tasks") += loop_.posted_tasks_run();
   snap.counter("loop.timers_fired") += loop_.timers_fired();
+  if (config_.verify_pool != nullptr) {
+    config_.verify_pool->export_metrics(snap);
+  }
   return snap;
 }
 

@@ -29,6 +29,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "realnet/tcp_transport.h"
+#include "realnet/verify_pool.h"
 #include "runtime/pacemaker.h"
 #include "runtime/replica_process.h"  // runtime::ProtocolKind
 #include "storage/kvstore.h"
@@ -49,6 +50,10 @@ struct RealReplicaConfig {
   bool sync_writes = false;
   /// Per-node event trace (clock should be mono_now). Optional.
   obs::TraceSink* trace = nullptr;
+  /// Off-loop crypto pre-verification pool. Null (the default) verifies
+  /// inline on the loop thread via InlineVerifyExecutor — byte-identical
+  /// behavior to the pre-pool runtime.
+  VerifyPool* verify_pool = nullptr;
 };
 
 class RealReplica final : public consensus::ProtocolEnv {

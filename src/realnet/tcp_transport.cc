@@ -44,10 +44,15 @@ void set_nodelay(int fd) {
 
 TcpTransport::TcpTransport(EventLoop& loop, std::uint32_t node_id,
                            TransportConfig config)
-    : loop_(loop), node_id_(node_id), config_(config) {}
+    : loop_(loop), node_id_(node_id), config_(config) {
+  // One transport per loop: the end-of-iteration tick is where every frame
+  // queued during the iteration reaches the kernel.
+  loop_.set_tick_handler([this] { on_loop_tick(); });
+}
 
 TcpTransport::~TcpTransport() {
   if (!shut_down_) shutdown();
+  loop_.set_tick_handler(nullptr);
 }
 
 Result<std::uint16_t> TcpTransport::listen(std::uint16_t port) {
@@ -132,7 +137,42 @@ void TcpTransport::send(std::uint32_t to, Payload payload) {
   if (peer.fd < 0 && !peer.connecting) {
     dial(to);
   } else if (peer.fd >= 0 && !peer.connecting) {
-    flush_peer(to);
+    // Coalesce: defer the sendmsg to the end of this loop iteration so
+    // every frame queued to this peer meanwhile shares it. The max-defer
+    // bound keeps a bulk burst (state transfer, catch-up batches) from
+    // sitting in user space a whole iteration.
+    if (config_.coalesce_max_defer_bytes == 0 ||
+        peer.queue_bytes >= config_.coalesce_max_defer_bytes) {
+      flush_peer(to);
+    } else {
+      mark_dirty(to, peer);
+    }
+  }
+}
+
+void TcpTransport::mark_dirty(std::uint32_t id, Peer& peer) {
+  if (peer.dirty) return;
+  peer.dirty = true;
+  dirty_.push_back(id);
+}
+
+void TcpTransport::on_loop_tick() {
+  if (dirty_.empty()) return;
+  flush_now();
+}
+
+void TcpTransport::flush_now() {
+  // Swap to scratch: flush_peer may re-dirty (it never does today — a
+  // partial write arms EPOLLOUT instead — but the swap keeps the loop safe
+  // against any future re-marking).
+  while (!dirty_.empty()) {
+    dirty_scratch_.clear();
+    dirty_scratch_.swap(dirty_);
+    for (std::uint32_t id : dirty_scratch_) {
+      auto it = peers_.find(id);
+      if (it == peers_.end() || !it->second.dirty) continue;
+      flush_peer(id);
+    }
   }
 }
 
@@ -175,6 +215,12 @@ void TcpTransport::export_metrics(obs::MetricsRegistry& reg) const {
   reg.counter("transport.frames_dropped", "reason=no_peer") +=
       frames_dropped_no_peer_;
   reg.counter("transport.decode_errors") += decode_errors_;
+  reg.counter("transport.flushes") += flushes_;
+  reg.counter("transport.ingress_wakes") += ingress_wakes_;
+  reg.sizes("transport.frames_per_flush").merge_from(frames_per_flush_);
+  // Loop-facing name (the wake is the loop's unit of work) for the
+  // per-epoll-wake ingress batch size.
+  reg.sizes("loop.frames_per_wake").merge_from(frames_per_wake_);
   reg.gauge("transport.egress_queued_bytes") =
       static_cast<double>(queued_bytes());
   reg.gauge("transport.egress_high_water_bytes") =
@@ -285,6 +331,7 @@ void TcpTransport::on_dial_writable(std::uint32_t id) {
 
 void TcpTransport::flush_peer(std::uint32_t id) {
   Peer& peer = peers_[id];
+  peer.dirty = false;  // everything queued so far is handled right here
   if (peer.fd < 0 || peer.connecting) return;
 
   while (!peer.queue.empty()) {
@@ -335,20 +382,25 @@ void TcpTransport::flush_peer(std::uint32_t id) {
     }
     peer.queue_bytes -= static_cast<std::size_t>(n);
     std::size_t written = static_cast<std::size_t>(n) + peer.front_offset;
+    std::uint64_t retired = 0;
     while (!peer.queue.empty()) {
       const std::size_t frame_size =
           wire::kHeaderSize + peer.queue.front().payload.size();
       if (written < frame_size) break;
       written -= frame_size;
       peer.queue.pop_front();
+      ++retired;
     }
     peer.front_offset = written;
+    ++flushes_;
+    if ((flushes_ & 7) == 0) frames_per_flush_.record(retired);
   }
 
   const bool need_write = !peer.queue.empty();
   if (need_write != peer.want_write) {
     peer.want_write = need_write;
-    loop_.mod_fd(peer.fd, need_write ? EPOLLOUT : 0);
+    loop_.mod_fd(peer.fd, need_write ? static_cast<std::uint32_t>(EPOLLOUT)
+                                     : 0u);
   }
 }
 
@@ -394,24 +446,40 @@ void TcpTransport::accept_ready() {
 void TcpTransport::ingress_readable(int fd) {
   auto it = ingress_.find(fd);
   if (it == ingress_.end()) return;
+  // Batch decode: drain the socket under the per-wake budget, decode every
+  // complete frame, then deliver the whole batch — per-frame epoll wakeups
+  // collapse into one wake per burst. Past the budget the connection is
+  // simply left readable; level-triggered epoll re-fires on the next
+  // iteration and decoding resumes where it stopped.
   std::uint8_t buf[kReadChunk];
-  while (true) {
-    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+  std::size_t bytes_read = 0;
+  bool close_after = false;
+  ingress_batch_.clear();
+  while (bytes_read < config_.ingress_budget_bytes &&
+         ingress_batch_.size() < config_.ingress_budget_frames) {
+    // Cap the read at the remaining byte budget so the budget binds even
+    // when one kernel buffer holds the whole burst. The decoder is still
+    // fully drained after every chunk — only partial-frame bytes carry
+    // over — so a budget cutoff never strands complete frames (the socket
+    // stays readable and level-triggered epoll re-fires next iteration).
+    const std::size_t want = std::min(
+        sizeof buf, config_.ingress_budget_bytes - bytes_read);
+    const ssize_t n = recv(fd, buf, want, 0);
     if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      close_ingress(fd);
-      return;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) close_after = true;
+      break;
     }
     if (n == 0) {  // peer closed (crash or clean shutdown)
-      close_ingress(fd);
-      return;
+      close_after = true;
+      break;
     }
+    bytes_read += static_cast<std::size_t>(n);
     Ingress& in = it->second;
     if (!in.decoder.feed(BytesView(buf, static_cast<std::size_t>(n)))
              .is_ok()) {
-      ++decode_errors_;
-      close_ingress(fd);  // oversize/corrupt stream: drop the connection
-      return;
+      ++decode_errors_;  // oversize/corrupt stream: drop the connection
+      close_after = true;
+      break;
     }
     Bytes frame;
     while (in.decoder.next(frame)) {
@@ -422,15 +490,31 @@ void TcpTransport::ingress_readable(int fd) {
         continue;
       }
       if (in.peer == kUnknownPeer) {
-        close_ingress(fd);  // consensus frame before hello: protocol error
+        close_after = true;  // consensus frame before hello: protocol error
+        break;
+      }
+      ingress_batch_.emplace_back(in.peer, Payload(std::move(frame)));
+      frame = Bytes{};
+    }
+    if (close_after) break;
+  }
+
+  if (!ingress_batch_.empty()) {
+    ++ingress_wakes_;
+    if ((ingress_wakes_ & 7) == 0) {
+      frames_per_wake_.record(ingress_batch_.size());
+    }
+    for (auto& [from, payload] : ingress_batch_) {
+      deliver_local(from, std::move(payload));
+      // The handler may have shut the transport down (test teardown).
+      if (shut_down_) {
+        ingress_batch_.clear();
         return;
       }
-      deliver_local(in.peer, Payload(std::move(frame)));
-      frame = Bytes{};
-      // The handler may have shut the transport down (e.g. test teardown).
-      if (shut_down_ || ingress_.find(fd) == ingress_.end()) return;
     }
+    ingress_batch_.clear();
   }
+  if (close_after && ingress_.count(fd) > 0) close_ingress(fd);
 }
 
 void TcpTransport::close_ingress(int fd) {
@@ -462,7 +546,9 @@ void TcpTransport::on_fd_event(int fd, std::uint32_t events) {
 
 void TcpTransport::shutdown() {
   shut_down_ = true;
+  dirty_.clear();
   for (auto& [id, peer] : peers_) {
+    peer.dirty = false;
     peer.reconnect.cancel();
     if (peer.fd >= 0) {
       loop_.del_fd(peer.fd);

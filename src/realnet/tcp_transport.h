@@ -48,6 +48,22 @@ struct TransportConfig {
   /// Per-peer egress cap; beyond it the newest frame is dropped (counted
   /// in stats.messages_dropped, traced as kMsgDropped/kDropBackpressure).
   std::size_t max_queue_bytes = 64u << 20;
+  /// Egress coalescing: send() marks the peer dirty and all dirty peers
+  /// flush once at the end of the loop iteration (on_loop_tick), so a
+  /// broadcast plus pipelined votes/replies to the same peer share one
+  /// scatter-gather sendmsg. Max-defer bound: a peer whose unflushed
+  /// backlog reaches this many bytes flushes immediately instead of
+  /// waiting for the tick. 0 disables coalescing (flush on every send).
+  std::size_t coalesce_max_defer_bytes = 256u << 10;
+  /// Ingress batching: per-epoll-wake budget on bytes read from one
+  /// connection. A connection with more pending data than this resumes on
+  /// the next wake (level-triggered re-arm), so one hot peer cannot
+  /// monopolize an iteration.
+  std::size_t ingress_budget_bytes = 1u << 20;
+  /// Per-wake budget on frames delivered from one connection (checked
+  /// between read chunks; a single chunk's decoded frames always deliver
+  /// whole, so the cutoff is approximate by up to one chunk).
+  std::size_t ingress_budget_frames = 4096;
 };
 
 class TcpTransport final : public FdHandler {
@@ -84,7 +100,17 @@ class TcpTransport final : public FdHandler {
 
   /// Queues `payload` to `to`. Loop thread only. Self-sends deliver via a
   /// posted callback (the local hop, like the simulator's loopback path).
+  /// With coalescing on, the frame reaches the kernel at the end of the
+  /// current loop iteration (or sooner past the max-defer bound).
   void send(std::uint32_t to, Payload payload);
+
+  /// Escape hatch: flushes every dirty peer immediately instead of
+  /// waiting for the end-of-iteration tick. Loop thread only.
+  void flush_now();
+
+  /// End-of-iteration hook (registered with the loop at construction):
+  /// flushes all peers send() marked dirty this iteration.
+  void on_loop_tick();
 
   /// Bytes queued but not yet handed to the kernel, across all peers.
   /// Clean shutdown drains this to zero before closing sockets.
@@ -124,6 +150,11 @@ class TcpTransport final : public FdHandler {
   /// Inbound connections torn down on FrameDecoder errors (oversize or
   /// corrupt framing).
   std::uint64_t decode_errors() const { return decode_errors_; }
+  /// sendmsg calls that handed ≥1 byte to the kernel (the syscalls the
+  /// coalescing tick exists to minimize).
+  std::uint64_t flushes() const { return flushes_; }
+  /// Epoll wakes that delivered ≥1 ingress frame.
+  std::uint64_t ingress_wakes() const { return ingress_wakes_; }
 
   /// Point-in-time view of one outbound peer link, for /status.
   struct PeerStatus {
@@ -157,6 +188,7 @@ class TcpTransport final : public FdHandler {
     int fd = -1;             // dialed socket, -1 while disconnected
     bool connecting = false; // connect() in flight (await EPOLLOUT)
     bool want_write = false; // EPOLLOUT currently registered
+    bool dirty = false;      // queued frames awaiting the tick flush
     std::deque<EgressFrame> queue;
     std::size_t queue_bytes = 0;   // header+payload bytes still unflushed
     std::size_t high_water = 0;    // max queue_bytes ever reached
@@ -177,6 +209,7 @@ class TcpTransport final : public FdHandler {
   void schedule_redial(std::uint32_t id);
   void on_dial_writable(std::uint32_t id);
   void flush_peer(std::uint32_t id);
+  void mark_dirty(std::uint32_t id, Peer& peer);
   void close_peer_conn(std::uint32_t id, bool redial);
   void accept_ready();
   void ingress_readable(int fd);
@@ -193,6 +226,11 @@ class TcpTransport final : public FdHandler {
   std::unordered_map<std::uint32_t, Peer> peers_;
   std::unordered_map<int, std::uint32_t> fd_to_peer_;  // dialed fds
   std::unordered_map<int, Ingress> ingress_;           // accepted fds
+  std::vector<std::uint32_t> dirty_;        // peers awaiting the tick flush
+  std::vector<std::uint32_t> dirty_scratch_;  // swap target during the tick
+  /// Decoded (from, frame) pairs of the current ingress wake; member so
+  /// the hot path reuses its capacity instead of reallocating per wake.
+  std::vector<std::pair<std::uint32_t, Payload>> ingress_batch_;
 
   std::function<void(std::uint32_t, Payload)> handler_;
   obs::TraceSink* trace_ = nullptr;
@@ -207,6 +245,12 @@ class TcpTransport final : public FdHandler {
   std::uint64_t frames_dropped_backpressure_ = 0;
   std::uint64_t frames_dropped_no_peer_ = 0;
   std::uint64_t decode_errors_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t ingress_wakes_ = 0;
+  // Hot-path shape histograms, decimated 1-in-8 (sample vectors; same
+  // policy as the loop's iteration histogram).
+  obs::ValueHistogram frames_per_flush_;
+  obs::ValueHistogram frames_per_wake_;
 };
 
 }  // namespace marlin::realnet

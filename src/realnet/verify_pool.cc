@@ -1,0 +1,125 @@
+#include "realnet/verify_pool.h"
+
+#include "realnet/clock.h"
+
+namespace marlin::realnet {
+
+VerifyPool::VerifyPool(EventLoop& loop, std::size_t workers) : loop_(loop) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+VerifyPool::~VerifyPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void VerifyPool::submit(std::function<void()> work,
+                        std::function<void()> done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    if (work || !jobs_.empty()) {
+      Job job;
+      job.state = work ? JobState::kPending : JobState::kReady;
+      job.work = std::move(work);
+      job.done = std::move(done);
+      jobs_.push_back(std::move(job));
+      const bool pending = jobs_.back().state == JobState::kPending;
+      // A null-work job landing at the head (everything ahead already
+      // drained between our empty-check and now cannot happen — we hold
+      // the lock — but everything ahead may already be kReady): make sure
+      // a drain is scheduled so ready heads are not stranded.
+      if (jobs_.front().state == JobState::kReady && !drain_posted_) {
+        drain_posted_ = true;
+        loop_.post([this] { drain_completions(); });
+      }
+      if (pending) cv_.notify_one();
+      return;
+    }
+    // Nothing in flight to order behind and nothing to compute: run the
+    // completion in place (the common case for client traffic). Unlock
+    // first — done may re-enter submit.
+  }
+  if (done) done();
+}
+
+void VerifyPool::worker_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] {
+      if (stop_) return true;
+      for (std::size_t i = next_pending_; i < jobs_.size(); ++i) {
+        if (jobs_[i].state == JobState::kPending) return true;
+      }
+      return false;
+    });
+    if (stop_) return;
+    // Claim the oldest pending job (skipping already-ready placeholders).
+    while (next_pending_ < jobs_.size() &&
+           jobs_[next_pending_].state != JobState::kPending) {
+      ++next_pending_;
+    }
+    if (next_pending_ >= jobs_.size()) continue;  // raced with another worker
+    Job& job = jobs_[next_pending_];
+    job.state = JobState::kClaimed;
+    ++next_pending_;
+    std::function<void()> work = std::move(job.work);
+    job.work = nullptr;
+    lock.unlock();
+
+    const TimePoint t0 = mono_now();
+    work();
+    const Duration dt = mono_now() - t0;
+
+    lock.lock();
+    job.state = JobState::kReady;
+    ++claims_;
+    if ((claims_ & 7) == 0) verify_ns_.record(dt);
+    if (!jobs_.empty() && jobs_.front().state == JobState::kReady &&
+        !drain_posted_) {
+      drain_posted_ = true;
+      loop_.post([this] { drain_completions(); });
+    }
+  }
+}
+
+void VerifyPool::drain_completions() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_posted_ = false;
+  while (!jobs_.empty() && jobs_.front().state == JobState::kReady) {
+    std::function<void()> done = std::move(jobs_.front().done);
+    jobs_.pop_front();
+    if (next_pending_ > 0) --next_pending_;
+    lock.unlock();
+    if (done) done();  // may re-enter submit()
+    lock.lock();
+  }
+}
+
+std::uint64_t VerifyPool::jobs_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+std::size_t VerifyPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+void VerifyPool::export_metrics(obs::MetricsRegistry& reg) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  reg.counter("verify_pool.jobs") += submitted_;
+  reg.gauge("verify_pool.queue_depth") = static_cast<double>(jobs_.size());
+  reg.gauge("verify_pool.workers") = static_cast<double>(workers_.size());
+  reg.latency("verify_pool.verify_ns").merge_from(verify_ns_);
+}
+
+}  // namespace marlin::realnet

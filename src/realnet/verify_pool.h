@@ -1,0 +1,81 @@
+// Off-loop crypto: a small fixed-size worker pool implementing the
+// common::VerifyExecutor seam for one replica. The event-loop thread
+// submits (work, done) pairs; workers run the work closures (signature /
+// MAC pre-verification — self-contained, read-only, safe off-thread under
+// crypto::set_parallel_crypto), and completions are posted back to the
+// owning EventLoop in deterministic submission order, regardless of which
+// worker finishes first. The loop thread therefore observes exactly the
+// message order it submitted — the pool changes *where* HMAC work burns
+// CPU, never the order anything is applied.
+//
+// Shutdown: the destructor joins the workers. Jobs already claimed finish
+// their work; completions that never got drained are dropped (their
+// closures are destroyed unrun) — the owner only destroys the pool after
+// its loop has stopped, so nothing is waiting on them.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/verify_executor.h"
+#include "obs/metrics.h"
+#include "realnet/event_loop.h"
+
+namespace marlin::realnet {
+
+class VerifyPool final : public common::VerifyExecutor {
+ public:
+  /// Spawns `workers` threads (≥1) that post completions to `loop`.
+  VerifyPool(EventLoop& loop, std::size_t workers);
+  ~VerifyPool() override;
+
+  VerifyPool(const VerifyPool&) = delete;
+  VerifyPool& operator=(const VerifyPool&) = delete;
+
+  // -- VerifyExecutor --------------------------------------------------------
+  bool deferred() const override { return true; }
+  /// Loop thread only. Null work completes without touching a worker; a
+  /// null-work job submitted to an empty pool short-circuits and runs
+  /// `done` inline (no reordering is possible then).
+  void submit(std::function<void()> work, std::function<void()> done) override;
+
+  // -- metrics (any thread; locked) ------------------------------------------
+  std::uint64_t jobs_submitted() const;
+  /// Jobs currently queued or running (the /metrics queue-depth gauge).
+  std::size_t queue_depth() const;
+  /// Writes verify_pool.* series (jobs, queue_depth, verify_ns) into `reg`.
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
+ private:
+  enum class JobState : std::uint8_t { kPending, kClaimed, kReady };
+
+  struct Job {
+    std::function<void()> work;  // null = ordering placeholder
+    std::function<void()> done;
+    JobState state = JobState::kPending;
+  };
+
+  void worker_main();
+  /// Runs ready completions from the queue head, in order (loop thread).
+  void drain_completions();
+
+  EventLoop& loop_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> jobs_;      // FIFO; head = oldest submission
+  std::size_t next_pending_ = 0;  // index into jobs_ of the claim frontier
+  bool drain_posted_ = false;
+  bool stop_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t claims_ = 0;  // worker claims, for 1-in-8 decimation
+  /// Worker-side work-closure runtime, decimated 1-in-8 (guarded by mu_).
+  LatencyHistogram verify_ns_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace marlin::realnet

@@ -8,6 +8,7 @@
 //    progress.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -31,7 +32,33 @@ struct PacemakerConfig {
   // livelock Raft breaks with randomized timeouts). 0 disables the skew and
   // preserves the exact closed-form backoff.
   double timeout_jitter = 0.0;
+  // Per-replica addition to base_timeout, applied as
+  // base_timeout + base_timeout_per_replica·n by scaled_for(n) at the host
+  // that knows the cluster size. A round's critical path grows with n (the
+  // leader pays ~n proposal serializations plus n·(n−1) vote/QC
+  // transmissions), so a flat base leaves no headroom at large n: at
+  // n=1000 the first round finishes barely inside 2 s, and any extra
+  // delay — a fault, a bigger payload, a slow leader — tips it into a
+  // spurious view change instead of a commit. The zero default keeps
+  // every existing config byte-identical.
+  Duration base_timeout_per_replica = Duration::zero();
+
+  /// Copy with the per-replica term folded into base_timeout (and clamped
+  /// to max_timeout). Hosts call this where n is known; the returned
+  /// config has base_timeout_per_replica zeroed so folding is idempotent.
+  PacemakerConfig scaled_for(std::uint32_t n) const;
 };
+
+inline PacemakerConfig PacemakerConfig::scaled_for(std::uint32_t n) const {
+  PacemakerConfig out = *this;
+  if (base_timeout_per_replica > Duration::zero() && n > 0) {
+    out.base_timeout = std::min(
+        base_timeout + base_timeout_per_replica * static_cast<std::int64_t>(n),
+        max_timeout);
+  }
+  out.base_timeout_per_replica = Duration::zero();
+  return out;
+}
 
 /// Pure policy: the replica process feeds it events and asks for the next
 /// timer duration / what a firing timer means.

@@ -21,7 +21,7 @@ ReplicaProcess::ReplicaProcess(marlin::Scheduler& sim, sim::Network& net,
       suite_(suite),
       config_(std::move(config)),
       cpu_(sim),
-      pacemaker_(config_.pacemaker) {
+      pacemaker_(config_.pacemaker.scaled_for(config_.replica.quorum.n)) {
   db_env_ = storage::make_mem_env();
   storage::KVStoreOptions db_options;
   db_options.trace = config_.trace;
@@ -63,7 +63,7 @@ Status ReplicaProcess::restart(bool wipe) {
   protocol_.reset();
   outbox_.clear();
   pending_charge_ = Duration::zero();
-  pacemaker_ = Pacemaker(config_.pacemaker);
+  pacemaker_ = Pacemaker(config_.pacemaker.scaled_for(config_.replica.quorum.n));
   blocks_since_checkpoint_ = 0;
   commit_seen_in_view_ = false;
 
@@ -172,7 +172,11 @@ void ReplicaProcess::on_message(sim::NodeId from, Payload payload) {
       metrics_.counter("state_transfer.bytes") += payload.size();
     }
     const ReplicaId sender = static_cast<ReplicaId>(from);
-    protocol_->handle_message(sender, env.value());
+    // Same ingress seam the metal runtime uses; the inline executor runs
+    // the handler immediately, so charging and delivery order are
+    // byte-identical to a direct handle_message call.
+    protocol_->ingress(sender, std::move(env).take(),
+                       common::InlineVerifyExecutor::instance());
   });
 }
 

@@ -162,8 +162,8 @@ struct TransportNode {
   std::thread thread;
   std::uint16_t port = 0;
 
-  explicit TransportNode(std::uint32_t id) {
-    transport = std::make_unique<TcpTransport>(loop, id);
+  explicit TransportNode(std::uint32_t id, TransportConfig config = {}) {
+    transport = std::make_unique<TcpTransport>(loop, id, config);
     auto p = transport->listen(0);
     EXPECT_TRUE(p.is_ok());
     port = p.value();
@@ -270,6 +270,136 @@ TEST(TcpTransport, ManyFramesArriveInOrder) {
   b.stop();
 }
 
+// End-of-tick egress coalescing: a burst of sends posted in one loop
+// iteration leaves through (far) fewer flushes than frames, and the
+// receiver still sees every frame in order.
+TEST(TcpTransport, CoalescesBurstIntoFewFlushes) {
+  TransportNode a(0), b(1);
+  std::mutex mu;
+  std::vector<Bytes> got;
+  b.transport->set_handler([&](std::uint32_t, Payload p) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(Bytes(p.bytes()));
+  });
+  a.transport->set_peer(1, Endpoint{"127.0.0.1", b.port});
+  a.run();
+  b.run();
+
+  // Wait for the connection so the burst hits the coalescing (connected)
+  // path rather than the pre-connect queue.
+  Bytes probe{4, 0xff, 0xff};
+  a.loop.post([&] { a.transport->send(1, Payload(probe)); });
+  ASSERT_TRUE(eventually(Duration::seconds(5), [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return got.size() == 1;
+  }));
+
+  constexpr int kFrames = 256;
+  a.loop.post([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      Bytes msg{4};
+      msg.push_back(static_cast<std::uint8_t>(i));
+      msg.push_back(static_cast<std::uint8_t>(i >> 8));
+      a.transport->send(1, Payload(std::move(msg)));
+    }
+  });
+  ASSERT_TRUE(eventually(Duration::seconds(5), [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return got.size() == 1 + kFrames;
+  }));
+  a.stop();
+  b.stop();
+
+  // One flush for the probe, then the burst: sendmsg caps at 16 frames per
+  // syscall, so 256 frames need >= 16 flush_peer passes — but every one of
+  // them came from a single end-of-tick flush cycle, far fewer than 256
+  // per-send writes.
+  EXPECT_GE(a.transport->flushes(), 1u + kFrames / 16);
+  EXPECT_LT(a.transport->flushes(), 1u + kFrames);
+  std::lock_guard<std::mutex> lock(mu);
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_EQ(got[i + 1][1], static_cast<std::uint8_t>(i)) << "frame " << i;
+    ASSERT_EQ(got[i + 1][2], static_cast<std::uint8_t>(i >> 8));
+  }
+}
+
+// coalesce_max_defer_bytes=0 must fall back to write-per-send (the escape
+// hatch for latency-critical configs) with identical delivery.
+TEST(TcpTransport, CoalescingDisabledStillDelivers) {
+  TransportConfig tc;
+  tc.coalesce_max_defer_bytes = 0;
+  TransportNode a(0, tc), b(1);
+  std::mutex mu;
+  std::size_t got = 0;
+  b.transport->set_handler([&](std::uint32_t, Payload) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++got;
+  });
+  a.transport->set_peer(1, Endpoint{"127.0.0.1", b.port});
+  a.run();
+  b.run();
+  constexpr int kFrames = 64;
+  a.loop.post([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      a.transport->send(1, Payload(Bytes{4, static_cast<std::uint8_t>(i)}));
+    }
+  });
+  ASSERT_TRUE(eventually(Duration::seconds(5), [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return got == kFrames;
+  }));
+  a.stop();
+  b.stop();
+}
+
+// Per-wake ingress budgets: with budgets far smaller than the burst, the
+// receiver needs many epoll wakes (level-triggered re-fires) but must
+// still deliver every frame exactly once, in order.
+TEST(TcpTransport, IngressBudgetCutoffResumesNextWake) {
+  TransportConfig small;
+  small.ingress_budget_bytes = 512;  // a few frames per wake
+  small.ingress_budget_frames = 4;
+  TransportNode a(0), b(1, small);
+  std::mutex mu;
+  std::vector<Bytes> got;
+  b.transport->set_handler([&](std::uint32_t, Payload p) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(Bytes(p.bytes()));
+  });
+  a.transport->set_peer(1, Endpoint{"127.0.0.1", b.port});
+  a.run();
+  b.run();
+
+  constexpr int kFrames = 300;
+  a.loop.post([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      Bytes msg{4};
+      msg.push_back(static_cast<std::uint8_t>(i));
+      msg.push_back(static_cast<std::uint8_t>(i >> 8));
+      msg.resize(3 + static_cast<std::size_t>(i % 13) * 7, 0xcd);
+      a.transport->send(1, Payload(std::move(msg)));
+    }
+  });
+  ASSERT_TRUE(eventually(Duration::seconds(5), [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return got.size() == kFrames;
+  }));
+  a.stop();
+  b.stop();
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (int i = 0; i < kFrames; ++i) {
+      ASSERT_EQ(got[i][1], static_cast<std::uint8_t>(i)) << "frame " << i;
+      ASSERT_EQ(got[i][2], static_cast<std::uint8_t>(i >> 8));
+    }
+  }
+  // The byte budget forced the burst across many wakes: ~15 KB of frames
+  // at <= 512 bytes ingested per wake is ~30 wakes even if the kernel
+  // buffered the whole burst before the receiver's first read.
+  EXPECT_GE(b.transport->ingress_wakes(), 20u);
+}
+
 TEST(TcpTransport, ReconnectsAfterReceiverRestart) {
   TransportNode a(0);
   std::atomic<int> got{0};
@@ -312,6 +442,59 @@ TEST(TcpTransport, ReconnectsAfterReceiverRestart) {
   });
   t2.join();
   a.stop();
+}
+
+// ---------------------------------------------------------------------------
+// VerifyPool: off-loop work, in-order completions
+// ---------------------------------------------------------------------------
+
+// Workers race to finish out of order (later submissions sleep less), but
+// the loop thread must observe completions in exact submission order —
+// that ordering is what lets consensus ingress ride the pool unchanged.
+TEST(VerifyPool, CompletionsArriveInSubmissionOrder) {
+  EventLoop loop;
+  VerifyPool pool(loop, 3);
+  std::vector<int> done_order;
+  static constexpr int kJobs = 24;
+
+  loop.post([&] {
+    for (int i = 0; i < kJobs; ++i) {
+      std::function<void()> work;
+      if (i % 3 != 0) {  // every third job is a null-work placeholder
+        work = [i] {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds((kJobs - i) * 200));
+        };
+      }
+      pool.submit(std::move(work), [&done_order, &loop, i] {
+        done_order.push_back(i);
+        if (done_order.size() == kJobs) loop.stop();
+      });
+    }
+  });
+  std::thread t([&] { loop.run(); });
+  t.join();
+
+  ASSERT_EQ(done_order.size(), static_cast<std::size_t>(kJobs));
+  for (int i = 0; i < kJobs; ++i) EXPECT_EQ(done_order[i], i) << "slot " << i;
+  EXPECT_EQ(pool.jobs_submitted(), static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+// A null-work submit against an idle pool must not detour through a worker
+// (that's the zero-overhead client-traffic path).
+TEST(VerifyPool, NullWorkOnEmptyQueueRunsInline) {
+  EventLoop loop;
+  VerifyPool pool(loop, 1);
+  bool ran = false;
+  loop.post([&] {
+    pool.submit(nullptr, [&] { ran = true; });
+    EXPECT_TRUE(ran);  // synchronous: still inside the submit call
+    loop.stop();
+  });
+  std::thread t([&] { loop.run(); });
+  t.join();
+  EXPECT_TRUE(ran);
 }
 
 // ---------------------------------------------------------------------------
@@ -439,6 +622,55 @@ TEST(RealCluster, KilledReplicaRelaunchesFromDiskAndRejoins) {
   std::filesystem::remove_all(dir);
 }
 
+double scraped_metric(std::uint16_t port, const std::string& series);
+
+// With the verify pool enabled, ingress crypto pre-verification runs on
+// worker threads; the cluster must still commit, survive a hard kill +
+// relaunch (pool torn down and rebuilt with the node), and stay
+// consistent. This is the loop/pool boundary test the sanitizer jobs run.
+TEST(RealCluster, CommitsAndRelaunchesWithVerifyPool) {
+  const std::string dir = "/tmp/marlin_realnet_verify_pool_test";
+  std::filesystem::remove_all(dir);
+
+  runtime::ClusterConfig cfg = quick_cluster_config(1);
+  RealClusterOptions opts;
+  opts.data_dir = dir;
+  opts.verify_workers = 2;
+  opts.telemetry = true;
+  RealCluster cluster(cfg, opts);
+  ASSERT_TRUE(cluster.ok().is_ok()) << cluster.ok().message();
+  cluster.start();
+
+  ASSERT_TRUE(eventually(Duration::seconds(20), [&] {
+    return cluster.total_completed() > 30;
+  }));
+  // Pool series are live on /metrics: the job counter climbed, and the
+  // queue-depth gauge is present (exact depth is timing-dependent).
+  const std::uint16_t port0 = cluster.telemetry_port(0);
+  ASSERT_NE(port0, 0);
+  EXPECT_GE(scraped_metric(port0, "marlin_verify_pool_jobs"), 1.0);
+  EXPECT_GE(scraped_metric(port0, "marlin_verify_pool_queue_depth"), 0.0);
+  EXPECT_GE(scraped_metric(port0, "marlin_verify_pool_workers"), 2.0);
+  EXPECT_GT(scraped_metric(port0, "marlin_verify_pool_verify_ns_count"), 0.0);
+  cluster.kill_replica(2);
+  const std::uint64_t before = cluster.total_completed();
+  ASSERT_TRUE(eventually(Duration::seconds(20), [&] {
+    return cluster.total_completed() > before + 30;
+  }));
+  ASSERT_TRUE(cluster.relaunch_replica(2).is_ok());
+  ASSERT_TRUE(eventually(Duration::seconds(30), [&] {
+    return cluster.replica(2).protocol().committed_height() > 0;
+  }));
+
+  cluster.stop();
+  EXPECT_FALSE(cluster.any_safety_violation());
+  EXPECT_TRUE(cluster.committed_heights_consistent());
+  // The pool actually saw traffic, and its metrics flow through snapshots.
+  obs::MetricsRegistry snap = cluster.replica(0).snapshot_metrics();
+  EXPECT_GT(snap.counter("verify_pool.jobs"), 0u);
+  std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------------
 // Telemetry plane observes transport faults from outside the process
 // ---------------------------------------------------------------------------
@@ -479,6 +711,14 @@ TEST(RealCluster, ScrapedMetricsObserveKilledPeerAndReconnect) {
   EXPECT_GT(scraped_metric(port0,
                            "marlin_transport_egress_high_water_bytes"),
             0.0);
+  // Hot-path series pinned here so renames break a test, not a dashboard:
+  // egress coalescing, batched ingress decode, and their batch-size
+  // summaries all flow through /metrics on a live replica.
+  EXPECT_GE(scraped_metric(port0, "marlin_transport_flushes"), 1.0);
+  EXPECT_GE(scraped_metric(port0, "marlin_transport_ingress_wakes"), 1.0);
+  EXPECT_GT(scraped_metric(port0, "marlin_transport_frames_per_flush_count"),
+            0.0);
+  EXPECT_GT(scraped_metric(port0, "marlin_loop_frames_per_wake_count"), 0.0);
 
   // Kill replica 2. Marlin's linearity means followers only talk to the
   // leader, so replica 2's death is invisible to most transports — but the

@@ -77,6 +77,8 @@ void usage() {
       "  --warmup=S          throughput window starts here (default 0.5)\n"
       "  --seed=N            cluster seed: keys + client payloads (7)\n"
       "  --timeout-ms=N      pacemaker base timeout (default 500)\n"
+      "  --verify-workers=N  off-loop crypto pre-verification threads per\n"
+      "                      replica (default 0 = verify inline)\n"
       "  --data-dir=PATH     durable replica stores under PATH/r<i>\n"
       "                      (default in-memory; required for recovery)\n"
       "  --kill=I@S          hard-kill replica I at S seconds\n"
@@ -153,6 +155,9 @@ bool apply_config(const json::Object& doc, runtime::ClusterConfig* cluster) {
         *p, "max_timeout_ms", pm.max_timeout.as_millis_f())));
     pm.backoff_factor = json::get_num(*p, "backoff_factor", pm.backoff_factor);
     pm.timeout_jitter = json::get_num(*p, "timeout_jitter", pm.timeout_jitter);
+    pm.base_timeout_per_replica = Duration::micros(static_cast<std::int64_t>(
+        1000.0 * json::get_num(*p, "base_timeout_per_replica_ms",
+                               pm.base_timeout_per_replica.as_millis_f())));
   }
   if (const json::Object* c = json::get_object(doc, "consensus")) {
     auto& cons = cluster->consensus;
@@ -233,6 +238,7 @@ bool parse_options(int argc, char** argv, Options* opt) {
     } else if (args.u64("--seed", &opt->cluster.seed)) {
     } else if (args.millis("--timeout-ms",
                            &opt->cluster.consensus.pacemaker.base_timeout)) {
+    } else if (args.size("--verify-workers", &opt->real.verify_workers)) {
     } else if (args.str("--data-dir", &v)) {
       opt->real.data_dir = v;
     } else if (args.str("--kill", &v)) {

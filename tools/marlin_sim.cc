@@ -87,6 +87,8 @@ void usage() {
       "  --unhappy-vc                 disable Marlin's happy-path VC\n"
       "  --rotate=MS                  rotating-leader mode, interval in ms\n"
       "  --timeout-ms=N               view-change timeout (2000)\n"
+      "  --timeout-per-replica-ms=N   add N ms per replica to the view\n"
+      "                               timeout (0; keeps large n live)\n"
       "  --crash-leader-at=S          crash the current leader at time S\n"
       "  --crashes=N                  crash N replicas at start\n"
       "  --faults=PATH                execute a JSON fault plan (see\n"
@@ -146,6 +148,9 @@ bool parse_options(int argc, char** argv, Options* opt) {
       opt->cluster.consensus.pacemaker.rotation_interval = ms;
     } else if (args.millis("--timeout-ms",
                            &opt->cluster.consensus.pacemaker.base_timeout)) {
+    } else if (args.millis(
+                   "--timeout-per-replica-ms",
+                   &opt->cluster.consensus.pacemaker.base_timeout_per_replica)) {
     } else if (args.f64("--crash-leader-at", &opt->crash_leader_at)) {
     } else if (args.u32("--crashes", &opt->crashes)) {
     } else if (args.str("--faults", &opt->faults_path)) {
